@@ -1,0 +1,146 @@
+"""Ablation C: batched zero-checks (Appendix I, opt. 3).
+
+A b-bit sum AFE has b + 1 independent validity predicates (b bit
+checks plus the decomposition equality).  Two ways to verify them:
+
+* **batched** (what this library does): one circuit with b + 1
+  assertion wires, one SNIP, and a single random-linear-combination
+  broadcast — the paper's "efficient way for the servers to compute
+  the logical-and of multiple arithmetic circuits";
+* **separate**: one SNIP per predicate — b proofs with one
+  multiplication gate each, b times the rounds and traffic.
+
+This bench measures both (proof bytes, verify time) to show what the
+batching buys.
+"""
+
+import random
+
+import pytest
+
+from common import emit_table, fmt_bytes, fmt_seconds, time_call
+
+from repro.afe import IntegerSumAfe
+from repro.circuit import CircuitBuilder, assert_bit
+from repro.field import FIELD87
+from repro.snip import (
+    ServerRandomness,
+    VerificationContext,
+    proof_num_elements,
+    prove_and_share,
+    verify_snip,
+)
+
+N_SERVERS = 2
+BIT_WIDTHS = (4, 16, 64)
+
+
+def separate_bit_circuits(field, n_bits):
+    """One single-bit-check circuit (reused per bit)."""
+    builder = CircuitBuilder(field, name="one-bit")
+    wire = builder.input()
+    assert_bit(builder, wire)
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def ablation_batch_data():
+    rng = random.Random(333)
+    rows = []
+    results = {}
+    for n_bits in BIT_WIDTHS:
+        afe = IntegerSumAfe(FIELD87, n_bits)
+        value = rng.randrange(1 << n_bits)
+        encoding = afe.encode(value)
+        circuit = afe.valid_circuit()
+
+        # Batched: one proof for the whole Valid circuit.
+        x_shares, proof_shares = prove_and_share(
+            FIELD87, circuit, encoding, N_SERVERS, rng
+        )
+        ctx = VerificationContext(
+            FIELD87, circuit,
+            ServerRandomness(rng.randbytes(16)).challenge(FIELD87, circuit, 0),
+        )
+        assert verify_snip(ctx, x_shares, proof_shares).accepted
+        batched_time = time_call(verify_snip, ctx, x_shares, proof_shares)
+        batched_bytes = (
+            proof_num_elements(circuit.n_mul_gates) * FIELD87.encoded_size
+        )
+
+        # Separate: one single-gate SNIP per bit.
+        bit_circuit = separate_bit_circuits(FIELD87, n_bits)
+        bit_ctx = VerificationContext(
+            FIELD87, bit_circuit,
+            ServerRandomness(rng.randbytes(16)).challenge(
+                FIELD87, bit_circuit, 0
+            ),
+        )
+        bits = encoding[1:]
+        per_bit_shares = [
+            prove_and_share(FIELD87, bit_circuit, [bit], N_SERVERS, rng)
+            for bit in bits
+        ]
+
+        def verify_all_bits():
+            for xs, ps in per_bit_shares:
+                assert verify_snip(bit_ctx, xs, ps).accepted
+
+        separate_time = time_call(verify_all_bits)
+        separate_bytes = n_bits * (
+            proof_num_elements(1) * FIELD87.encoded_size
+        )
+        results[n_bits] = {
+            "batched_time": batched_time,
+            "separate_time": separate_time,
+            "batched_bytes": batched_bytes,
+            "separate_bytes": separate_bytes,
+        }
+        rows.append([
+            n_bits,
+            fmt_seconds(batched_time),
+            fmt_seconds(separate_time),
+            f"{separate_time / batched_time:.1f}x",
+            fmt_bytes(batched_bytes),
+            fmt_bytes(separate_bytes),
+            # broadcast rounds: 2 vs 2 per proof
+            f"2 vs {2 * n_bits}",
+        ])
+    emit_table(
+        "ablation_batch",
+        "Ablation C — one batched SNIP vs one SNIP per predicate "
+        "(b-bit sum AFE)",
+        ["bits", "batched verify", "separate verify", "speedup",
+         "batched proof", "separate proof", "rounds"],
+        rows,
+        notes=[
+            "batching wins on verify time, proof bytes (shared masks "
+            "and triple), and broadcast rounds (2 vs 2b)",
+        ],
+    )
+    return results
+
+
+def test_ablation_batch_always_wins(ablation_batch_data):
+    for n_bits, r in ablation_batch_data.items():
+        assert r["batched_time"] < r["separate_time"], n_bits
+        assert r["batched_bytes"] < r["separate_bytes"], n_bits
+
+
+def test_ablation_batched_verify_16bit(benchmark, ablation_batch_data):
+    del ablation_batch_data
+    rng = random.Random(334)
+    afe = IntegerSumAfe(FIELD87, 16)
+    encoding = afe.encode(12345)
+    circuit = afe.valid_circuit()
+    x_shares, proof_shares = prove_and_share(
+        FIELD87, circuit, encoding, N_SERVERS, rng
+    )
+    ctx = VerificationContext(
+        FIELD87, circuit,
+        ServerRandomness(b"ab-c").challenge(FIELD87, circuit, 0),
+    )
+    benchmark.pedantic(
+        verify_snip, args=(ctx, x_shares, proof_shares),
+        rounds=5, iterations=1,
+    )

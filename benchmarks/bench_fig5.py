@@ -1,0 +1,142 @@
+"""Figure 5: throughput vs number of servers (same datacenter).
+
+Paper setup: all servers in one datacenter, clients submit 1,024
+one-bit integers; the x-axis sweeps 2..10 servers.  The headline
+result: "Adding more servers barely affects the system's throughput"
+because verification is load-balanced — each server is leader for 1/s
+of submissions, and per-server verification work is independent of s.
+
+We measure per-server CPU for each s the same way as Figure 4 and
+model throughput on a same-datacenter topology.
+"""
+
+import random
+
+import pytest
+
+from common import FULL, emit_table, fmt_rate, time_call
+
+from repro.afe import VectorSumAfe
+from repro.field import FIELD87
+from repro.nizk import nizk_server_transfer_bytes
+from repro.sharing import expand_seed
+from repro.simnet import PipelineCosts, cluster_throughput, same_datacenter
+from repro.simnet.throughput import leader_amortized_tx
+from repro.snip import (
+    ServerRandomness,
+    VerificationContext,
+    prove_and_share,
+    verify_snip,
+)
+from repro.snip.proof import proof_num_elements
+
+LENGTH = 1024 if FULL else 256
+SERVER_COUNTS = (2, 3, 4, 5, 6, 8, 10)
+ELEMENT_BYTES = FIELD87.encoded_size
+
+
+def per_server_prio_cpu(n_servers, rng):
+    afe = VectorSumAfe(FIELD87, length=LENGTH, n_bits=1)
+    values = [rng.randrange(2) for _ in range(LENGTH)]
+    circuit = afe.valid_circuit()
+    encoding = afe.encode(values)
+    x_shares, proof_shares = prove_and_share(
+        FIELD87, circuit, encoding, n_servers, rng
+    )
+    challenge = ServerRandomness(rng.randbytes(16)).challenge(
+        FIELD87, circuit, 0
+    )
+    ctx = VerificationContext(FIELD87, circuit, challenge)
+    assert verify_snip(ctx, x_shares, proof_shares).accepted
+    share_elements = afe.k + proof_num_elements(circuit.n_mul_gates)
+    expand = time_call(expand_seed, FIELD87, b"\x08" * 16, share_elements)
+    verify = time_call(verify_snip, ctx, x_shares, proof_shares) / n_servers
+    return verify + expand
+
+
+@pytest.fixture(scope="module")
+def fig5_data():
+    rng = random.Random(55)
+    # NIZK's per-server verify cost is independent of s; reuse Fig 4's
+    # probe methodology once.
+    from bench_fig4 import measure_nizk_per_element
+
+    nizk_per_element = measure_nizk_per_element(rng)
+    rows = []
+    rates_by_s = {}
+    for n_servers in SERVER_COUNTS:
+        topo = same_datacenter(n_servers)
+        prio_cpu = per_server_prio_cpu(n_servers, rng)
+        prio_costs = PipelineCosts(
+            server_cpu_s=prio_cpu,
+            server_tx_bytes=leader_amortized_tx(4 * ELEMENT_BYTES, n_servers),
+            server_rx_bytes=(LENGTH * 2 + 16) * ELEMENT_BYTES,
+        )
+        nizk_costs = PipelineCosts(
+            server_cpu_s=nizk_per_element * LENGTH,
+            server_tx_bytes=nizk_server_transfer_bytes(LENGTH, n_servers),
+            server_rx_bytes=nizk_server_transfer_bytes(LENGTH, n_servers),
+        )
+        prio_rate = cluster_throughput(prio_costs, topo)
+        nizk_rate = cluster_throughput(nizk_costs, topo)
+        rates_by_s[n_servers] = prio_rate
+        rows.append([
+            n_servers, fmt_rate(prio_rate), fmt_rate(nizk_rate),
+        ])
+    emit_table(
+        "fig5",
+        f"Figure 5 — throughput vs server count (same DC, L = {LENGTH} "
+        "one-bit integers)",
+        ["servers", "prio (subs/s)", "nizk (subs/s)"],
+        rows,
+        notes=[
+            "paper: both lines roughly flat in s — verification is "
+            "load-balanced, per-server work independent of s",
+        ],
+    )
+    return rates_by_s
+
+
+def test_fig5_prio_insensitive_to_servers(fig5_data):
+    """Max/min throughput across 2..10 servers within ~2.5x (the paper
+    shows a nearly flat line; timing noise allows some wiggle)."""
+    rates = list(fig5_data.values())
+    assert max(rates) / min(rates) < 2.5
+
+
+def test_fig5_verify_2_servers(benchmark, fig5_data):
+    del fig5_data
+    rng = random.Random(56)
+    afe = VectorSumAfe(FIELD87, length=LENGTH, n_bits=1)
+    encoding = afe.encode([1] * LENGTH)
+    circuit = afe.valid_circuit()
+    x_shares, proof_shares = prove_and_share(
+        FIELD87, circuit, encoding, 2, rng
+    )
+    ctx = VerificationContext(
+        FIELD87, circuit,
+        ServerRandomness(b"f5").challenge(FIELD87, circuit, 0),
+    )
+    benchmark.pedantic(
+        verify_snip, args=(ctx, x_shares, proof_shares),
+        rounds=3, iterations=1,
+    )
+
+
+def test_fig5_verify_10_servers(benchmark, fig5_data):
+    del fig5_data
+    rng = random.Random(57)
+    afe = VectorSumAfe(FIELD87, length=LENGTH, n_bits=1)
+    encoding = afe.encode([1] * LENGTH)
+    circuit = afe.valid_circuit()
+    x_shares, proof_shares = prove_and_share(
+        FIELD87, circuit, encoding, 10, rng
+    )
+    ctx = VerificationContext(
+        FIELD87, circuit,
+        ServerRandomness(b"f5").challenge(FIELD87, circuit, 0),
+    )
+    benchmark.pedantic(
+        verify_snip, args=(ctx, x_shares, proof_shares),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Render every benchmark result table from benchmarks/results/.
+
+Usage:  python benchmarks/report.py [exp_id ...]
+
+Run ``pytest benchmarks/ --benchmark-only`` first to generate the JSON
+artifacts; this tool re-prints them without re-measuring, in the order
+the paper presents the experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: paper presentation order
+ORDER = [
+    "table2_asymptotic",
+    "table2_measured",
+    "table3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table9",
+    "ablation_fft",
+    "ablation_prg",
+    "ablation_batch",
+]
+
+
+def render(payload: dict) -> str:
+    headers = payload["headers"]
+    rows = payload["rows"]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines = [f"== {payload['exp_id']}: {payload['title']} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    for note in payload.get("notes", []):
+        lines.append(f"  note: {note}")
+    if payload.get("full_scale"):
+        lines.append("  (generated with PRIO_BENCH_FULL=1)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv[1:] or ORDER
+    missing = []
+    for exp_id in wanted:
+        path = RESULTS_DIR / f"{exp_id}.json"
+        if not path.exists():
+            missing.append(exp_id)
+            continue
+        print(render(json.loads(path.read_text())))
+        print()
+    if missing:
+        print(
+            f"missing results for: {', '.join(missing)} — run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Browser telemetry: resource averages + private URL heavy hitters.
+
+Section 6.2's browser-statistics workload (the RAPPOR-replacement
+scenario): each browser reports average CPU and memory usage plus its
+most-visited URL root.  The URL goes into a count-min sketch, so the
+servers can answer "which homepages are unusually popular?" (the
+homepage-hijacking-adware detector of Section 1) without a full
+histogram over all possible URLs.
+
+Run:  python examples/browser_stats.py
+"""
+
+import random
+
+from repro import PrioDeployment
+from repro.field import FIELD87
+from repro.workloads import BrowserStatsAfe
+
+N_BROWSERS = 120
+CANDIDATE_URLS = [f"site-{i}.example" for i in range(16)]
+HIJACK_URL = "totally-legit-search.example"
+
+
+def main() -> None:
+    rng = random.Random(31415)
+    afe = BrowserStatsAfe(FIELD87, epsilon=1 / 10, delta=2**-10)
+    sketch_afe = afe._sketch
+    print(
+        f"count-min sketch: {sketch_afe.depth} x {sketch_afe.width} "
+        f"(low-res config; Valid has {afe.valid_circuit().n_mul_gates} "
+        f"mul gates, paper lists 80)"
+    )
+
+    deployment = PrioDeployment.create(afe, n_servers=2, rng=rng)
+
+    # 25% of browsers have been hijacked to the same homepage.
+    reports = []
+    for _ in range(N_BROWSERS):
+        if rng.random() < 0.25:
+            url = HIJACK_URL
+        else:
+            url = CANDIDATE_URLS[rng.randrange(len(CANDIDATE_URLS))]
+        reports.append((rng.randrange(100), rng.randrange(100), url))
+    accepted = deployment.submit_many(reports)
+    print(f"accepted {accepted}/{N_BROWSERS} telemetry reports")
+
+    result = deployment.publish()
+    print(f"average CPU: {result['cpu_mean']:.1f}%")
+    print(f"average memory: {result['mem_mean']:.1f}%")
+
+    sketch = result["url_sketch"]
+    threshold = N_BROWSERS // 8
+    hitters = sketch.heavy_hitters(
+        CANDIDATE_URLS + [HIJACK_URL], threshold=threshold
+    )
+    print(f"heavy hitters (count >= {threshold}):")
+    for url, count in hitters:
+        marker = "  <-- hijack detected!" if url == HIJACK_URL else ""
+        print(f"   {url:32s} ~{count}{marker}")
+    assert any(url == HIJACK_URL for url, _ in hitters)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: privately count app users with a medical condition.
+
+The paper's Section 3 motivating example: each client holds one private
+bit (has the condition / does not), and a handful of servers learn the
+*count* — nothing else.  A malicious client who tries to submit "100"
+instead of a bit is caught by the SNIP and rejected.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import FIELD87, IntegerSumAfe, PrioDeployment
+from repro.protocol.wire import ClientPacket, PacketKind
+
+
+def main() -> None:
+    rng = random.Random(2026)
+
+    # One-bit integers summed across clients: b = 1.
+    afe = IntegerSumAfe(FIELD87, n_bits=1)
+    deployment = PrioDeployment.create(afe, n_servers=5, rng=rng)
+
+    # 200 honest clients, ~30% with the condition.
+    values = [1 if rng.random() < 0.3 else 0 for _ in range(200)]
+    accepted = deployment.submit_many(values)
+    print(f"honest submissions accepted: {accepted}/200")
+
+    # A malicious client tries the Section 3 attack: shift its share
+    # so the reconstructed "bit" is one million.
+    def huge_value_attack(submission):
+        packet = submission.packets[-1]
+        vec = FIELD87.decode_vector(packet.body)
+        vec[0] = (vec[0] + 1_000_000) % FIELD87.modulus
+        submission.packets[-1] = ClientPacket(
+            submission_id=packet.submission_id,
+            server_index=packet.server_index,
+            kind=PacketKind.EXPLICIT,
+            n_elements=packet.n_elements,
+            body=FIELD87.encode_vector(vec),
+        )
+
+    cheater_accepted = deployment.submit(1, mutate=huge_value_attack)
+    print(f"malicious submission accepted: {cheater_accepted}")
+
+    total = deployment.publish()
+    print(f"published count: {total}  (true count: {sum(values)})")
+    assert total == sum(values)
+    assert not cheater_accepted
+
+    stats = deployment.stats
+    print(
+        f"upload: {stats.upload_bytes_total / stats.n_submitted:.0f} "
+        f"bytes/submission; server broadcast: "
+        f"{deployment.servers[1].elements_broadcast} field elements total"
+    )
+
+
+if __name__ == "__main__":
+    main()

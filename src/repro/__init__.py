@@ -1,0 +1,102 @@
+"""repro — a from-scratch reproduction of Prio (Corrigan-Gibbs & Boneh,
+NSDI 2017): private, robust, and scalable computation of aggregate
+statistics.
+
+Quick start::
+
+    import random
+    from repro import IntegerSumAfe, PrioDeployment, FIELD87
+
+    afe = IntegerSumAfe(FIELD87, n_bits=4)
+    deployment = PrioDeployment.create(afe, n_servers=5)
+    for value in [3, 7, 11]:
+        deployment.submit(value)
+    print(deployment.publish())   # 21 — and no server saw any value
+
+Subpackages: ``repro.field`` (prime fields + NTT), ``repro.sharing``
+(additive/PRG/Shamir sharing), ``repro.circuit`` (Valid predicates),
+``repro.mpc`` (Beaver triples), ``repro.snip`` (the paper's core
+contribution), ``repro.afe`` (encodings for every supported statistic),
+``repro.ec``/``repro.crypto``/``repro.nizk`` (the public-key baseline),
+``repro.protocol`` (the full pipeline), ``repro.simnet`` (deployment
+simulation), and ``repro.workloads`` (Section 6.2 scenarios).
+"""
+
+from repro.afe import (
+    Afe,
+    AfeError,
+    ApproxMaxAfe,
+    BoolAndAfe,
+    BoolOrAfe,
+    CountMinSketchAfe,
+    FrequencyCountAfe,
+    GeometricMeanAfe,
+    IntegerMeanAfe,
+    IntegerSumAfe,
+    LinRegAfe,
+    MaxAfe,
+    MinAfe,
+    MostPopularStringAfe,
+    ProductAfe,
+    R2Afe,
+    SetIntersectionAfe,
+    SetUnionAfe,
+    StddevAfe,
+    VarianceAfe,
+)
+from repro.field import FIELD64, FIELD87, FIELD265, GF2, PrimeField
+from repro.protocol import (
+    NoPrivacyPipeline,
+    NoRobustnessPipeline,
+    PrioClient,
+    PrioDeployment,
+    PrioServer,
+)
+from repro.snip import (
+    ServerRandomness,
+    VerificationContext,
+    build_proof,
+    prove_and_share,
+    verify_snip,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Afe",
+    "AfeError",
+    "ApproxMaxAfe",
+    "BoolAndAfe",
+    "BoolOrAfe",
+    "CountMinSketchAfe",
+    "FrequencyCountAfe",
+    "GeometricMeanAfe",
+    "IntegerMeanAfe",
+    "IntegerSumAfe",
+    "LinRegAfe",
+    "MaxAfe",
+    "MinAfe",
+    "MostPopularStringAfe",
+    "ProductAfe",
+    "R2Afe",
+    "SetIntersectionAfe",
+    "SetUnionAfe",
+    "StddevAfe",
+    "VarianceAfe",
+    "FIELD64",
+    "FIELD87",
+    "FIELD265",
+    "GF2",
+    "PrimeField",
+    "NoPrivacyPipeline",
+    "NoRobustnessPipeline",
+    "PrioClient",
+    "PrioDeployment",
+    "PrioServer",
+    "ServerRandomness",
+    "VerificationContext",
+    "build_proof",
+    "prove_and_share",
+    "verify_snip",
+    "__version__",
+]

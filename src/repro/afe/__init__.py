@@ -1,0 +1,49 @@
+"""Affine-aggregatable encodings: every statistic Prio can collect."""
+
+from repro.afe.base import Afe, AfeError, bits_of, check_field_capacity
+from repro.afe.boolean import BoolAndAfe, BoolOrAfe
+from repro.afe.frequency import (
+    FrequencyCountAfe,
+    SetIntersectionAfe,
+    SetUnionAfe,
+)
+from repro.afe.minmax import ApproxMaxAfe, MaxAfe, MinAfe
+from repro.afe.popular import MostPopularStringAfe
+from repro.afe.regression import LinRegAfe, R2Afe, pair_indices
+from repro.afe.sketch import CountMinSketch, CountMinSketchAfe
+from repro.afe.sums import (
+    GeometricMeanAfe,
+    VectorSumAfe,
+    IntegerMeanAfe,
+    IntegerSumAfe,
+    ProductAfe,
+)
+from repro.afe.variance import StddevAfe, VarianceAfe
+
+__all__ = [
+    "Afe",
+    "AfeError",
+    "bits_of",
+    "check_field_capacity",
+    "BoolAndAfe",
+    "BoolOrAfe",
+    "FrequencyCountAfe",
+    "SetIntersectionAfe",
+    "SetUnionAfe",
+    "ApproxMaxAfe",
+    "MaxAfe",
+    "MinAfe",
+    "MostPopularStringAfe",
+    "LinRegAfe",
+    "R2Afe",
+    "pair_indices",
+    "CountMinSketch",
+    "CountMinSketchAfe",
+    "GeometricMeanAfe",
+    "VectorSumAfe",
+    "IntegerMeanAfe",
+    "IntegerSumAfe",
+    "ProductAfe",
+    "StddevAfe",
+    "VarianceAfe",
+]

@@ -1,0 +1,123 @@
+"""Affine-aggregatable encodings — the AFE interface (Section 5.1, App. F).
+
+An AFE for an aggregation function ``f`` is a triple of algorithms over
+a field F and integers ``k' <= k``:
+
+* ``Encode: D -> F^k`` maps a client's data item to a field vector
+  (possibly randomized);
+* ``Valid: F^k -> {0,1}`` accepts exactly the well-formed encodings —
+  here expressed as an arithmetic circuit whose assertion wires must
+  all be zero, which is what the SNIP proves;
+* ``Decode: F^k' -> A`` recovers ``f(x_1..x_n)`` from the *sum* of the
+  (truncated) encodings.
+
+The privacy contract: the truncated sum reveals only ``f-hat``, a
+function that usually equals ``f`` but for some encodings leaks a
+little more (e.g. the variance AFE also reveals the mean).  Every
+concrete AFE documents its leakage in :attr:`Afe.leakage`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Sequence
+
+from repro.circuit.circuit import Circuit
+from repro.field.prime_field import PrimeField
+
+
+class AfeError(ValueError):
+    """Raised for out-of-domain inputs or malformed aggregates."""
+
+
+class Afe(abc.ABC):
+    """Abstract affine-aggregatable encoding.
+
+    Subclasses set ``field``, ``k`` (encoding length), ``k_prime``
+    (aggregated prefix length), ``name`` and ``leakage``, and implement
+    the three algorithms.  ``valid_circuit()`` returns ``None`` when
+    *every* vector in F^k is a valid encoding (the boolean OR/AND
+    family) — the protocol layer then skips the SNIP entirely.
+    """
+
+    field: PrimeField
+    k: int
+    k_prime: int
+    name: str = "afe"
+    #: human-readable statement of what the aggregate reveals (f-hat)
+    leakage: str = "the aggregation function output only"
+
+    @abc.abstractmethod
+    def encode(self, value: Any, rng=None) -> list[int]:
+        """Map a data item to its length-k field-vector encoding."""
+
+    def valid_circuit(self) -> Circuit | None:
+        """Arithmetic circuit for the Valid predicate, or None if all
+        of F^k is valid."""
+        return None
+
+    @abc.abstractmethod
+    def decode(self, sigma: Sequence[int], n_clients: int) -> Any:
+        """Recover the aggregate from the summed, truncated encodings."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def truncate(self, encoding: Sequence[int]) -> list[int]:
+        """Keep the first k' components (the aggregated prefix)."""
+        if len(encoding) != self.k:
+            raise AfeError(
+                f"{self.name}: encoding length {len(encoding)} != k={self.k}"
+            )
+        return list(encoding[: self.k_prime])
+
+    def aggregate(self, encodings: Sequence[Sequence[int]]) -> list[int]:
+        """Reference aggregation: sum of truncated encodings.
+
+        The real system accumulates shares server-side; this plaintext
+        path is used by tests and by decode-level tooling.
+        """
+        if not encodings:
+            raise AfeError(f"{self.name}: nothing to aggregate")
+        return self.field.vec_sum([self.truncate(e) for e in encodings])
+
+    def roundtrip(self, values: Sequence[Any], rng=None) -> Any:
+        """Encode many values, aggregate, decode — the AFE correctness
+        property (Definition 11) as an executable method."""
+        encodings = [self.encode(v, rng) for v in values]
+        return self.decode(self.aggregate(encodings), len(values))
+
+    def check_valid(self, encoding: Sequence[int]) -> bool:
+        """Plaintext Valid(): run the circuit directly (no SNIP)."""
+        circuit = self.valid_circuit()
+        if circuit is None:
+            return len(encoding) == self.k
+        if len(encoding) != self.k:
+            return False
+        return circuit.check(self.field, encoding)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, k={self.k}, "
+            f"k_prime={self.k_prime}, field={self.field.name})"
+        )
+
+
+def bits_of(value: int, n_bits: int) -> list[int]:
+    """Little-endian binary digits of ``value`` (AfeError if too wide)."""
+    if value < 0 or value >= (1 << n_bits):
+        raise AfeError(f"value {value} does not fit in {n_bits} bits")
+    return [(value >> i) & 1 for i in range(n_bits)]
+
+
+def check_field_capacity(
+    field: PrimeField, max_value: int, n_clients_hint: int
+) -> None:
+    """Guard against aggregate overflow: the modulus must exceed the
+    largest possible sum (Section 3's "does not overflow" condition)."""
+    if max_value * n_clients_hint >= field.modulus:
+        raise AfeError(
+            f"field {field.name} too small: {n_clients_hint} clients with "
+            f"values up to {max_value} could overflow the modulus"
+        )

@@ -1,0 +1,64 @@
+"""Boolean OR / AND AFEs over GF(2)^lambda (Section 5.2).
+
+``Encode(0) = 0^lambda``; ``Encode(1)`` is a *random* lambda-bit
+string.  Aggregation over GF(2) is XOR, so the sum of encodings is the
+XOR of random strings — all-zero iff (w.p. 1 - 2^-lambda) every input
+was 0.  Every vector is a valid encoding, so ``Valid`` is trivially
+true and these AFEs need no SNIP at all.
+
+AND is OR under De Morgan: encode the *negated* input, decode the
+negated OR.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.afe.base import Afe, AfeError
+from repro.field.parameters import GF2
+
+
+class BoolOrAfe(Afe):
+    """Logical OR of one bit per client; false-negative rate 2^-lambda."""
+
+    leakage = "the OR of the inputs (plus a 2^-lambda decode error)"
+
+    def __init__(self, lambda_bits: int = 80) -> None:
+        if lambda_bits < 1:
+            raise AfeError("lambda must be positive")
+        self.field = GF2
+        self.lambda_bits = lambda_bits
+        self.k = lambda_bits
+        self.k_prime = lambda_bits
+        self.name = f"bool-or-{lambda_bits}"
+
+    def encode(self, value: bool, rng=None) -> list[int]:
+        if value not in (0, 1, True, False):
+            raise AfeError("OR AFE input must be boolean")
+        if not value:
+            return [0] * self.lambda_bits
+        if rng is None:
+            raise AfeError("the OR encoding is randomized; pass an rng")
+        return [rng.randrange(2) for _ in range(self.lambda_bits)]
+
+    def decode(self, sigma: Sequence[int], n_clients: int) -> bool:
+        del n_clients
+        if len(sigma) != self.k_prime:
+            raise AfeError(f"{self.name}: wrong sigma length")
+        return any(v % 2 for v in sigma)
+
+
+class BoolAndAfe(BoolOrAfe):
+    """Logical AND, via De Morgan on the OR construction."""
+
+    leakage = "the AND of the inputs (plus a 2^-lambda decode error)"
+
+    def __init__(self, lambda_bits: int = 80) -> None:
+        super().__init__(lambda_bits)
+        self.name = f"bool-and-{lambda_bits}"
+
+    def encode(self, value: bool, rng=None) -> list[int]:
+        return super().encode(not value, rng)
+
+    def decode(self, sigma: Sequence[int], n_clients: int) -> bool:
+        return not super().decode(sigma, n_clients)

@@ -1,0 +1,145 @@
+"""Frequency-count (histogram) and set AFEs (Section 5.2).
+
+Frequency count: a value in ``{0..B-1}`` encodes as the one-hot
+indicator vector; summing across clients yields the exact histogram.
+Valid costs B multiplication gates (bit checks; the sum-to-one check is
+affine).  The histogram supports quantile queries for free.
+
+Sets over a small universe encode as characteristic boolean vectors;
+union is OR and intersection is AND, block-encoded over GF(2)^lambda
+exactly like the boolean AFEs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.afe.base import Afe, AfeError
+from repro.afe.boolean import BoolAndAfe, BoolOrAfe
+from repro.circuit.circuit import Circuit, CircuitBuilder
+from repro.circuit.gadgets import assert_one_hot
+from repro.field.parameters import GF2
+from repro.field.prime_field import PrimeField
+
+
+class FrequencyCountAfe(Afe):
+    """Exact histogram over a small domain {0..B-1}.  k = k' = B."""
+
+    leakage = "the full histogram of client values (the function output)"
+
+    def __init__(self, field: PrimeField, domain_size: int) -> None:
+        if domain_size < 2:
+            raise AfeError("domain must have at least two values")
+        self.field = field
+        self.domain_size = domain_size
+        self.k = domain_size
+        self.k_prime = domain_size
+        self.name = f"freq-count-{domain_size}"
+
+    def encode(self, value: int, rng=None) -> list[int]:
+        del rng
+        if not 0 <= value < self.domain_size:
+            raise AfeError(f"value {value} outside domain")
+        out = [0] * self.domain_size
+        out[value] = 1
+        return out
+
+    def valid_circuit(self) -> Circuit:
+        builder = CircuitBuilder(self.field, name=self.name)
+        wires = builder.inputs(self.domain_size)
+        assert_one_hot(builder, wires)
+        return builder.build()
+
+    def decode(self, sigma: Sequence[int], n_clients: int) -> list[int]:
+        del n_clients
+        if len(sigma) != self.k_prime:
+            raise AfeError("wrong sigma length")
+        return list(sigma)
+
+    # -- histogram conveniences ----------------------------------------
+
+    def quantile(
+        self, histogram: Sequence[int], q: Fraction | float
+    ) -> int:
+        """The smallest value whose cumulative frequency reaches q."""
+        total = sum(histogram)
+        if total == 0:
+            raise AfeError("empty histogram")
+        if not 0 <= float(q) <= 1:
+            raise AfeError("quantile must be in [0, 1]")
+        threshold = float(q) * total
+        running = 0
+        for value, count in enumerate(histogram):
+            running += count
+            if running >= threshold and running > 0:
+                return value
+        return self.domain_size - 1
+
+    def mode(self, histogram: Sequence[int]) -> int:
+        return max(range(len(histogram)), key=lambda i: histogram[i])
+
+
+class SetUnionAfe(Afe):
+    """Union of subsets of a universe of B items (OR per item)."""
+
+    leakage = "the exact union of the clients' sets"
+
+    def __init__(self, universe_size: int, lambda_bits: int = 80) -> None:
+        if universe_size < 1:
+            raise AfeError("universe must be non-empty")
+        self.field = GF2
+        self.universe_size = universe_size
+        self._or = BoolOrAfe(lambda_bits)
+        self.k = universe_size * lambda_bits
+        self.k_prime = self.k
+        self.name = f"set-union-{universe_size}"
+
+    def encode(self, members: Sequence[int], rng=None) -> list[int]:
+        member_set = set(members)
+        if member_set and (min(member_set) < 0 or max(member_set) >= self.universe_size):
+            raise AfeError("set member outside the universe")
+        out: list[int] = []
+        for item in range(self.universe_size):
+            out.extend(self._or.encode(item in member_set, rng))
+        return out
+
+    def decode(self, sigma: Sequence[int], n_clients: int) -> set[int]:
+        if len(sigma) != self.k:
+            raise AfeError("wrong sigma length")
+        lam = self._or.lambda_bits
+        return {
+            item
+            for item in range(self.universe_size)
+            if self._or.decode(sigma[item * lam : (item + 1) * lam], n_clients)
+        }
+
+
+class SetIntersectionAfe(SetUnionAfe):
+    """Intersection of subsets (AND per item, via De Morgan)."""
+
+    leakage = "the exact intersection of the clients' sets"
+
+    def __init__(self, universe_size: int, lambda_bits: int = 80) -> None:
+        super().__init__(universe_size, lambda_bits)
+        self._and = BoolAndAfe(lambda_bits)
+        self.name = f"set-intersection-{universe_size}"
+
+    def encode(self, members: Sequence[int], rng=None) -> list[int]:
+        member_set = set(members)
+        if member_set and (min(member_set) < 0 or max(member_set) >= self.universe_size):
+            raise AfeError("set member outside the universe")
+        out: list[int] = []
+        for item in range(self.universe_size):
+            out.extend(self._and.encode(item in member_set, rng))
+        return out
+
+    def decode(self, sigma: Sequence[int], n_clients: int) -> set[int]:
+        if len(sigma) != self.k:
+            raise AfeError("wrong sigma length")
+        lam = self._and.lambda_bits
+        return {
+            item
+            for item in range(self.universe_size)
+            if self._and.decode(sigma[item * lam : (item + 1) * lam], n_clients)
+        }

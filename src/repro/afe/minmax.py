@@ -1,0 +1,166 @@
+"""MIN / MAX AFEs: exact over small ranges, c-approximate over large ones.
+
+Exact (Section 5.2): an integer in ``{0..B-1}`` becomes B boolean
+blocks, block i meaning "my value >= i", each block OR-encoded over
+GF(2)^lambda.  XOR-aggregating across clients:
+
+* OR of the blocks: block i is set iff *some* client has x >= i, so the
+  maximum is the largest set index;
+* AND of the blocks (De Morgan): block i is set iff *every* client has
+  x >= i, so the minimum is the largest fully-set index.
+
+Approximate: for a large domain ``{0..B-1}`` use ``ceil(log_c B)``
+logarithmic bins ``[c^j, c^{j+1})`` and run the exact construction on
+bin indices — the answer is within a multiplicative factor c (the
+paper's networking example: max of 64-bit packet counters).
+
+All encodings are valid, so no SNIP is needed; privacy follows from
+the OR AFE's.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.afe.base import Afe, AfeError
+from repro.field.parameters import GF2
+
+
+class _UnaryThresholdAfe(Afe):
+    """Shared machinery: B threshold blocks of lambda bits over GF(2)."""
+
+    def __init__(self, domain_size: int, lambda_bits: int, invert: bool) -> None:
+        if domain_size < 2:
+            raise AfeError("domain must have at least two values")
+        if lambda_bits < 1:
+            raise AfeError("lambda must be positive")
+        self.field = GF2
+        self.domain_size = domain_size
+        self.lambda_bits = lambda_bits
+        self.k = domain_size * lambda_bits
+        self.k_prime = self.k
+        #: invert=True gives the AND/min behaviour via De Morgan
+        self.invert = invert
+
+    def _encode_threshold(self, value: int, rng) -> list[int]:
+        if not 0 <= value < self.domain_size:
+            raise AfeError(
+                f"value {value} outside domain [0, {self.domain_size})"
+            )
+        if rng is None:
+            raise AfeError("randomized encoding; pass an rng")
+        out: list[int] = []
+        for i in range(self.domain_size):
+            indicator = value >= i
+            if self.invert:
+                indicator = not indicator
+            if indicator:
+                out.extend(rng.randrange(2) for _ in range(self.lambda_bits))
+            else:
+                out.extend([0] * self.lambda_bits)
+        return out
+
+    def _set_blocks(self, sigma: Sequence[int]) -> list[bool]:
+        if len(sigma) != self.k:
+            raise AfeError("wrong sigma length")
+        blocks = []
+        lam = self.lambda_bits
+        for i in range(self.domain_size):
+            chunk = sigma[i * lam : (i + 1) * lam]
+            blocks.append(any(v % 2 for v in chunk))
+        return blocks
+
+    def encode(self, value: int, rng=None) -> list[int]:
+        return self._encode_threshold(value, rng)
+
+
+class MaxAfe(_UnaryThresholdAfe):
+    """Exact maximum over {0..B-1}; OR of threshold blocks."""
+
+    leakage = "for each i, whether any client's value is >= i"
+
+    def __init__(self, domain_size: int, lambda_bits: int = 80) -> None:
+        super().__init__(domain_size, lambda_bits, invert=False)
+        self.name = f"max-{domain_size}"
+
+    def decode(self, sigma: Sequence[int], n_clients: int) -> int:
+        del n_clients
+        blocks = self._set_blocks(sigma)
+        # Block 0 ("x >= 0") is always set for any client; the largest
+        # set index is the maximum.
+        best = 0
+        for i, is_set in enumerate(blocks):
+            if is_set:
+                best = i
+        return best
+
+
+class MinAfe(_UnaryThresholdAfe):
+    """Exact minimum over {0..B-1}; AND of threshold blocks."""
+
+    leakage = "for each i, whether every client's value is >= i"
+
+    def __init__(self, domain_size: int, lambda_bits: int = 80) -> None:
+        super().__init__(domain_size, lambda_bits, invert=True)
+        self.name = f"min-{domain_size}"
+
+    def decode(self, sigma: Sequence[int], n_clients: int) -> int:
+        del n_clients
+        # Inverted encoding: the XOR block is zero iff ALL clients had
+        # the threshold bit set (AND). The min is the largest i with
+        # a zero block prefix; equivalently the last all-zero block in
+        # the prefix run starting at 0.
+        blocks = self._set_blocks(sigma)
+        best = 0
+        for i, is_set in enumerate(blocks):
+            if not is_set:
+                best = i
+            else:
+                break
+        return best
+
+
+class ApproxMaxAfe(Afe):
+    """c-approximate maximum over a large domain {0..B-1}.
+
+    Buckets values into ``n_bins = ceil(log_c(B)) + 1`` logarithmic
+    bins and runs the exact MAX construction on bin indices; decode
+    returns the upper edge of the winning bin, a c-overestimate at
+    worst.
+    """
+
+    leakage = "which logarithmic bins contain at least one client value"
+
+    def __init__(
+        self, domain_size: int, factor: float = 2.0, lambda_bits: int = 80
+    ) -> None:
+        if factor <= 1.0:
+            raise AfeError("approximation factor must exceed 1")
+        if domain_size < 2:
+            raise AfeError("domain must have at least two values")
+        self.domain_size = domain_size
+        self.factor = factor
+        self.n_bins = int(math.ceil(math.log(domain_size, factor))) + 1
+        self._inner = MaxAfe(self.n_bins, lambda_bits)
+        self.field = GF2
+        self.k = self._inner.k
+        self.k_prime = self._inner.k_prime
+        self.name = f"approx-max-{domain_size}-c{factor}"
+
+    def bin_of(self, value: int) -> int:
+        if not 0 <= value < self.domain_size:
+            raise AfeError(f"value {value} outside domain")
+        if value == 0:
+            return 0
+        return int(math.floor(math.log(value, self.factor))) + 1
+
+    def encode(self, value: int, rng=None) -> list[int]:
+        return self._inner.encode(self.bin_of(value), rng)
+
+    def decode(self, sigma: Sequence[int], n_clients: int) -> float:
+        bin_index = self._inner.decode(sigma, n_clients)
+        if bin_index == 0:
+            return 0.0
+        # Upper edge of bin j = c^j (values in [c^(j-1), c^j)).
+        return min(float(self.domain_size), self.factor ** bin_index)

@@ -1,0 +1,74 @@
+"""Most-popular-string AFE (Appendix G, simplified Bassily-Smith).
+
+When one b-bit string is held by *more than half* of the clients, the
+per-bit majority recovers it: each client encodes its string as b
+field elements (its bits), the servers sum them, and decode rounds each
+bit-sum toward 0 or n.  Valid costs b bit-check gates.
+
+The aggregate reveals, for every bit position, how many clients have a
+1 there — strictly more than the winning string itself, and exactly
+the leakage the paper documents for this AFE.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.afe.base import Afe, AfeError, bits_of
+from repro.circuit.circuit import Circuit, CircuitBuilder
+from repro.circuit.gadgets import assert_bits
+from repro.field.prime_field import PrimeField
+
+
+class MostPopularStringAfe(Afe):
+    """Recovers a > 50%-popular b-bit string from per-bit counts."""
+
+    leakage = "the number of clients with a 1 in every bit position"
+
+    def __init__(self, field: PrimeField, n_bits: int) -> None:
+        if n_bits < 1:
+            raise AfeError("need at least one bit")
+        self.field = field
+        self.n_bits = n_bits
+        self.k = n_bits
+        self.k_prime = n_bits
+        self.name = f"most-popular-{n_bits}bit"
+
+    def encode(self, value: int | bytes | str, rng=None) -> list[int]:
+        del rng
+        return bits_of(self._to_int(value), self.n_bits)
+
+    def _to_int(self, value: int | bytes | str) -> int:
+        if isinstance(value, str):
+            value = value.encode()
+        if isinstance(value, bytes):
+            value = int.from_bytes(value, "big")
+        if value < 0 or value >= (1 << self.n_bits):
+            raise AfeError(f"string does not fit in {self.n_bits} bits")
+        return value
+
+    def valid_circuit(self) -> Circuit:
+        builder = CircuitBuilder(self.field, name=self.name)
+        wires = builder.inputs(self.n_bits)
+        assert_bits(builder, wires)
+        return builder.build()
+
+    def decode(self, sigma: Sequence[int], n_clients: int) -> int:
+        """Round each per-bit count to the majority value.
+
+        Correct whenever some string has popularity > 1/2 (each of its
+        bit counts then lands on the right side of n/2).
+        """
+        if len(sigma) != self.k:
+            raise AfeError("wrong sigma length")
+        if n_clients < 1:
+            raise AfeError("no clients")
+        value = 0
+        for i, count in enumerate(sigma):
+            if 2 * count > n_clients:
+                value |= 1 << i
+        return value
+
+    def decode_bytes(self, sigma: Sequence[int], n_clients: int) -> bytes:
+        value = self.decode(sigma, n_clients)
+        return value.to_bytes((self.n_bits + 7) // 8, "big")

@@ -1,0 +1,191 @@
+"""Integer sum / mean / product / geometric-mean AFEs (Section 5.2).
+
+``IntegerSumAfe`` is the workhorse encoding: a b-bit integer is shipped
+as ``(x, beta_0, ..., beta_{b-1})`` and the Valid circuit checks the
+betas are bits that really decompose x.  Only the first component is
+aggregated (k' = 1).
+
+Mean divides the decoded sum by n over the rationals; product and
+geometric mean reuse the sum machinery "in exactly the same manner,
+except that we encode x using b-bit logarithms" — here fixed-point
+base-2 logarithms, making the decoded product/geomean approximate
+(documented on the class).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Sequence
+
+from repro.afe.base import Afe, AfeError, bits_of
+from repro.circuit.circuit import Circuit, CircuitBuilder
+from repro.circuit.gadgets import assert_binary_decomposition
+from repro.field.prime_field import PrimeField
+
+
+class IntegerSumAfe(Afe):
+    """Sum of b-bit unsigned integers.  k = b + 1, k' = 1.
+
+    Valid costs b multiplication gates (the bit checks); the
+    decomposition equality is affine.  Sum-private: the aggregate
+    reveals exactly the sum.
+    """
+
+    leakage = "the sum of the inputs only"
+
+    def __init__(self, field: PrimeField, n_bits: int) -> None:
+        if n_bits < 1:
+            raise AfeError("need at least one bit")
+        self.field = field
+        self.n_bits = n_bits
+        self.k = n_bits + 1
+        self.k_prime = 1
+        self.name = f"int-sum-{n_bits}bit"
+
+    def encode(self, value: int, rng=None) -> list[int]:
+        del rng  # deterministic encoding
+        return [value] + bits_of(value, self.n_bits)
+
+    def valid_circuit(self) -> Circuit:
+        builder = CircuitBuilder(self.field, name=self.name)
+        value = builder.input()
+        bit_wires = builder.inputs(self.n_bits)
+        assert_binary_decomposition(builder, value, bit_wires)
+        return builder.build()
+
+    def decode(self, sigma: Sequence[int], n_clients: int) -> int:
+        del n_clients
+        if len(sigma) != self.k_prime:
+            raise AfeError(f"{self.name}: sigma must have length 1")
+        return sigma[0]
+
+
+class VectorSumAfe(Afe):
+    """Component-wise sum of a vector of b-bit integers.
+
+    The workload of Figures 4-6 ("each client submits a vector of
+    zero/one integers and the servers sum these vectors") is the
+    ``n_bits = 1`` case; the cell-signal application stacks 4-bit
+    integers the same way.  Layout: all values first (the aggregated
+    prefix), then each value's bits.
+    """
+
+    leakage = "the component-wise sums only"
+
+    def __init__(self, field: PrimeField, length: int, n_bits: int) -> None:
+        if length < 1:
+            raise AfeError("need at least one component")
+        if n_bits < 1:
+            raise AfeError("need at least one bit")
+        self.field = field
+        self.length = length
+        self.n_bits = n_bits
+        self.k = length * (n_bits + 1)
+        self.k_prime = length
+        self.name = f"vector-sum-{length}x{n_bits}bit"
+
+    def encode(self, values: Sequence[int], rng=None) -> list[int]:
+        del rng
+        if len(values) != self.length:
+            raise AfeError(f"expected {self.length} components")
+        out = list(values)
+        for v in values:
+            out.extend(bits_of(v, self.n_bits))
+        return out
+
+    def valid_circuit(self) -> Circuit:
+        builder = CircuitBuilder(self.field, name=self.name)
+        value_wires = builder.inputs(self.length)
+        bit_wires = builder.inputs(self.length * self.n_bits)
+        b = self.n_bits
+        for i, value_wire in enumerate(value_wires):
+            assert_binary_decomposition(
+                builder, value_wire, bit_wires[b * i : b * (i + 1)]
+            )
+        return builder.build()
+
+    def decode(self, sigma: Sequence[int], n_clients: int) -> list[int]:
+        del n_clients
+        if len(sigma) != self.k_prime:
+            raise AfeError("wrong sigma length")
+        return list(sigma)
+
+
+class IntegerMeanAfe(IntegerSumAfe):
+    """Arithmetic mean: the sum AFE decoded with a division by n."""
+
+    leakage = "the sum (equivalently the mean) of the inputs only"
+
+    def __init__(self, field: PrimeField, n_bits: int) -> None:
+        super().__init__(field, n_bits)
+        self.name = f"int-mean-{n_bits}bit"
+
+    def decode(self, sigma: Sequence[int], n_clients: int) -> Fraction:
+        if n_clients < 1:
+            raise AfeError("mean of zero clients")
+        total = super().decode(sigma, n_clients)
+        return Fraction(total, n_clients)
+
+
+class ProductAfe(Afe):
+    """Approximate product via fixed-point base-2 logarithms.
+
+    ``encode(x)`` stores ``round(log2(x) * 2^frac_bits)`` as an
+    ``n_bits``-bit integer (with its decomposition for Valid); the sum
+    of logs decodes to ``2^(sum / 2^frac_bits)``.  Inputs must be >= 1.
+    Relative error is bounded by ``n * 2^-frac_bits`` in the exponent.
+    """
+
+    leakage = "the sum of the quantized log2 values (hence the product)"
+
+    def __init__(
+        self, field: PrimeField, n_bits: int, frac_bits: int = 8
+    ) -> None:
+        if frac_bits < 1 or n_bits <= frac_bits:
+            raise AfeError("need n_bits > frac_bits >= 1")
+        self.field = field
+        self.n_bits = n_bits
+        self.frac_bits = frac_bits
+        self.k = n_bits + 1
+        self.k_prime = 1
+        self.name = f"product-{n_bits}bit"
+        self._sum = IntegerSumAfe(field, n_bits)
+        self._sum.name = self.name
+
+    def quantize(self, value: float) -> int:
+        if value < 1:
+            raise AfeError("product AFE needs inputs >= 1")
+        fixed = round(math.log2(value) * (1 << self.frac_bits))
+        if fixed >= (1 << self.n_bits):
+            raise AfeError(f"log2({value}) overflows {self.n_bits} bits")
+        return fixed
+
+    def encode(self, value: float, rng=None) -> list[int]:
+        return self._sum.encode(self.quantize(value), rng)
+
+    def valid_circuit(self) -> Circuit:
+        return self._sum.valid_circuit()
+
+    def decode(self, sigma: Sequence[int], n_clients: int) -> float:
+        del n_clients
+        total = sigma[0]
+        return 2.0 ** (total / (1 << self.frac_bits))
+
+
+class GeometricMeanAfe(ProductAfe):
+    """Geometric mean: the product AFE with an n-th root at decode."""
+
+    leakage = "the sum of quantized log2 values (hence the geometric mean)"
+
+    def __init__(
+        self, field: PrimeField, n_bits: int, frac_bits: int = 8
+    ) -> None:
+        super().__init__(field, n_bits, frac_bits)
+        self.name = f"geomean-{n_bits}bit"
+
+    def decode(self, sigma: Sequence[int], n_clients: int) -> float:
+        if n_clients < 1:
+            raise AfeError("geometric mean of zero clients")
+        total = sigma[0]
+        return 2.0 ** (total / (1 << self.frac_bits) / n_clients)

@@ -1,0 +1,39 @@
+"""Arithmetic circuits: the language of Prio's Valid predicates."""
+
+from repro.circuit.circuit import (
+    Circuit,
+    CircuitBuilder,
+    CircuitError,
+    EvaluationTrace,
+    Gate,
+    Op,
+    WireShares,
+    batched_assertion_share,
+)
+from repro.circuit.gadgets import (
+    assert_binary_decomposition,
+    assert_bit,
+    assert_bits,
+    assert_one_hot,
+    assert_product,
+    assert_range_binary,
+    assert_square,
+)
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "CircuitError",
+    "EvaluationTrace",
+    "Gate",
+    "Op",
+    "WireShares",
+    "batched_assertion_share",
+    "assert_binary_decomposition",
+    "assert_bit",
+    "assert_bits",
+    "assert_one_hot",
+    "assert_product",
+    "assert_range_binary",
+    "assert_square",
+]

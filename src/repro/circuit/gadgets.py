@@ -1,0 +1,95 @@
+"""Reusable validity-circuit gadgets.
+
+The AFE ``Valid`` predicates of Section 5.2 are assembled from a small
+set of recurring checks; each helper here appends the corresponding
+gates/assertions to a :class:`~repro.circuit.circuit.CircuitBuilder`.
+
+Costs (in multiplication gates, the SNIP's budget):
+
+=====================  =======================
+gadget                 mul gates
+=====================  =======================
+``assert_bit``         1 per bit
+``assert_binary``      b (one per bit)
+``assert_product``     1
+``assert_square``      1
+``assert_one_hot``     B (bit checks; selector sum is affine)
+=====================  =======================
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuit.circuit import CircuitBuilder
+
+
+def assert_bit(builder: CircuitBuilder, wire: int) -> None:
+    """Constrain ``wire`` to {0, 1} via beta * (beta - 1) = 0.
+
+    This is the paper's canonical example: one multiplication gate per
+    bit of client data.
+    """
+    square = builder.mul(wire, wire)
+    builder.assert_zero(builder.sub(square, wire))
+
+
+def assert_bits(builder: CircuitBuilder, wires: Sequence[int]) -> None:
+    for wire in wires:
+        assert_bit(builder, wire)
+
+
+def assert_binary_decomposition(
+    builder: CircuitBuilder,
+    value_wire: int,
+    bit_wires: Sequence[int],
+) -> None:
+    """Constrain ``value = sum_i 2^i * bit_i`` with bits in {0, 1}.
+
+    The integer-sum AFE's whole Valid predicate (Section 5.2): the bit
+    checks cost b mul gates; the weighted-sum equality is affine.
+    """
+    assert_bits(builder, bit_wires)
+    weights = [1 << i for i in range(len(bit_wires))]
+    weighted = builder.linear_combination(weights, bit_wires)
+    builder.assert_zero(builder.sub(value_wire, weighted))
+
+
+def assert_product(
+    builder: CircuitBuilder, x: int, y: int, claimed: int
+) -> None:
+    """Constrain ``claimed = x * y`` (one mul gate)."""
+    builder.assert_zero(builder.sub(builder.mul(x, y), claimed))
+
+
+def assert_square(builder: CircuitBuilder, x: int, claimed: int) -> None:
+    """Constrain ``claimed = x^2`` — the variance AFE's extra check."""
+    assert_product(builder, x, x, claimed)
+
+
+def assert_one_hot(builder: CircuitBuilder, wires: Sequence[int]) -> None:
+    """Constrain the wires to be a one-hot indicator vector.
+
+    The frequency-count AFE's Valid predicate: every component is a
+    bit, and the components sum to exactly one.
+    """
+    assert_bits(builder, wires)
+    total = builder.wire_sum(list(wires))
+    builder.assert_zero(builder.sub(total, builder.constant(1)))
+
+
+def assert_range_binary(
+    builder: CircuitBuilder,
+    value_wire: int,
+    n_bits: int,
+) -> list[int]:
+    """Constrain ``0 <= value < 2^n_bits`` by introducing fresh bit inputs.
+
+    Returns the bit input wires (callers append the bit values to the
+    encoding).  This is how Prio encodes b-bit integers: the client
+    ships the bits alongside the value so the servers can range-check
+    affinely + with b mul gates, instead of needing comparisons.
+    """
+    bit_wires = builder.inputs(n_bits)
+    assert_binary_decomposition(builder, value_wire, bit_wires)
+    return bit_wires

@@ -1,0 +1,35 @@
+"""Crypto substrate: stream cipher, HKDF, ECIES box, Schnorr signatures."""
+
+from repro.crypto.box import BoxKeyPair, open_box, seal, sealed_overhead
+from repro.crypto.primitives import (
+    KEY_SIZE,
+    MAC_SIZE,
+    NONCE_SIZE,
+    CryptoError,
+    hkdf_sha256,
+    keystream,
+    mac_tag,
+    mac_verify,
+    stream_xor,
+)
+from repro.crypto.sign import SigningKeyPair, sign, verify, verify_or_raise
+
+__all__ = [
+    "BoxKeyPair",
+    "open_box",
+    "seal",
+    "sealed_overhead",
+    "KEY_SIZE",
+    "MAC_SIZE",
+    "NONCE_SIZE",
+    "CryptoError",
+    "hkdf_sha256",
+    "keystream",
+    "mac_tag",
+    "mac_verify",
+    "stream_xor",
+    "SigningKeyPair",
+    "sign",
+    "verify",
+    "verify_or_raise",
+]

@@ -1,0 +1,93 @@
+"""ECIES-style authenticated public-key encryption ("box").
+
+Stands in for NaCl's box primitive (Section 6: "Clients encrypt and
+sign their messages to servers using NaCl's 'box' primitive, which
+obviates the need for client-to-server TLS connections").
+
+seal:   ephemeral ECDH against the recipient's public key ->
+        HKDF -> (stream key, mac key) -> ciphertext || tag,
+        prefixed with the ephemeral public point.
+open:   recompute the shared secret, verify, decrypt.
+
+One scalar multiplication per seal on the sender side (plus one to
+make the ephemeral key) — the "single public-key encryption" per
+client submission that Figure 7's analysis counts.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.crypto.primitives import (
+    KEY_SIZE,
+    MAC_SIZE,
+    CryptoError,
+    hkdf_sha256,
+    mac_tag,
+    mac_verify,
+    stream_xor,
+)
+from repro.ec.p256 import GENERATOR, Point, random_scalar, scalar_mult
+
+
+@dataclass(frozen=True)
+class BoxKeyPair:
+    """A long-term decryption key pair for one server."""
+
+    secret: int
+    public: Point
+
+    @classmethod
+    def generate(cls, rng=None) -> "BoxKeyPair":
+        if rng is None:
+            import random as _random
+
+            rng = _random.Random(os.urandom(16))
+        secret = random_scalar(rng)
+        return cls(secret=secret, public=scalar_mult(secret, GENERATOR))
+
+
+_POINT_SIZE = 33
+
+
+def _derive_keys(shared: Point, ephemeral_pub: Point) -> tuple[bytes, bytes]:
+    ikm = shared.encode() + ephemeral_pub.encode()
+    material = hkdf_sha256(ikm, salt=b"prio-box", info=b"keys", length=2 * KEY_SIZE)
+    return material[:KEY_SIZE], material[KEY_SIZE:]
+
+
+def seal(recipient_public: Point, plaintext: bytes, rng=None) -> bytes:
+    """Encrypt-and-authenticate ``plaintext`` to the recipient."""
+    if rng is None:
+        import random as _random
+
+        rng = _random.Random(os.urandom(16))
+    ephemeral_secret = random_scalar(rng)
+    ephemeral_pub = scalar_mult(ephemeral_secret, GENERATOR)
+    shared = scalar_mult(ephemeral_secret, recipient_public)
+    enc_key, mac_key = _derive_keys(shared, ephemeral_pub)
+    nonce = ephemeral_pub.encode()[:16]
+    ciphertext = stream_xor(enc_key, nonce, plaintext)
+    tag = mac_tag(mac_key, ciphertext)
+    return ephemeral_pub.encode() + ciphertext + tag
+
+
+def open_box(keypair: BoxKeyPair, sealed: bytes) -> bytes:
+    """Verify and decrypt a sealed box; raises CryptoError on tamper."""
+    if len(sealed) < _POINT_SIZE + MAC_SIZE:
+        raise CryptoError("sealed box too short")
+    ephemeral_pub = Point.decode(sealed[:_POINT_SIZE])
+    ciphertext = sealed[_POINT_SIZE:-MAC_SIZE]
+    tag = sealed[-MAC_SIZE:]
+    shared = scalar_mult(keypair.secret, ephemeral_pub)
+    enc_key, mac_key = _derive_keys(shared, ephemeral_pub)
+    if not mac_verify(mac_key, ciphertext, tag):
+        raise CryptoError("box authentication failed")
+    nonce = ephemeral_pub.encode()[:16]
+    return stream_xor(enc_key, nonce, ciphertext)
+
+
+def sealed_overhead() -> int:
+    """Bytes added per sealed packet (for wire-format accounting)."""
+    return _POINT_SIZE + MAC_SIZE

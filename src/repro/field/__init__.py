@@ -1,0 +1,63 @@
+"""Finite-field substrate: prime fields, polynomials, and NTTs.
+
+Everything in Prio — secret sharing, SNIPs, and AFEs — is arithmetic
+over a prime field.  This subpackage is self-contained and has no
+dependencies on the rest of the library.
+"""
+
+from repro.field.prime_field import FieldError, PrimeField
+from repro.field.parameters import (
+    FIELD64,
+    FIELD87,
+    FIELD265,
+    FIELD_SMALL,
+    FIELD_TINY,
+    GF2,
+    STANDARD_FIELDS,
+)
+from repro.field.poly import (
+    lagrange_coefficients_at,
+    lagrange_interpolate,
+    poly_add,
+    poly_degree,
+    poly_eval,
+    poly_mul,
+    poly_normalize,
+    poly_scale,
+    poly_sub,
+)
+from repro.field.ntt import (
+    EvaluationDomain,
+    batch_inverse,
+    intt,
+    next_power_of_two,
+    ntt,
+    poly_mul_ntt,
+)
+
+__all__ = [
+    "FieldError",
+    "PrimeField",
+    "FIELD64",
+    "FIELD87",
+    "FIELD265",
+    "FIELD_SMALL",
+    "FIELD_TINY",
+    "GF2",
+    "STANDARD_FIELDS",
+    "lagrange_coefficients_at",
+    "lagrange_interpolate",
+    "poly_add",
+    "poly_degree",
+    "poly_eval",
+    "poly_mul",
+    "poly_normalize",
+    "poly_scale",
+    "poly_sub",
+    "EvaluationDomain",
+    "batch_inverse",
+    "intt",
+    "next_power_of_two",
+    "ntt",
+    "poly_mul_ntt",
+]

@@ -1,0 +1,82 @@
+"""Standard field parameters for the Prio reproduction.
+
+The paper's prototype benchmarks two FFT-friendly fields (Table 3): an
+87-bit field (the default; soundness error (2M+1)/|F| is ~2^-60 for the
+largest circuits benchmarked) and a 265-bit field (for deployments that
+want to sum very large counters or drive the soundness error below
+2^-128 in a single Schwartz-Zippel round).
+
+The original Go/FLINT implementation's exact moduli were not published
+in the paper, so this reproduction generated its own with the same
+properties.  All parameters below were produced by 40-round
+Miller-Rabin searches (see DESIGN.md); the stated generators were
+checked against the full factorization of ``p - 1``.
+
+FIELD87
+    ``p = 2^86 + 2^35 + 1`` (87 bits).  2-adicity 30: supports NTT
+    domains up to 2^30 elements, far beyond the 2^18 the largest
+    benchmark circuit needs.
+
+FIELD265
+    ``p = 524321 * 2^245 + 1`` (265 bits, a Proth prime).
+
+FIELD64
+    Goldilocks prime ``2^64 - 2^32 + 1``: a fast field for unit tests
+    and ablations that do not need the paper's exact widths.
+
+FIELD_SMALL
+    ``p = 3329`` (2-adicity 8): small enough to exercise soundness
+    *failures* — the Schwartz-Zippel test's (2M+1)/|F| error is
+    observable at this size, which the soundness tests exploit.
+
+FIELD_TINY
+    ``p = 97``: for exhaustive brute-force checks in tests.
+
+GF2
+    The field with two elements.  Additive sharing over GF(2) is XOR
+    sharing; the boolean OR/AND AFEs (Section 5.2) aggregate here.
+"""
+
+from __future__ import annotations
+
+from repro.field.prime_field import PrimeField
+
+#: 87-bit FFT-friendly field (the paper's default evaluation field).
+FIELD87 = PrimeField(
+    modulus=(1 << 86) + (1 << 35) + 1,
+    two_adicity=30,
+    generator=5,
+    name="F87",
+)
+
+#: 265-bit FFT-friendly field (the paper's large evaluation field).
+FIELD265 = PrimeField(
+    modulus=524321 * (1 << 245) + 1,
+    two_adicity=245,
+    generator=5,
+    name="F265",
+)
+
+#: 64-bit Goldilocks field; fast substitute for tests/ablations.
+FIELD64 = PrimeField(
+    modulus=(1 << 64) - (1 << 32) + 1,
+    two_adicity=32,
+    generator=7,
+    name="F64",
+)
+
+#: Small field where soundness error is observable (tests only).
+FIELD_SMALL = PrimeField(modulus=3329, two_adicity=8, generator=3, name="F3329")
+
+#: Tiny field for brute-force checks (tests only).
+FIELD_TINY = PrimeField(modulus=97, two_adicity=5, generator=5, name="F97")
+
+#: GF(2); sharing here is XOR sharing (boolean OR/AND AFEs).
+GF2 = PrimeField(modulus=2, name="GF2")
+
+#: Fields a deployment would actually choose between, keyed by name.
+STANDARD_FIELDS: dict[str, PrimeField] = {
+    "F87": FIELD87,
+    "F265": FIELD265,
+    "F64": FIELD64,
+}

@@ -1,0 +1,298 @@
+"""Prime-field arithmetic for Prio.
+
+All of Prio's secret sharing, SNIP proofs, and affine-aggregatable
+encodings work over a finite field F_p (Section 3 of the paper: "when we
+write c = a + b in F_p we mean c = a + b (mod p)").  Field elements are
+represented as plain Python ``int`` values in ``[0, p)`` and vectors as
+``list[int]``; this keeps the hot arithmetic paths free of per-element
+object overhead while native bigints give us the 87-bit and 265-bit
+moduli the paper benchmarks with.
+
+The moduli shipped in :mod:`repro.field.parameters` are *FFT-friendly*:
+``p - 1`` is divisible by a large power of two, so the multiplicative
+group contains the radix-2 evaluation domains that the SNIP prover's
+fast polynomial arithmetic needs (Section 6: "our evaluations use an
+FFT-friendly 87-bit field").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+
+class FieldError(ValueError):
+    """Raised for operations that are undefined in the field."""
+
+
+class PrimeField:
+    """The finite field of integers modulo a prime ``modulus``.
+
+    Instances are lightweight and stateless apart from small caches; the
+    standard fields used throughout the library are module-level
+    singletons in :mod:`repro.field.parameters`.
+
+    Parameters
+    ----------
+    modulus:
+        A prime number.  Primality is the caller's responsibility; the
+        shipped parameters were generated with 40-round Miller-Rabin.
+    two_adicity:
+        Largest ``k`` such that ``2**k`` divides ``modulus - 1``.  Needed
+        for NTT evaluation domains; fields used only for aggregation
+        (e.g. GF(2)) may pass 0.
+    generator:
+        A generator of the full multiplicative group, used to derive
+        roots of unity.  Required whenever ``two_adicity > 0``.
+    name:
+        Human-readable label used in reprs and benchmark reports.
+    """
+
+    __slots__ = (
+        "modulus",
+        "two_adicity",
+        "generator",
+        "name",
+        "bits",
+        "encoded_size",
+        "_root_cache",
+    )
+
+    def __init__(
+        self,
+        modulus: int,
+        two_adicity: int = 0,
+        generator: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        if modulus < 2:
+            raise FieldError(f"modulus must be >= 2, got {modulus}")
+        if two_adicity > 0 and generator is None:
+            raise FieldError("a generator is required when two_adicity > 0")
+        if two_adicity > 0 and (modulus - 1) % (1 << two_adicity) != 0:
+            raise FieldError(
+                f"2^{two_adicity} does not divide modulus-1 = {modulus - 1}"
+            )
+        self.modulus = modulus
+        self.two_adicity = two_adicity
+        self.generator = generator
+        self.name = name or f"F_{modulus}"
+        self.bits = modulus.bit_length()
+        # Fixed-width big-endian encoding used by the wire format.
+        self.encoded_size = (self.bits + 7) // 8
+        self._root_cache: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Scalar arithmetic
+    # ------------------------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.modulus
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.modulus
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.modulus
+
+    def neg(self, a: int) -> int:
+        return (-a) % self.modulus
+
+    def pow(self, a: int, e: int) -> int:
+        return pow(a, e, self.modulus)
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises :class:`FieldError` for zero."""
+        a %= self.modulus
+        if a == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        return pow(a, -1, self.modulus)
+
+    def div(self, a: int, b: int) -> int:
+        return (a * self.inv(b)) % self.modulus
+
+    def reduce(self, a: int) -> int:
+        """Canonical representative of ``a`` in ``[0, p)``."""
+        return a % self.modulus
+
+    # ------------------------------------------------------------------
+    # Signed embedding (used by differential-privacy noise and
+    # fixed-point encodings, which need small negative values)
+    # ------------------------------------------------------------------
+
+    def from_signed(self, a: int) -> int:
+        """Embed a signed integer, mapping negatives to ``p - |a|``."""
+        return a % self.modulus
+
+    def to_signed(self, a: int) -> int:
+        """Centered lift: the representative in ``(-p/2, p/2]``."""
+        a %= self.modulus
+        if a > self.modulus // 2:
+            return a - self.modulus
+        return a
+
+    # ------------------------------------------------------------------
+    # Vector arithmetic (lists of canonical ints)
+    # ------------------------------------------------------------------
+
+    def vec_add(self, xs: Sequence[int], ys: Sequence[int]) -> list[int]:
+        if len(xs) != len(ys):
+            raise FieldError(f"length mismatch: {len(xs)} vs {len(ys)}")
+        p = self.modulus
+        return [(x + y) % p for x, y in zip(xs, ys)]
+
+    def vec_sub(self, xs: Sequence[int], ys: Sequence[int]) -> list[int]:
+        if len(xs) != len(ys):
+            raise FieldError(f"length mismatch: {len(xs)} vs {len(ys)}")
+        p = self.modulus
+        return [(x - y) % p for x, y in zip(xs, ys)]
+
+    def vec_neg(self, xs: Sequence[int]) -> list[int]:
+        p = self.modulus
+        return [(-x) % p for x in xs]
+
+    def vec_scale(self, c: int, xs: Sequence[int]) -> list[int]:
+        p = self.modulus
+        c %= p
+        return [(c * x) % p for x in xs]
+
+    def vec_sum(self, vectors: Iterable[Sequence[int]]) -> list[int]:
+        """Component-wise sum of equal-length vectors.
+
+        This is the servers' Aggregate step: accumulators are updated by
+        repeated ``vec_add``; ``vec_sum`` is the batched equivalent.
+        """
+        total: list[int] | None = None
+        p = self.modulus
+        for vec in vectors:
+            if total is None:
+                total = [v % p for v in vec]
+            else:
+                if len(vec) != len(total):
+                    raise FieldError("length mismatch in vec_sum")
+                total = [(t + v) % p for t, v in zip(total, vec)]
+        if total is None:
+            raise FieldError("vec_sum of no vectors")
+        return total
+
+    def inner_product(self, xs: Sequence[int], ys: Sequence[int]) -> int:
+        """Inner product; the core of the fixed-point evaluation trick.
+
+        Appendix I: with precomputed Lagrange constants c_t, a server
+        evaluates an interpolated polynomial at the point r as the inner
+        product sum_t c_t * y_t, costing M multiplications instead of a
+        full interpolation.
+        """
+        if len(xs) != len(ys):
+            raise FieldError(f"length mismatch: {len(xs)} vs {len(ys)}")
+        acc = 0
+        for x, y in zip(xs, ys):
+            acc += x * y
+        return acc % self.modulus
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+
+    def rand(self, rng) -> int:
+        """A uniform field element drawn from ``rng`` (``random.Random``)."""
+        return rng.randrange(self.modulus)
+
+    def rand_nonzero(self, rng) -> int:
+        if self.modulus == 2:
+            return 1
+        return rng.randrange(1, self.modulus)
+
+    def rand_vector(self, n: int, rng) -> list[int]:
+        randrange = rng.randrange
+        p = self.modulus
+        return [randrange(p) for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    # Roots of unity / NTT support
+    # ------------------------------------------------------------------
+
+    def root_of_unity(self, order: int) -> int:
+        """A primitive ``order``-th root of unity.
+
+        ``order`` must be a power of two dividing ``2**two_adicity``.
+        Results are cached: the SNIP verifier asks for the same domains
+        for every submission.
+        """
+        if order in self._root_cache:
+            return self._root_cache[order]
+        if order < 1 or order & (order - 1) != 0:
+            raise FieldError(f"order must be a power of two, got {order}")
+        log_order = order.bit_length() - 1
+        if log_order > self.two_adicity:
+            raise FieldError(
+                f"field {self.name} has 2-adicity {self.two_adicity}; "
+                f"cannot build a domain of size {order}"
+            )
+        if order == 1:
+            root = 1
+        else:
+            exponent = (self.modulus - 1) >> log_order
+            root = pow(self.generator, exponent, self.modulus)
+        self._root_cache[order] = root
+        return root
+
+    # ------------------------------------------------------------------
+    # Serialization (fixed-width big-endian, used by the wire format)
+    # ------------------------------------------------------------------
+
+    def encode_element(self, a: int) -> bytes:
+        return (a % self.modulus).to_bytes(self.encoded_size, "big")
+
+    def decode_element(self, data: bytes) -> int:
+        if len(data) != self.encoded_size:
+            raise FieldError(
+                f"expected {self.encoded_size} bytes, got {len(data)}"
+            )
+        value = int.from_bytes(data, "big")
+        if value >= self.modulus:
+            raise FieldError("encoded value out of range")
+        return value
+
+    def encode_vector(self, xs: Sequence[int]) -> bytes:
+        return b"".join(self.encode_element(x) for x in xs)
+
+    def decode_vector(self, data: bytes) -> list[int]:
+        size = self.encoded_size
+        if len(data) % size != 0:
+            raise FieldError("vector encoding is not a whole number of elements")
+        return [
+            self.decode_element(data[i : i + size])
+            for i in range(0, len(data), size)
+        ]
+
+    # ------------------------------------------------------------------
+    # Hash-to-field (used to derive verification challenges)
+    # ------------------------------------------------------------------
+
+    def hash_to_element(self, *parts: bytes) -> int:
+        """Derive a field element from a transcript, via SHAKE-256.
+
+        Sampling 2x the modulus width keeps the modular bias below
+        2^-bits, which is negligible for the shipped fields.
+        """
+        xof = hashlib.shake_256()
+        for part in parts:
+            xof.update(len(part).to_bytes(4, "big"))
+            xof.update(part)
+        wide = int.from_bytes(xof.digest(2 * self.encoded_size), "big")
+        return wide % self.modulus
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, a: object) -> bool:
+        return isinstance(a, int) and 0 <= a < self.modulus
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrimeField) and other.modulus == self.modulus
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.modulus))
+
+    def __repr__(self) -> str:
+        return f"PrimeField({self.name}, bits={self.bits})"

@@ -1,0 +1,31 @@
+"""Beaver-triple MPC: share multiplication and full circuit evaluation."""
+
+from repro.mpc.beaver import (
+    BeaverTriple,
+    BeaverTripleShare,
+    generate_triple,
+    multiply_finalize,
+    multiply_round1,
+    share_triple,
+)
+from repro.mpc.circuit_mpc import (
+    CircuitMpcParty,
+    MpcResult,
+    mul_gate_levels,
+    multiplicative_depth,
+    run_circuit_mpc,
+)
+
+__all__ = [
+    "BeaverTriple",
+    "BeaverTripleShare",
+    "generate_triple",
+    "multiply_finalize",
+    "multiply_round1",
+    "share_triple",
+    "CircuitMpcParty",
+    "MpcResult",
+    "mul_gate_levels",
+    "multiplicative_depth",
+    "run_circuit_mpc",
+]

@@ -1,0 +1,104 @@
+"""Beaver multiplication triples (Appendix C.2).
+
+A *multiplication triple* is a one-time-use secret-shared tuple
+``(a, b, c)`` with ``c = a * b``.  Holding shares of a triple, servers
+can multiply two secret-shared values with a single broadcast each:
+
+    [d]_i = [y]_i - [a]_i        [e]_i = [z]_i - [b]_i
+    (broadcast; reconstruct d and e)
+    [yz]_i = d*e/s + d*[b]_i + e*[a]_i + [c]_i
+
+In classic MPC the triples come from an expensive preprocessing
+protocol; Prio's key trick (Section 4, Step 3b) is that the *client*
+deals the triple — and the SNIP soundness analysis shows a client who
+deals a bad triple (c = ab + alpha, alpha != 0) still fails the
+polynomial identity test with overwhelming probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.field.prime_field import FieldError, PrimeField
+from repro.sharing.additive import share_scalar
+
+
+@dataclass(frozen=True)
+class BeaverTriple:
+    """Plaintext triple; only the client (dealer) ever sees this."""
+
+    a: int
+    b: int
+    c: int
+
+    def is_valid(self, field: PrimeField) -> bool:
+        return field.mul(self.a, self.b) == self.c % field.modulus
+
+
+@dataclass(frozen=True)
+class BeaverTripleShare:
+    """One server's additive share of a triple."""
+
+    a: int
+    b: int
+    c: int
+
+
+def generate_triple(field: PrimeField, rng) -> BeaverTriple:
+    """Deal a fresh random triple with ``c = a * b``."""
+    a = field.rand(rng)
+    b = field.rand(rng)
+    return BeaverTriple(a=a, b=b, c=field.mul(a, b))
+
+
+def share_triple(
+    field: PrimeField, triple: BeaverTriple, n_servers: int, rng
+) -> list[BeaverTripleShare]:
+    """Additively share a triple among ``n_servers``."""
+    a_shares = share_scalar(field, triple.a, n_servers, rng)
+    b_shares = share_scalar(field, triple.b, n_servers, rng)
+    c_shares = share_scalar(field, triple.c, n_servers, rng)
+    return [
+        BeaverTripleShare(a=a, b=b, c=c)
+        for a, b, c in zip(a_shares, b_shares, c_shares)
+    ]
+
+
+def multiply_round1(
+    field: PrimeField,
+    y_share: int,
+    z_share: int,
+    triple_share: BeaverTripleShare,
+) -> tuple[int, int]:
+    """First (and only) broadcast: masked differences (d_i, e_i)."""
+    d = field.sub(y_share, triple_share.a)
+    e = field.sub(z_share, triple_share.b)
+    return d, e
+
+
+def multiply_finalize(
+    field: PrimeField,
+    d_shares: Sequence[int],
+    e_shares: Sequence[int],
+    triple_share: BeaverTripleShare,
+    n_servers: int,
+) -> int:
+    """Combine broadcast shares into this server's share of ``y * z``.
+
+    Every server runs this with the same reconstructed ``d`` and ``e``;
+    the ``d*e/s`` term is added by all ``s`` servers so it enters the
+    total exactly once (the paper's Appendix C.2 formula).
+    """
+    if len(d_shares) != n_servers or len(e_shares) != n_servers:
+        raise FieldError("need one d/e share from every server")
+    p = field.modulus
+    d = sum(d_shares) % p
+    e = sum(e_shares) % p
+    s_inv = pow(n_servers % p, -1, p)
+    return (
+        d * e % p * s_inv
+        + d * triple_share.b
+        + e * triple_share.a
+        + triple_share.c
+    ) % p

@@ -1,0 +1,55 @@
+"""The NIZK-based comparison system (the paper's primary baseline)."""
+
+from repro.nizk.elgamal import (
+    ElGamalCiphertext,
+    NizkError,
+    ServerKeyPair,
+    combine_partials,
+    combined_public_key,
+    discrete_log,
+    encrypt_bit,
+    partial_decrypt,
+)
+from repro.nizk.proofs import (
+    BitProof,
+    DleqProof,
+    prove_bit,
+    prove_dleq,
+    verify_bit,
+    verify_dleq,
+)
+from repro.nizk.system import (
+    CLIENT_EXPS_PER_ELEMENT,
+    SERVER_EXPS_PER_ELEMENT,
+    UPLOAD_BYTES_PER_ELEMENT,
+    NizkDeployment,
+    NizkServer,
+    NizkSubmission,
+    nizk_client_submit,
+    nizk_server_transfer_bytes,
+)
+
+__all__ = [
+    "ElGamalCiphertext",
+    "NizkError",
+    "ServerKeyPair",
+    "combine_partials",
+    "combined_public_key",
+    "discrete_log",
+    "encrypt_bit",
+    "partial_decrypt",
+    "BitProof",
+    "DleqProof",
+    "prove_bit",
+    "prove_dleq",
+    "verify_bit",
+    "verify_dleq",
+    "CLIENT_EXPS_PER_ELEMENT",
+    "SERVER_EXPS_PER_ELEMENT",
+    "UPLOAD_BYTES_PER_ELEMENT",
+    "NizkDeployment",
+    "NizkServer",
+    "NizkSubmission",
+    "nizk_client_submit",
+    "nizk_server_transfer_bytes",
+]

@@ -1,0 +1,127 @@
+"""Lifted (exponential) ElGamal over P-256.
+
+The NIZK comparison system (Section 6: "similar to the cryptographically
+verifiable interactive protocol of Kursawe et al. and ... the
+'distributed decryption' variant of PrivEx") encrypts each 0/1 value as
+
+    Enc(m; k) = (k*G,  m*G + k*H)
+
+under the *combined* public key ``H = sum_j H_j`` of all servers.
+Ciphertexts add component-wise (additive homomorphism), and decryption
+requires every server's participation: each publishes a partial
+decryption ``x_j * C1`` with a DLEQ proof, and the plaintext sum is the
+discrete log of ``C2 - sum_j partial_j`` — recovered by baby-step
+giant-step since the sum is at most the number of clients.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+
+from repro.ec.p256 import (
+    GENERATOR,
+    INFINITY,
+    Point,
+    random_scalar,
+    scalar_mult,
+)
+
+
+class NizkError(ValueError):
+    """Raised for malformed ciphertexts, proofs, or decryptions."""
+
+
+@dataclass(frozen=True)
+class ElGamalCiphertext:
+    c1: Point
+    c2: Point
+
+    def __add__(self, other: "ElGamalCiphertext") -> "ElGamalCiphertext":
+        return ElGamalCiphertext(self.c1 + other.c1, self.c2 + other.c2)
+
+    def encode(self) -> bytes:
+        return self.c1.encode() + self.c2.encode()
+
+    @classmethod
+    def identity(cls) -> "ElGamalCiphertext":
+        return cls(INFINITY, INFINITY)
+
+
+@dataclass(frozen=True)
+class ServerKeyPair:
+    secret: int
+    public: Point
+
+    @classmethod
+    def generate(cls, rng=None) -> "ServerKeyPair":
+        if rng is None:
+            import random as _random
+
+            rng = _random.Random(os.urandom(16))
+        secret = random_scalar(rng)
+        return cls(secret=secret, public=scalar_mult(secret, GENERATOR))
+
+
+def combined_public_key(publics: list[Point]) -> Point:
+    if not publics:
+        raise NizkError("no server keys")
+    acc = publics[0]
+    for pub in publics[1:]:
+        acc = acc + pub
+    return acc
+
+
+def encrypt_bit(
+    combined_pub: Point, bit: int, rng
+) -> tuple[ElGamalCiphertext, int]:
+    """Encrypt m in {0,1}; returns the ciphertext and the randomness k
+    (the OR-proof needs k as its witness)."""
+    if bit not in (0, 1):
+        raise NizkError("plaintext must be a bit")
+    k = random_scalar(rng)
+    c1 = scalar_mult(k, GENERATOR)
+    c2 = scalar_mult(k, combined_pub)
+    if bit:
+        c2 = c2 + GENERATOR
+    return ElGamalCiphertext(c1, c2), k
+
+
+def partial_decrypt(secret: int, ciphertext: ElGamalCiphertext) -> Point:
+    """One server's decryption share ``x_j * C1``."""
+    return scalar_mult(secret, ciphertext.c1)
+
+
+def combine_partials(
+    ciphertext: ElGamalCiphertext, partials: list[Point]
+) -> Point:
+    """``m * G = C2 - sum_j partial_j``."""
+    acc = ciphertext.c2
+    for partial in partials:
+        acc = acc - partial
+    return acc
+
+
+def discrete_log(target: Point, max_value: int) -> int:
+    """Baby-step giant-step for 0 <= m <= max_value."""
+    if target.infinity:
+        return 0
+    m = int(math.isqrt(max_value)) + 1
+    # Baby steps: j*G for j in [0, m).
+    baby: dict[bytes, int] = {}
+    step = INFINITY
+    for j in range(m):
+        baby[step.encode()] = j
+        step = step + GENERATOR
+    # Giant steps: target - i*m*G.
+    giant_stride = scalar_mult(m, GENERATOR)
+    gamma = target
+    for i in range(m + 1):
+        j = baby.get(gamma.encode())
+        if j is not None:
+            value = i * m + j
+            if value <= max_value:
+                return value
+        gamma = gamma - giant_stride
+    raise NizkError(f"discrete log not found within [0, {max_value}]")

@@ -1,0 +1,58 @@
+"""The full Prio protocol: client, servers, wire format, and baselines."""
+
+from repro.protocol.baselines import NoPrivacyPipeline, NoRobustnessPipeline
+from repro.protocol.client import ClientSubmission, PrioClient
+from repro.protocol.dp import (
+    DpError,
+    add_noise_to_accumulator,
+    discrete_laplace_scale,
+    server_noise_share,
+)
+from repro.protocol.registration import (
+    ClientRegistry,
+    GatedDeployment,
+    GatedServer,
+    RegisteredClient,
+    RegistrationError,
+    SignedPacket,
+)
+from repro.protocol.runner import DeploymentStats, PrioDeployment
+from repro.protocol.server import PendingSubmission, PrioServer, ProtocolError
+from repro.protocol.wire import (
+    ClientPacket,
+    PacketKind,
+    WireError,
+    new_submission_id,
+    packets_for_explicit_shares,
+    packets_for_shares,
+    total_upload_bytes,
+)
+
+__all__ = [
+    "NoPrivacyPipeline",
+    "NoRobustnessPipeline",
+    "ClientSubmission",
+    "PrioClient",
+    "DpError",
+    "add_noise_to_accumulator",
+    "discrete_laplace_scale",
+    "server_noise_share",
+    "ClientRegistry",
+    "GatedDeployment",
+    "GatedServer",
+    "RegisteredClient",
+    "RegistrationError",
+    "SignedPacket",
+    "DeploymentStats",
+    "PrioDeployment",
+    "PendingSubmission",
+    "PrioServer",
+    "ProtocolError",
+    "ClientPacket",
+    "PacketKind",
+    "WireError",
+    "new_submission_id",
+    "packets_for_explicit_shares",
+    "packets_for_shares",
+    "total_upload_bytes",
+]

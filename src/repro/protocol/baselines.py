@@ -1,0 +1,98 @@
+"""The two baseline pipelines of Section 6.1.
+
+*No privacy*: "a dummy scheme in which a single server accepts
+encrypted client data submissions directly from the clients with no
+privacy protection whatsoever."  The server sees plaintext encodings,
+range-checks them directly, and accumulates.
+
+*No robustness*: "a secret-sharing-based private aggregation scheme
+(a la Section 3) with no robustness protection."  Clients split their
+encoding into shares; servers accumulate without any validity check —
+one malicious client can corrupt the whole aggregate, which the
+robustness tests demonstrate.
+
+Both share the AFE layer, so the three pipelines differ only in the
+security work — exactly the contrast Figures 4/5/8 and Table 9 draw.
+"""
+
+from __future__ import annotations
+
+import os
+import random as _random
+
+from repro.afe.base import Afe
+from repro.protocol.server import ProtocolError
+from repro.sharing.additive import share_vector
+from repro.sharing.prg import prg_reconstruct_vector, prg_share_vector
+
+
+class NoPrivacyPipeline:
+    """Single plaintext-collecting server with direct validity checks."""
+
+    def __init__(self, afe: Afe) -> None:
+        self.afe = afe
+        self.accumulator = [0] * afe.k_prime
+        self.n_accepted = 0
+        self.n_rejected = 0
+
+    def submit_encoding(self, encoding: list[int]) -> bool:
+        if not self.afe.check_valid(encoding):
+            self.n_rejected += 1
+            return False
+        p = self.afe.field.modulus
+        for i, v in enumerate(encoding[: self.afe.k_prime]):
+            self.accumulator[i] = (self.accumulator[i] + v) % p
+        self.n_accepted += 1
+        return True
+
+    def submit(self, value, rng=None) -> bool:
+        return self.submit_encoding(self.afe.encode(value, rng))
+
+    def publish(self):
+        return self.afe.decode(self.accumulator, self.n_accepted)
+
+
+class NoRobustnessPipeline:
+    """Section 3's scheme: secret-shared sums, no validity checking."""
+
+    def __init__(
+        self, afe: Afe, n_servers: int, use_prg_compression: bool = True,
+        rng=None,
+    ) -> None:
+        if n_servers < 2:
+            raise ProtocolError("private aggregation needs >= 2 servers")
+        self.afe = afe
+        self.n_servers = n_servers
+        self.use_prg_compression = use_prg_compression
+        self.rng = rng if rng is not None else _random.Random(os.urandom(16))
+        self.accumulators = [[0] * afe.k_prime for _ in range(n_servers)]
+        self.n_accepted = 0
+
+    def submit_encoding(self, encoding: list[int]) -> bool:
+        field = self.afe.field
+        truncated = encoding[: self.afe.k_prime]
+        if self.use_prg_compression:
+            seeds, explicit = prg_share_vector(
+                field, truncated, self.n_servers, self.rng
+            )
+            shares = [
+                prg_reconstruct_vector(field, [seed], [0] * len(truncated))
+                for seed in seeds
+            ] + [explicit]
+        else:
+            shares = share_vector(field, truncated, self.n_servers, self.rng)
+        p = field.modulus
+        for acc, share in zip(self.accumulators, shares):
+            for i, v in enumerate(share):
+                acc[i] = (acc[i] + v) % p
+        self.n_accepted += 1
+        return True
+
+    def submit(self, value, rng=None) -> bool:
+        return self.submit_encoding(
+            self.afe.encode(value, rng if rng is not None else self.rng)
+        )
+
+    def publish(self):
+        sigma = self.afe.field.vec_sum(self.accumulators)
+        return self.afe.decode(sigma, self.n_accepted)

@@ -1,0 +1,95 @@
+"""Distributed differential-privacy noise (the Section 7 extension).
+
+Prio publishes *exact* aggregates, so an intersection attack (run the
+protocol with and without one client) can reveal an individual's value.
+The paper's recommended defence: "the servers can add differential
+privacy noise to the results before publishing them ... in a
+distributed fashion to ensure that as long as at least one server is
+honest, no server sees the un-noised aggregate" (citing Dwork et al.).
+
+Construction: the discrete Laplace (two-sided geometric) distribution
+is infinitely divisible —
+
+    DLap(alpha)  =  sum_{j=1}^{s} [ Polya(1/s, alpha) - Polya(1/s, alpha) ]
+
+so each of the s servers independently samples the difference of two
+Polya(1/s, alpha) variables and adds it to its accumulator share before
+publishing.  The published total then carries exactly DLap(alpha) noise
+with ``alpha = exp(-epsilon / sensitivity)``, giving epsilon-DP, while
+no proper subset of servers knows the total noise.
+
+Polya(r, alpha) is sampled as a Gamma(r)-mixed Poisson.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.field.prime_field import PrimeField
+
+
+class DpError(ValueError):
+    pass
+
+
+def _polya_sample(generator: np.random.Generator, r: float, alpha: float) -> int:
+    """One Polya(r, alpha) draw: Poisson with Gamma(r, alpha/(1-alpha)) rate."""
+    rate = generator.gamma(shape=r, scale=alpha / (1.0 - alpha))
+    return int(generator.poisson(rate))
+
+
+def server_noise_share(
+    epsilon: float,
+    sensitivity: float,
+    n_servers: int,
+    generator: np.random.Generator,
+) -> int:
+    """One server's additive noise share (a signed integer).
+
+    Summing all ``n_servers`` shares yields a discrete Laplace variable
+    calibrated for ``epsilon``-DP at the given query sensitivity.
+    """
+    if epsilon <= 0:
+        raise DpError("epsilon must be positive")
+    if sensitivity <= 0:
+        raise DpError("sensitivity must be positive")
+    if n_servers < 1:
+        raise DpError("need at least one server")
+    alpha = math.exp(-epsilon / sensitivity)
+    r = 1.0 / n_servers
+    return _polya_sample(generator, r, alpha) - _polya_sample(
+        generator, r, alpha
+    )
+
+
+def add_noise_to_accumulator(
+    field: PrimeField,
+    accumulator: list[int],
+    epsilon: float,
+    sensitivity: float,
+    n_servers: int,
+    generator: np.random.Generator,
+) -> list[int]:
+    """Noise every accumulator component (per-component epsilon).
+
+    Callers splitting an epsilon budget across components should divide
+    epsilon accordingly before calling.
+    """
+    return [
+        field.add(
+            value,
+            field.from_signed(
+                server_noise_share(epsilon, sensitivity, n_servers, generator)
+            ),
+        )
+        for value in accumulator
+    ]
+
+
+def discrete_laplace_scale(epsilon: float, sensitivity: float) -> float:
+    """Standard deviation of the total published noise (for accuracy
+    accounting in experiments)."""
+    alpha = math.exp(-epsilon / sensitivity)
+    return math.sqrt(2 * alpha) / (1 - alpha)

@@ -1,0 +1,168 @@
+"""In-process deployment runner: wires clients and servers lock-step.
+
+``PrioDeployment`` is the high-level API most examples use:
+
+    deployment = PrioDeployment.create(afe, n_servers=5)
+    for value in private_values:
+        deployment.submit(value)
+    aggregate = deployment.publish()
+
+It executes the full Appendix H protocol — upload (optionally sealed),
+two-round SNIP verification, accumulate, publish, decode — with every
+server as a real :class:`~repro.protocol.server.PrioServer` instance,
+and keeps the bandwidth/acceptance statistics the benchmarks report.
+"""
+
+from __future__ import annotations
+
+import os
+import random as _random
+from dataclasses import dataclass, field as dc_field
+
+from repro.afe.base import Afe
+from repro.crypto.box import BoxKeyPair
+from repro.protocol.client import ClientSubmission, PrioClient
+from repro.protocol.server import PendingSubmission, PrioServer, ProtocolError
+from repro.snip.verifier import ServerRandomness
+
+
+@dataclass
+class DeploymentStats:
+    n_submitted: int = 0
+    n_accepted: int = 0
+    n_rejected: int = 0
+    upload_bytes_total: int = 0
+    #: per-server broadcast elements (verification traffic)
+    broadcast_elements: list[int] = dc_field(default_factory=list)
+
+
+class PrioDeployment:
+    """A full in-process Prio deployment for one aggregation task."""
+
+    def __init__(
+        self,
+        afe: Afe,
+        servers: list[PrioServer],
+        client: PrioClient,
+        encrypt: bool,
+    ) -> None:
+        self.afe = afe
+        self.servers = servers
+        self.client = client
+        self.encrypt = encrypt
+        self.stats = DeploymentStats()
+
+    @classmethod
+    def create(
+        cls,
+        afe: Afe,
+        n_servers: int,
+        seed: bytes | None = None,
+        use_prg_compression: bool = True,
+        encrypt: bool = False,
+        epoch_size: int = 1024,
+        rng=None,
+    ) -> "PrioDeployment":
+        if n_servers < 2:
+            raise ProtocolError("Prio needs at least two servers")
+        if rng is None:
+            rng = _random.Random(os.urandom(16))
+        randomness = ServerRandomness(seed or rng.randbytes(16))
+        box_keys = None
+        box_keypairs: list[BoxKeyPair | None] = [None] * n_servers
+        if encrypt:
+            box_keypairs = [BoxKeyPair.generate(rng) for _ in range(n_servers)]
+            box_keys = [kp.public for kp in box_keypairs]
+        servers = [
+            PrioServer(
+                afe, i, n_servers, randomness,
+                epoch_size=epoch_size, box_keypair=box_keypairs[i],
+            )
+            for i in range(n_servers)
+        ]
+        client = PrioClient(
+            afe, n_servers,
+            use_prg_compression=use_prg_compression,
+            server_box_keys=box_keys,
+            rng=rng,
+        )
+        return cls(afe=afe, servers=servers, client=client, encrypt=encrypt)
+
+    # ------------------------------------------------------------------
+
+    def submit(self, value, mutate=None) -> bool:
+        """Run one client's value through the full pipeline.
+
+        ``mutate``, if given, receives the :class:`ClientSubmission`
+        before delivery and may corrupt it — the robustness tests'
+        fault-injection hook.
+        """
+        submission = self.client.prepare_submission(value)
+        if mutate is not None:
+            mutate(submission)
+        return self.deliver(submission)
+
+    def deliver(self, submission: ClientSubmission) -> bool:
+        self.stats.n_submitted += 1
+        self.stats.upload_bytes_total += submission.upload_bytes
+
+        pendings: list[PendingSubmission] = []
+        try:
+            for i, server in enumerate(self.servers):
+                if self.encrypt:
+                    pendings.append(
+                        server.receive_sealed(submission.sealed_packets[i])
+                    )
+                else:
+                    pendings.append(server.receive(submission.packets[i]))
+        except (ProtocolError, ValueError):
+            self.stats.n_rejected += 1
+            return False
+
+        parties = []
+        round1 = []
+        try:
+            for server, pending in zip(self.servers, pendings):
+                party, msg = server.begin_verification(pending)
+                parties.append(party)
+                round1.append(msg)
+            round2 = [
+                server.finish_verification(party, round1)
+                for server, party in zip(self.servers, parties)
+            ]
+        except (ProtocolError, ValueError):
+            for server, pending in zip(self.servers, pendings):
+                server.reject(pending)
+            self.stats.n_rejected += 1
+            return False
+
+        accepted = self.servers[0].decide(round2)
+        for server, pending in zip(self.servers, pendings):
+            if accepted:
+                server.accumulate(pending)
+            else:
+                server.reject(pending)
+        if accepted:
+            self.stats.n_accepted += 1
+        else:
+            self.stats.n_rejected += 1
+        return accepted
+
+    def submit_many(self, values) -> int:
+        """Submit a batch; returns the number accepted."""
+        return sum(1 for v in values if self.submit(v))
+
+    # ------------------------------------------------------------------
+
+    def publish_shares(self) -> list[list[int]]:
+        return [server.publish() for server in self.servers]
+
+    def publish(self):
+        """Combine accumulators and AFE-decode the aggregate."""
+        shares = self.publish_shares()
+        sigma = self.afe.field.vec_sum(shares)
+        n = self.servers[0].n_accepted
+        self.stats.broadcast_elements = [
+            server.elements_broadcast for server in self.servers
+        ]
+        return self.afe.decode(sigma, n)

@@ -1,0 +1,189 @@
+"""The Prio server (Appendix H, steps 2-4: Validate, Aggregate, Publish).
+
+A :class:`PrioServer` holds one share of every client submission,
+participates in the two-round SNIP verification with its peers, and on
+success folds the truncated encoding share into its accumulator.
+Publishing reveals only the accumulator — the sum of many clients'
+shares — never an individual share.
+
+Replay protection: submission ids are cached per epoch and duplicates
+rejected before verification (the paper notes Prio packets "can be
+replay-protected at the servers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.afe.base import Afe
+from repro.crypto.box import BoxKeyPair, open_box
+from repro.protocol.wire import ClientPacket, WireError
+from repro.snip.proof import SnipProofShare, proof_num_elements
+from repro.snip.verifier import (
+    Round1Message,
+    Round2Message,
+    ServerRandomness,
+    SnipVerifierParty,
+    VerificationContext,
+)
+
+
+class ProtocolError(ValueError):
+    """Raised on protocol violations (wrong server, replayed id, ...)."""
+
+
+@dataclass
+class PendingSubmission:
+    """A received, de-framed share awaiting verification."""
+
+    submission_id: bytes
+    x_share: list[int]
+    proof_share: SnipProofShare | None
+
+
+class PrioServer:
+    """One aggregation server for a single collection task."""
+
+    def __init__(
+        self,
+        afe: Afe,
+        server_index: int,
+        n_servers: int,
+        randomness: ServerRandomness,
+        epoch_size: int = 1024,
+        box_keypair: BoxKeyPair | None = None,
+    ) -> None:
+        self.afe = afe
+        self.field = afe.field
+        self.server_index = server_index
+        self.n_servers = n_servers
+        self.is_leader = server_index == 0
+        self.randomness = randomness
+        self.epoch_size = epoch_size
+        self.box_keypair = box_keypair
+        self.circuit = afe.valid_circuit()
+
+        self.accumulator: list[int] = [0] * afe.k_prime
+        self.n_accepted = 0
+        self.n_rejected = 0
+        self.n_replayed = 0
+        self._seen_ids: set[bytes] = set()
+        self._submissions_this_epoch = 0
+        self._epoch = 0
+        self._ctx: VerificationContext | None = None
+        #: server-to-server field elements broadcast (Figure 6 metric)
+        self.elements_broadcast = 0
+
+    # ------------------------------------------------------------------
+    # Epoch / context management (the fixed-r optimization)
+    # ------------------------------------------------------------------
+
+    def _context(self) -> VerificationContext | None:
+        if self.circuit is None:
+            return None
+        if self._ctx is None or self._submissions_this_epoch >= self.epoch_size:
+            if self._submissions_this_epoch >= self.epoch_size:
+                self._epoch += 1
+                self._submissions_this_epoch = 0
+            challenge = self.randomness.challenge(
+                self.field, self.circuit, self._epoch
+            )
+            self._ctx = VerificationContext(self.field, self.circuit, challenge)
+        return self._ctx
+
+    # ------------------------------------------------------------------
+    # Receive
+    # ------------------------------------------------------------------
+
+    def receive_sealed(self, sealed: bytes) -> PendingSubmission:
+        if self.box_keypair is None:
+            raise ProtocolError("server has no box key configured")
+        return self.receive(
+            ClientPacket.decode(open_box(self.box_keypair, sealed), self.field)
+        )
+
+    def receive(self, packet: ClientPacket) -> PendingSubmission:
+        """De-frame a packet into x and proof shares."""
+        if packet.server_index != self.server_index:
+            raise ProtocolError(
+                f"packet for server {packet.server_index} delivered to "
+                f"server {self.server_index}"
+            )
+        if packet.submission_id in self._seen_ids:
+            self.n_replayed += 1
+            raise ProtocolError("replayed submission id")
+        vector = packet.share_vector(self.field)
+        k = self.afe.k
+        if self.circuit is None:
+            if len(vector) != k:
+                raise WireError("share vector has wrong length")
+            return PendingSubmission(packet.submission_id, vector, None)
+        m = self.circuit.n_mul_gates
+        expected = k + proof_num_elements(m)
+        if len(vector) != expected:
+            raise WireError(
+                f"share vector has {len(vector)} elements, expected {expected}"
+            )
+        x_share = vector[:k]
+        proof_share = SnipProofShare.unflatten(self.field, vector[k:], m)
+        return PendingSubmission(packet.submission_id, x_share, proof_share)
+
+    # ------------------------------------------------------------------
+    # Verification rounds (lock-step with peers)
+    # ------------------------------------------------------------------
+
+    def begin_verification(
+        self, pending: PendingSubmission
+    ) -> tuple["SnipVerifierParty | None", Round1Message]:
+        ctx = self._context()
+        if ctx is None:
+            # All-valid AFE: accept without proof (but still burn the
+            # replay-protection slot).
+            return None, Round1Message(d=0, e=0)
+        party = SnipVerifierParty(
+            ctx, self.server_index, self.n_servers,
+            pending.x_share, pending.proof_share,
+        )
+        msg = party.round1()
+        self.elements_broadcast += 2
+        return party, msg
+
+    def finish_verification(
+        self,
+        party: "SnipVerifierParty | None",
+        round1_messages: list[Round1Message],
+    ) -> Round2Message:
+        if party is None:
+            return Round2Message(sigma=0, assertion=0)
+        msg = party.round2(round1_messages)
+        self.elements_broadcast += 2
+        return msg
+
+    def decide(self, round2_messages: list[Round2Message]) -> bool:
+        if self.circuit is None:
+            return True
+        return SnipVerifierParty.decide(self.field, round2_messages)
+
+    # ------------------------------------------------------------------
+    # Aggregate / publish
+    # ------------------------------------------------------------------
+
+    def accumulate(self, pending: PendingSubmission) -> None:
+        """Fold the truncated share into the accumulator (step 3)."""
+        share = pending.x_share[: self.afe.k_prime]
+        p = self.field.modulus
+        acc = self.accumulator
+        for i, v in enumerate(share):
+            acc[i] = (acc[i] + v) % p
+        self._seen_ids.add(pending.submission_id)
+        self._submissions_this_epoch += 1
+        self.n_accepted += 1
+
+    def reject(self, pending: PendingSubmission) -> None:
+        self._seen_ids.add(pending.submission_id)
+        self._submissions_this_epoch += 1
+        self.n_rejected += 1
+
+    def publish(self) -> list[int]:
+        """Release the accumulator (step 4); safe by construction."""
+        return list(self.accumulator)

@@ -1,0 +1,166 @@
+"""Binary wire format for client->server uploads, with byte accounting.
+
+Each client submission becomes one packet per server.  With PRG share
+compression (Appendix I), all but the last server receive a 16-byte
+seed instead of an explicit share vector, so the total upload is
+``L + proof`` field elements plus ``s - 1`` seeds — the bandwidth
+numbers behind Figure 6 and Table 2's "data transfer" row.
+
+Packet layout (big-endian):
+
+    magic(2) | version(1) | kind(1) | submission_id(16) |
+    server_index(2) | n_elements(4) | body
+
+``kind`` is SEED (body = 16-byte PRG seed) or EXPLICIT (body =
+``n_elements`` fixed-width field elements).  Packets may additionally
+be sealed with the recipient server's box key at the transport layer
+(:mod:`repro.crypto.box`); sealing adds a constant 49 bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass
+
+from repro.field.prime_field import PrimeField
+from repro.sharing.prg import SEED_SIZE
+
+MAGIC = b"PR"
+VERSION = 1
+SUBMISSION_ID_SIZE = 16
+_HEADER_SIZE = 2 + 1 + 1 + SUBMISSION_ID_SIZE + 2 + 4
+
+
+class WireError(ValueError):
+    """Raised for malformed packets."""
+
+
+class PacketKind(enum.IntEnum):
+    SEED = 0
+    EXPLICIT = 1
+
+
+@dataclass(frozen=True)
+class ClientPacket:
+    """One server's slice of a client submission."""
+
+    submission_id: bytes
+    server_index: int
+    kind: PacketKind
+    #: total share-vector length in field elements (both kinds)
+    n_elements: int
+    #: seed bytes (SEED) or encoded field elements (EXPLICIT)
+    body: bytes
+
+    def encode(self) -> bytes:
+        if len(self.submission_id) != SUBMISSION_ID_SIZE:
+            raise WireError("bad submission id size")
+        return (
+            MAGIC
+            + bytes([VERSION, int(self.kind)])
+            + self.submission_id
+            + self.server_index.to_bytes(2, "big")
+            + self.n_elements.to_bytes(4, "big")
+            + self.body
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, field: PrimeField) -> "ClientPacket":
+        if len(data) < _HEADER_SIZE:
+            raise WireError("packet too short")
+        if data[:2] != MAGIC:
+            raise WireError("bad magic")
+        if data[2] != VERSION:
+            raise WireError(f"unsupported version {data[2]}")
+        try:
+            kind = PacketKind(data[3])
+        except ValueError as exc:
+            raise WireError(f"unknown packet kind {data[3]}") from exc
+        submission_id = data[4:20]
+        server_index = int.from_bytes(data[20:22], "big")
+        n_elements = int.from_bytes(data[22:26], "big")
+        body = data[26:]
+        if kind is PacketKind.SEED and len(body) != SEED_SIZE:
+            raise WireError("seed packet has wrong body size")
+        if kind is PacketKind.EXPLICIT and (
+            len(body) != n_elements * field.encoded_size
+        ):
+            raise WireError("explicit packet has wrong body size")
+        return cls(
+            submission_id=submission_id,
+            server_index=server_index,
+            kind=kind,
+            n_elements=n_elements,
+            body=body,
+        )
+
+    def share_vector(self, field: PrimeField) -> list[int]:
+        """Materialize this packet's share vector."""
+        if self.kind is PacketKind.SEED:
+            from repro.sharing.prg import expand_seed
+
+            return expand_seed(field, self.body, self.n_elements)
+        return field.decode_vector(self.body)
+
+    def encoded_size(self) -> int:
+        return _HEADER_SIZE + len(self.body)
+
+
+def new_submission_id(rng=None) -> bytes:
+    if rng is None:
+        return os.urandom(SUBMISSION_ID_SIZE)
+    return rng.randbytes(SUBMISSION_ID_SIZE)
+
+
+def packets_for_shares(
+    field: PrimeField,
+    submission_id: bytes,
+    seeds: list[bytes],
+    explicit_share: list[int],
+) -> list[ClientPacket]:
+    """Build the per-server packets from a PRG-compressed sharing."""
+    n_elements = len(explicit_share)
+    packets = [
+        ClientPacket(
+            submission_id=submission_id,
+            server_index=i,
+            kind=PacketKind.SEED,
+            n_elements=n_elements,
+            body=seed,
+        )
+        for i, seed in enumerate(seeds)
+    ]
+    packets.append(
+        ClientPacket(
+            submission_id=submission_id,
+            server_index=len(seeds),
+            kind=PacketKind.EXPLICIT,
+            n_elements=n_elements,
+            body=field.encode_vector(explicit_share),
+        )
+    )
+    return packets
+
+
+def packets_for_explicit_shares(
+    field: PrimeField,
+    submission_id: bytes,
+    shares: list[list[int]],
+) -> list[ClientPacket]:
+    """Uncompressed variant (the PRG ablation's baseline)."""
+    return [
+        ClientPacket(
+            submission_id=submission_id,
+            server_index=i,
+            kind=PacketKind.EXPLICIT,
+            n_elements=len(share),
+            body=field.encode_vector(share),
+        )
+        for i, share in enumerate(shares)
+    ]
+
+
+def total_upload_bytes(packets: list[ClientPacket]) -> int:
+    """Client upload cost across all servers for one submission."""
+    return sum(p.encoded_size() for p in packets)

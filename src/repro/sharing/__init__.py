@@ -1,0 +1,43 @@
+"""Secret sharing: additive (core), PRG-compressed, and Shamir threshold."""
+
+from repro.sharing.additive import (
+    reconstruct_scalar,
+    reconstruct_vector,
+    share_of_constant,
+    share_scalar,
+    share_vector,
+)
+from repro.sharing.prg import (
+    SEED_SIZE,
+    PrgStream,
+    compressed_upload_elements,
+    expand_seed,
+    new_seed,
+    prg_reconstruct_vector,
+    prg_share_vector,
+)
+from repro.sharing.shamir import (
+    shamir_reconstruct_scalar,
+    shamir_reconstruct_vector,
+    shamir_share_scalar,
+    shamir_share_vector,
+)
+
+__all__ = [
+    "reconstruct_scalar",
+    "reconstruct_vector",
+    "share_of_constant",
+    "share_scalar",
+    "share_vector",
+    "SEED_SIZE",
+    "PrgStream",
+    "compressed_upload_elements",
+    "expand_seed",
+    "new_seed",
+    "prg_reconstruct_vector",
+    "prg_share_vector",
+    "shamir_reconstruct_scalar",
+    "shamir_reconstruct_vector",
+    "shamir_share_scalar",
+    "shamir_share_vector",
+]

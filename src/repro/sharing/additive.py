@@ -1,0 +1,86 @@
+"""Additive s-out-of-s secret sharing (Section 4, "Building blocks").
+
+To split ``x`` into ``s`` shares, choose ``[x]_1, ..., [x]_s`` uniformly
+at random subject to ``x = sum_i [x]_i`` in F.  Any ``s - 1`` shares are
+jointly uniform and therefore reveal nothing about ``x`` — this is the
+information-theoretic core of Prio's privacy guarantee.
+
+The scheme is *linear*: servers add shares of different secrets, or
+apply affine maps, without communicating.  The circuit and SNIP layers
+lean on this constantly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.field.prime_field import FieldError, PrimeField
+
+
+def share_scalar(field: PrimeField, x: int, n_shares: int, rng) -> list[int]:
+    """Split ``x`` into ``n_shares`` additive shares."""
+    if n_shares < 1:
+        raise FieldError(f"need at least one share, got {n_shares}")
+    p = field.modulus
+    shares = [rng.randrange(p) for _ in range(n_shares - 1)]
+    last = (x - sum(shares)) % p
+    shares.append(last)
+    return shares
+
+
+def reconstruct_scalar(field: PrimeField, shares: Sequence[int]) -> int:
+    """Recombine shares: the secret is simply their sum."""
+    if not shares:
+        raise FieldError("cannot reconstruct from zero shares")
+    return sum(shares) % field.modulus
+
+
+def share_vector(
+    field: PrimeField, xs: Sequence[int], n_shares: int, rng
+) -> list[list[int]]:
+    """Split a vector component-wise; returns one share-vector per party."""
+    if n_shares < 1:
+        raise FieldError(f"need at least one share, got {n_shares}")
+    p = field.modulus
+    randrange = rng.randrange
+    length = len(xs)
+    out = [[randrange(p) for _ in range(length)] for _ in range(n_shares - 1)]
+    last = list(xs)
+    for share in out:
+        for i, v in enumerate(share):
+            last[i] -= v
+    out.append([v % p for v in last])
+    return out
+
+
+def reconstruct_vector(
+    field: PrimeField, share_vectors: Sequence[Sequence[int]]
+) -> list[int]:
+    """Recombine vector shares component-wise."""
+    if not share_vectors:
+        raise FieldError("cannot reconstruct from zero shares")
+    length = len(share_vectors[0])
+    p = field.modulus
+    out = [0] * length
+    for share in share_vectors:
+        if len(share) != length:
+            raise FieldError("ragged share vectors")
+        for i, v in enumerate(share):
+            out[i] += v
+    return [v % p for v in out]
+
+
+def share_of_constant(
+    field: PrimeField, constant: int, is_leader: bool
+) -> int:
+    """A canonical additive sharing of a public constant.
+
+    When every server must hold a share of a *public* value (circuit
+    constants, the padding zeros of the SNIP wire polynomials), the
+    convention is that the leader's share is the constant itself and
+    every other share is zero.  Summing across servers then yields the
+    constant exactly once.
+    """
+    if is_leader:
+        return constant % field.modulus
+    return 0

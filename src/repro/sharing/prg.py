@@ -1,0 +1,144 @@
+"""PRG-compressed secret sharing (Appendix I, first optimization).
+
+The naive way to split ``x in F^L`` into ``s`` shares ships ``s * L``
+field elements.  Instead, the first ``s - 1`` shares are the output of a
+pseudo-random generator on a short seed, and only the last share is an
+explicit vector:
+
+    [x]_i = PRG(seed_i)            for i < s
+    [x]_s = x - sum_{i<s} PRG(seed_i)
+
+Total upload: ``L + O(1)`` elements — a ~5x bandwidth saving in the
+paper's five-server deployment.
+
+The paper's prototype uses AES in counter mode; this reproduction uses
+the SHAKE-256 XOF from ``hashlib`` (the only keyed PRG available
+offline), which has the same interface contract: a short uniform seed
+expands to an unbounded pseudorandom stream.  Field elements are
+derived from the stream by rejection sampling so they are uniform in
+``[0, p)`` with no modular bias.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Sequence
+
+from repro.field.prime_field import FieldError, PrimeField
+
+#: Seed length in bytes (128-bit security, matching the paper's lambda).
+SEED_SIZE = 16
+
+# Rejection sampling still needs a stream long enough for the unlucky
+# case; expanding in blocks of this many candidate elements at a time
+# keeps the expected number of XOF calls at ~1.
+_BLOCK_ELEMENTS = 64
+
+
+class PrgStream:
+    """An incremental SHAKE-256 output stream with a byte cursor.
+
+    ``hashlib``'s SHAKE objects only expose one-shot ``digest(n)``; this
+    wrapper re-digests geometrically so that streaming ``read`` calls
+    stay amortized-linear.
+    """
+
+    def __init__(self, seed: bytes, domain: bytes = b"prio-prg") -> None:
+        if len(seed) != SEED_SIZE:
+            raise FieldError(f"seed must be {SEED_SIZE} bytes, got {len(seed)}")
+        self._xof = hashlib.shake_256(domain + b"\x00" + seed)
+        self._buffer = b""
+        self._cursor = 0
+
+    def read(self, n: int) -> bytes:
+        needed = self._cursor + n
+        if needed > len(self._buffer):
+            # Geometric growth keeps total digest work linear in bytes read.
+            new_size = max(needed, 2 * len(self._buffer), 256)
+            self._buffer = self._xof.digest(new_size)
+        out = self._buffer[self._cursor : self._cursor + n]
+        self._cursor += n
+        return out
+
+
+def expand_seed(field: PrimeField, seed: bytes, length: int) -> list[int]:
+    """Expand a seed into ``length`` uniform field elements.
+
+    Rejection sampling: draw ``encoded_size`` bytes, mask to the modulus
+    bit width, retry on >= p.  For the shipped near-power-of-two moduli
+    the rejection rate is far below 1%.
+    """
+    stream = PrgStream(seed)
+    p = field.modulus
+    bits = field.bits
+    size = field.encoded_size
+    excess_bits = size * 8 - bits
+    mask = (1 << bits) - 1
+    out: list[int] = []
+    while len(out) < length:
+        chunk = stream.read(size * min(_BLOCK_ELEMENTS, length - len(out) + 8))
+        for offset in range(0, len(chunk) - size + 1, size):
+            candidate = int.from_bytes(chunk[offset : offset + size], "big")
+            if excess_bits:
+                candidate &= mask
+            if candidate < p:
+                out.append(candidate)
+                if len(out) == length:
+                    break
+    return out
+
+
+def new_seed(rng=None) -> bytes:
+    """A fresh PRG seed; cryptographic from ``os.urandom`` by default.
+
+    Tests pass a deterministic ``random.Random`` for reproducibility.
+    """
+    if rng is None:
+        return os.urandom(SEED_SIZE)
+    return rng.randbytes(SEED_SIZE)
+
+
+def prg_share_vector(
+    field: PrimeField, xs: Sequence[int], n_shares: int, rng=None
+) -> tuple[list[bytes], list[int]]:
+    """Split ``xs`` into ``n_shares - 1`` seeds plus one explicit vector.
+
+    Returns ``(seeds, explicit_share)``: party ``i < n_shares - 1``
+    receives ``seeds[i]``; the last party receives ``explicit_share``.
+    """
+    if n_shares < 1:
+        raise FieldError(f"need at least one share, got {n_shares}")
+    p = field.modulus
+    seeds = [new_seed(rng) for _ in range(n_shares - 1)]
+    last = [v % p for v in xs]
+    for seed in seeds:
+        expanded = expand_seed(field, seed, len(last))
+        last = [(a - b) % p for a, b in zip(last, expanded)]
+    return seeds, last
+
+
+def prg_reconstruct_vector(
+    field: PrimeField,
+    seeds: Sequence[bytes],
+    explicit_share: Sequence[int],
+) -> list[int]:
+    """Recombine a PRG-compressed sharing (inverse of ``prg_share_vector``)."""
+    total = [v % field.modulus for v in explicit_share]
+    p = field.modulus
+    for seed in seeds:
+        expanded = expand_seed(field, seed, len(total))
+        total = [(a + b) % p for a, b in zip(total, expanded)]
+    return total
+
+
+def compressed_upload_elements(length: int, n_shares: int) -> int:
+    """Field-element upload cost with PRG compression (for Fig 6 accounting).
+
+    ``length`` explicit elements plus one seed per other server; seeds
+    are charged as a constant ~1.5 elements' worth of bytes at the
+    87-bit field size, reported separately by the wire format, so this
+    returns just the element count.
+    """
+    del n_shares  # bandwidth is independent of s with compression
+    return length

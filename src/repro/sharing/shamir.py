@@ -1,0 +1,96 @@
+"""Shamir threshold secret sharing (Appendix B extension).
+
+Prio proper uses s-out-of-s additive sharing: robustness requires all
+servers honest, and a single missing server halts the protocol.
+Appendix B sketches the standard trade-off — replacing additive shares
+with Shamir t-out-of-n shares tolerates ``n - t`` offline/faulty
+servers, at the cost of weakening privacy to coalitions of at most
+``t - 1`` servers.  This module implements that extension so the
+trade-off can be measured (see ``benchmarks/bench_ablation_batch.py``
+and the protocol tests).
+
+A secret ``x`` is shared as evaluations of a random degree ``t - 1``
+polynomial ``q`` with ``q(0) = x``; any ``t`` shares interpolate back.
+Like additive sharing, Shamir sharing is linear, so the aggregation
+step (summing accumulators) works unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.field.prime_field import FieldError, PrimeField
+from repro.field.poly import lagrange_coefficients_at, poly_eval
+
+
+def shamir_share_scalar(
+    field: PrimeField, x: int, threshold: int, n_shares: int, rng
+) -> list[tuple[int, int]]:
+    """Split ``x`` into ``n_shares`` points; any ``threshold`` reconstruct.
+
+    Returns ``(index, value)`` pairs with indices ``1..n_shares``.
+    """
+    if not 1 <= threshold <= n_shares:
+        raise FieldError(
+            f"need 1 <= threshold <= n_shares, got {threshold}/{n_shares}"
+        )
+    if n_shares >= field.modulus:
+        raise FieldError("field too small for this many shares")
+    coeffs = [x % field.modulus] + [
+        field.rand(rng) for _ in range(threshold - 1)
+    ]
+    return [(i, poly_eval(field, coeffs, i)) for i in range(1, n_shares + 1)]
+
+
+def shamir_reconstruct_scalar(
+    field: PrimeField, shares: Sequence[tuple[int, int]]
+) -> int:
+    """Interpolate ``q(0)`` from at least ``threshold`` distinct shares."""
+    if not shares:
+        raise FieldError("cannot reconstruct from zero shares")
+    xs = [i for i, _ in shares]
+    ys = [v for _, v in shares]
+    if len(set(xs)) != len(xs):
+        raise FieldError("duplicate share indices")
+    weights = lagrange_coefficients_at(field, xs, 0)
+    return field.inner_product(weights, ys)
+
+
+def shamir_share_vector(
+    field: PrimeField,
+    xs: Sequence[int],
+    threshold: int,
+    n_shares: int,
+    rng,
+) -> list[tuple[int, list[int]]]:
+    """Component-wise Shamir sharing of a vector."""
+    per_component = [
+        shamir_share_scalar(field, x, threshold, n_shares, rng) for x in xs
+    ]
+    out = []
+    for party in range(n_shares):
+        index = party + 1
+        values = [component[party][1] for component in per_component]
+        out.append((index, values))
+    return out
+
+
+def shamir_reconstruct_vector(
+    field: PrimeField, shares: Sequence[tuple[int, Sequence[int]]]
+) -> list[int]:
+    """Reconstruct a vector from per-party ``(index, values)`` shares."""
+    if not shares:
+        raise FieldError("cannot reconstruct from zero shares")
+    xs = [i for i, _ in shares]
+    if len(set(xs)) != len(xs):
+        raise FieldError("duplicate share indices")
+    weights = lagrange_coefficients_at(field, xs, 0)
+    length = len(shares[0][1])
+    p = field.modulus
+    out = [0] * length
+    for weight, (_, values) in zip(weights, shares):
+        if len(values) != length:
+            raise FieldError("ragged share vectors")
+        for i, v in enumerate(values):
+            out[i] = (out[i] + weight * v) % p
+    return out

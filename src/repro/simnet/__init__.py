@@ -1,0 +1,29 @@
+"""Simulated WAN substrate: topology, event network, throughput model."""
+
+from repro.simnet.network import SimError, SimNetwork
+from repro.simnet.regions import (
+    Topology,
+    paper_wan_topology,
+    same_datacenter,
+    wan_subset,
+)
+from repro.simnet.prio_cluster import ClusterReport, run_cluster
+from repro.simnet.throughput import (
+    PipelineCosts,
+    cluster_throughput,
+    leader_amortized_tx,
+)
+
+__all__ = [
+    "SimError",
+    "SimNetwork",
+    "Topology",
+    "paper_wan_topology",
+    "same_datacenter",
+    "wan_subset",
+    "ClusterReport",
+    "run_cluster",
+    "PipelineCosts",
+    "cluster_throughput",
+    "leader_amortized_tx",
+]

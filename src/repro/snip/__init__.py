@@ -1,0 +1,72 @@
+"""Secret-shared non-interactive proofs — the paper's core contribution."""
+
+from repro.snip.proof import (
+    SnipError,
+    SnipProof,
+    SnipProofShare,
+    proof_num_elements,
+    snip_domain_sizes,
+)
+from repro.snip.prover import build_proof, prove_and_share, share_proof
+from repro.snip.reference import (
+    ReferenceProof,
+    ReferenceProofShare,
+    build_reference_proof,
+    share_reference_proof,
+    verify_reference_snip,
+)
+from repro.snip.mpc_variant import (
+    MpcSubmissionShare,
+    MpcVerificationOutcome,
+    build_mpc_submission,
+    build_triple_validity_circuit,
+    mpc_upload_elements,
+    verify_mpc_submission,
+)
+from repro.snip.simulator import AdversaryView, SnipSimulator, real_adversary_view
+from repro.snip.soundness import SoundnessReport, run_soundness_experiment
+from repro.snip.verifier import (
+    Round1Message,
+    Round2Message,
+    ServerRandomness,
+    SnipVerifierParty,
+    VerificationChallenge,
+    VerificationContext,
+    VerificationOutcome,
+    verify_snip,
+)
+
+__all__ = [
+    "SnipError",
+    "SnipProof",
+    "SnipProofShare",
+    "proof_num_elements",
+    "snip_domain_sizes",
+    "build_proof",
+    "prove_and_share",
+    "share_proof",
+    "ReferenceProof",
+    "ReferenceProofShare",
+    "build_reference_proof",
+    "share_reference_proof",
+    "verify_reference_snip",
+    "MpcSubmissionShare",
+    "MpcVerificationOutcome",
+    "build_mpc_submission",
+    "build_triple_validity_circuit",
+    "mpc_upload_elements",
+    "verify_mpc_submission",
+    "SoundnessReport",
+    "run_soundness_experiment",
+    "AdversaryView",
+    "SnipSimulator",
+    "real_adversary_view",
+    "Round1Message",
+    "Round2Message",
+    "ServerRandomness",
+    "SnipVerifierParty",
+    "VerificationChallenge",
+    "VerificationContext",
+    "VerificationOutcome",
+    "verify_snip",
+]

@@ -1,0 +1,192 @@
+"""The "Prio-MPC" variant (Section 4.4, Appendix E).
+
+When the Valid predicate is a server-side secret (e.g. a proprietary
+spam filter), the client cannot evaluate it and therefore cannot build
+a SNIP for it.  Instead:
+
+1. the client deals one Beaver triple per multiplication gate of the
+   (to-it-unknown-size) Valid circuit, and proves *with an ordinary
+   SNIP* that every dealt triple really satisfies ``c_t = a_t * b_t``
+   (the triple-validity circuit has exactly M multiplication gates);
+2. the servers, having verified the triples, run Beaver's MPC
+   (:mod:`repro.mpc.circuit_mpc`) over the Valid circuit on the shared
+   client input, consuming the dealt triples;
+3. the servers publish a random linear combination of their assertion
+   shares and accept iff it sums to zero.
+
+Costs match the paper's comparison: server-to-server traffic grows to
+Theta(M) elements (Figure 6's top curve) and privacy holds only against
+honest-but-curious servers, but the client no longer needs to know the
+circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.circuit.circuit import Circuit, CircuitBuilder
+from repro.field.prime_field import PrimeField
+from repro.mpc.beaver import BeaverTriple, BeaverTripleShare, generate_triple
+from repro.mpc.circuit_mpc import run_circuit_mpc
+from repro.sharing.additive import share_vector
+from repro.snip.proof import SnipError, SnipProofShare
+from repro.snip.prover import build_proof, share_proof
+from repro.snip.verifier import (
+    ServerRandomness,
+    VerificationContext,
+    VerificationOutcome,
+    verify_snip,
+)
+
+
+def build_triple_validity_circuit(field: PrimeField, n_triples: int) -> Circuit:
+    """Circuit over the flattened triples asserting ``a_t * b_t = c_t``.
+
+    Input layout: ``[a_1, b_1, c_1, ..., a_M, b_M, c_M]``; exactly one
+    multiplication gate per triple.
+    """
+    if n_triples < 1:
+        raise SnipError("need at least one triple")
+    builder = CircuitBuilder(field, name=f"triple-validity-{n_triples}")
+    for _ in range(n_triples):
+        a, b, c = builder.inputs(3)
+        builder.assert_zero(builder.sub(builder.mul(a, b), c))
+    return builder.build()
+
+
+@dataclass
+class MpcSubmissionShare:
+    """One server's slice of a Prio-MPC client upload."""
+
+    x_share: list[int]
+    triple_vector_share: list[int]
+    triple_proof_share: SnipProofShare | None
+
+    def triple_shares(self) -> list[BeaverTripleShare]:
+        flat = self.triple_vector_share
+        if len(flat) % 3 != 0:
+            raise SnipError("triple vector length not a multiple of 3")
+        return [
+            BeaverTripleShare(a=flat[i], b=flat[i + 1], c=flat[i + 2])
+            for i in range(0, len(flat), 3)
+        ]
+
+
+def build_mpc_submission(
+    field: PrimeField,
+    n_mul_gates: int,
+    x: Sequence[int],
+    n_servers: int,
+    rng,
+) -> list[MpcSubmissionShare]:
+    """Client side: share x, deal M proven-valid triples.
+
+    The client only needs ``n_mul_gates`` (the circuit's size), not the
+    circuit itself — that is the entire point of the variant.
+    """
+    x_shares = share_vector(field, list(x), n_servers, rng)
+    if n_mul_gates == 0:
+        return [
+            MpcSubmissionShare(
+                x_share=x_shares[i],
+                triple_vector_share=[],
+                triple_proof_share=None,
+            )
+            for i in range(n_servers)
+        ]
+    triples = [generate_triple(field, rng) for _ in range(n_mul_gates)]
+    flat: list[int] = []
+    for t in triples:
+        flat.extend((t.a, t.b, t.c))
+    triple_circuit = build_triple_validity_circuit(field, n_mul_gates)
+    proof = build_proof(field, triple_circuit, flat, rng)
+    proof_shares = share_proof(field, proof, n_servers, rng)
+    flat_shares = share_vector(field, flat, n_servers, rng)
+    return [
+        MpcSubmissionShare(
+            x_share=x_shares[i],
+            triple_vector_share=flat_shares[i],
+            triple_proof_share=proof_shares[i],
+        )
+        for i in range(n_servers)
+    ]
+
+
+@dataclass
+class MpcVerificationOutcome:
+    accepted: bool
+    triple_check: VerificationOutcome | None
+    assertion_total: int
+    n_rounds: int
+    #: field elements broadcast per server (SNIP + MPC + final check)
+    elements_broadcast_per_server: int
+
+
+def verify_mpc_submission(
+    field: PrimeField,
+    circuit: Circuit,
+    submission_shares: Sequence[MpcSubmissionShare],
+    randomness: ServerRandomness,
+    epoch: int = 0,
+) -> MpcVerificationOutcome:
+    """Server side: SNIP-check the triples, then MPC-evaluate Valid."""
+    n_servers = len(submission_shares)
+    m = circuit.n_mul_gates
+
+    triple_outcome: VerificationOutcome | None = None
+    if m > 0:
+        triple_circuit = build_triple_validity_circuit(field, m)
+        challenge = randomness.challenge(field, triple_circuit, epoch)
+        ctx = VerificationContext(field, triple_circuit, challenge)
+        proof_shares = []
+        for share in submission_shares:
+            if share.triple_proof_share is None:
+                raise SnipError("missing triple proof share")
+            proof_shares.append(share.triple_proof_share)
+        triple_outcome = verify_snip(
+            ctx,
+            [s.triple_vector_share for s in submission_shares],
+            proof_shares,
+        )
+        if not triple_outcome.accepted:
+            return MpcVerificationOutcome(
+                accepted=False,
+                triple_check=triple_outcome,
+                assertion_total=0,
+                n_rounds=0,
+                elements_broadcast_per_server=4,
+            )
+
+    results = run_circuit_mpc(
+        field,
+        circuit,
+        [s.x_share for s in submission_shares],
+        [s.triple_shares() for s in submission_shares],
+    )
+
+    # Batched zero-check over assertion shares (same RLC trick).
+    challenge = randomness.challenge(field, circuit, epoch)
+    coefficients = list(challenge.assertion_coefficients)
+    p = field.modulus
+    total = 0
+    for result in results:
+        total += field.inner_product(coefficients, result.assertion_shares)
+    total %= p
+    per_server = 4 + results[0].elements_broadcast + 1
+    return MpcVerificationOutcome(
+        accepted=(total == 0),
+        triple_check=triple_outcome,
+        assertion_total=total,
+        n_rounds=results[0].n_rounds,
+        elements_broadcast_per_server=per_server,
+    )
+
+
+def mpc_upload_elements(n_inputs: int, n_mul_gates: int) -> int:
+    """Client->server upload in field elements (Figure 6 accounting)."""
+    from repro.snip.proof import proof_num_elements
+
+    if n_mul_gates == 0:
+        return n_inputs
+    return n_inputs + 3 * n_mul_gates + proof_num_elements(n_mul_gates)

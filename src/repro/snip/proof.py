@@ -1,0 +1,139 @@
+"""SNIP proof objects and their share layout.
+
+A SNIP proof (Section 4.2) is the client-produced tuple
+
+    pi = ( f(0), g(0), h, a, b, c )
+
+where f and g are the randomized polynomials through the left/right
+input wires of the Valid circuit's multiplication gates, h = f * g, and
+(a, b, c) is a Beaver multiplication triple dealt by the client.
+
+Following the Appendix I optimizations that the paper's own prototype
+uses, this implementation:
+
+* places the multiplication-gate wire values on a radix-2 NTT domain of
+  size ``N = next_pow2(M + 1)`` (index 0 holds the random mask, indices
+  1..M the wire values, the tail is zero padding), and
+* ships ``h`` in *point-value form* over the double domain of size
+  ``2N``, whose even-indexed points coincide with the small domain —
+  so servers read each multiplication gate's output-wire share directly
+  from ``h_evals[2t]`` with no interpolation at all.
+
+``flatten``/``unflatten`` give the canonical field-element vector
+layout used for PRG share compression and the wire format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.field.ntt import next_power_of_two
+from repro.field.prime_field import FieldError, PrimeField
+from repro.mpc.beaver import BeaverTriple, BeaverTripleShare
+
+
+class SnipError(ValueError):
+    """Raised for malformed proofs or protocol misuse."""
+
+
+def snip_domain_sizes(n_mul_gates: int) -> tuple[int, int]:
+    """(N, 2N) domain sizes for a circuit with M multiplication gates.
+
+    M = 0 circuits need no polynomial test at all; both sizes are 0.
+    """
+    if n_mul_gates == 0:
+        return 0, 0
+    n = next_power_of_two(n_mul_gates + 1)
+    return n, 2 * n
+
+
+def proof_num_elements(n_mul_gates: int) -> int:
+    """Length of the flattened proof share in field elements.
+
+    f(0), g(0), the 2N evaluations of h, and the triple (a, b, c).
+    This is the client->server SNIP overhead the paper's Figure 6
+    accounts under "Prio".
+    """
+    _, size_2n = snip_domain_sizes(n_mul_gates)
+    return 2 + size_2n + 3
+
+
+@dataclass
+class SnipProof:
+    """The plaintext proof; exists only inside the client."""
+
+    f0: int
+    g0: int
+    h_evals: list[int]
+    triple: BeaverTriple
+
+    def flatten(self) -> list[int]:
+        """Same canonical layout as :meth:`SnipProofShare.flatten`.
+
+        The protocol layer concatenates ``x || flatten(proof)`` into a
+        single vector and PRG-shares the whole thing, so proof shares
+        come out of the same seeds as data shares.
+        """
+        return [
+            self.f0, self.g0, *self.h_evals,
+            self.triple.a, self.triple.b, self.triple.c,
+        ]
+
+
+@dataclass
+class SnipProofShare:
+    """One server's additive share of a SNIP proof."""
+
+    f0: int
+    g0: int
+    h_evals: list[int]
+    a: int
+    b: int
+    c: int
+
+    @property
+    def triple_share(self) -> BeaverTripleShare:
+        return BeaverTripleShare(a=self.a, b=self.b, c=self.c)
+
+    def flatten(self) -> list[int]:
+        """Canonical vector layout: [f0, g0, h_evals..., a, b, c]."""
+        return [self.f0, self.g0, *self.h_evals, self.a, self.b, self.c]
+
+    @classmethod
+    def unflatten(
+        cls, field: PrimeField, elements: Sequence[int], n_mul_gates: int
+    ) -> "SnipProofShare":
+        expected = proof_num_elements(n_mul_gates)
+        if len(elements) != expected:
+            raise SnipError(
+                f"proof share for M={n_mul_gates} needs {expected} "
+                f"elements, got {len(elements)}"
+            )
+        p = field.modulus
+        elements = [e % p for e in elements]
+        _, size_2n = snip_domain_sizes(n_mul_gates)
+        return cls(
+            f0=elements[0],
+            g0=elements[1],
+            h_evals=list(elements[2 : 2 + size_2n]),
+            a=elements[-3],
+            b=elements[-2],
+            c=elements[-1],
+        )
+
+    def mul_output_shares(self, n_mul_gates: int) -> list[int]:
+        """Shares of the M multiplication-gate output wires.
+
+        Gate t (1-based) lives at small-domain point t, which is
+        double-domain point 2t — hence ``h_evals[2 * t]``.
+        """
+        if n_mul_gates == 0:
+            return []
+        size_n, size_2n = snip_domain_sizes(n_mul_gates)
+        if len(self.h_evals) != size_2n:
+            raise SnipError(
+                f"h_evals has {len(self.h_evals)} entries, expected {size_2n}"
+            )
+        del size_n
+        return [self.h_evals[2 * t] for t in range(1, n_mul_gates + 1)]

@@ -1,0 +1,166 @@
+"""Textbook SNIP over the integer points {0, 1, ..., M} (Section 4.2).
+
+This is the construction exactly as the paper's prose describes it:
+
+* f and g are the lowest-degree polynomials with ``f(t) = u_t`` and
+  ``g(t) = v_t`` for gate numbers ``t in {1..M}`` and random values at
+  ``t = 0``;
+* the client ships ``h = f * g`` as a *coefficient vector* of length
+  ``2M + 1``;
+* each server interpolates its shares of f and g (O(M^2) Lagrange) and
+  evaluates its share of h at every gate point (another O(M^2)).
+
+It exists for two reasons: it cross-checks the production NTT variant
+(tests assert both accept/reject identically), and it is the baseline
+in the "verification without interpolation" ablation benchmark — the
+measured gap between this and :mod:`repro.snip.verifier` reproduces
+why Appendix I's optimization matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.circuit.circuit import Circuit, batched_assertion_share
+from repro.field.poly import (
+    lagrange_coefficients_at,
+    poly_eval,
+    poly_mul,
+    lagrange_interpolate,
+)
+from repro.field.prime_field import PrimeField
+from repro.mpc.beaver import BeaverTriple, generate_triple, share_triple
+from repro.sharing.additive import share_scalar, share_vector
+from repro.snip.proof import SnipError
+from repro.snip.verifier import VerificationChallenge, VerificationOutcome
+
+
+@dataclass
+class ReferenceProof:
+    f0: int
+    g0: int
+    h_coeffs: list[int]
+    triple: BeaverTriple
+
+
+@dataclass
+class ReferenceProofShare:
+    f0: int
+    g0: int
+    h_coeffs: list[int]
+    a: int
+    b: int
+    c: int
+
+
+def build_reference_proof(
+    field: PrimeField,
+    circuit: Circuit,
+    x: Sequence[int],
+    rng,
+    check_valid: bool = True,
+) -> ReferenceProof:
+    """Client side: interpolate f, g over {0..M}; multiply to get h."""
+    trace = circuit.evaluate(field, x)
+    if check_valid and not trace.is_valid:
+        raise SnipError(f"input does not satisfy {circuit.name}")
+    m = circuit.n_mul_gates
+    if m == 0:
+        return ReferenceProof(0, 0, [], BeaverTriple(0, 0, 0))
+    points = list(range(m + 1))
+    u0 = field.rand(rng)
+    v0 = field.rand(rng)
+    f_coeffs = lagrange_interpolate(field, points, [u0] + trace.mul_inputs_left)
+    g_coeffs = lagrange_interpolate(field, points, [v0] + trace.mul_inputs_right)
+    h_coeffs = poly_mul(field, f_coeffs, g_coeffs)
+    h_coeffs += [0] * (2 * m + 1 - len(h_coeffs))
+    return ReferenceProof(
+        f0=u0, g0=v0, h_coeffs=h_coeffs, triple=generate_triple(field, rng)
+    )
+
+
+def share_reference_proof(
+    field: PrimeField, proof: ReferenceProof, n_servers: int, rng
+) -> list[ReferenceProofShare]:
+    f0 = share_scalar(field, proof.f0, n_servers, rng)
+    g0 = share_scalar(field, proof.g0, n_servers, rng)
+    if proof.h_coeffs:
+        h = share_vector(field, proof.h_coeffs, n_servers, rng)
+    else:
+        h = [[] for _ in range(n_servers)]
+    triple = share_triple(field, proof.triple, n_servers, rng)
+    return [
+        ReferenceProofShare(
+            f0=f0[i], g0=g0[i], h_coeffs=h[i],
+            a=triple[i].a, b=triple[i].b, c=triple[i].c,
+        )
+        for i in range(n_servers)
+    ]
+
+
+def verify_reference_snip(
+    field: PrimeField,
+    circuit: Circuit,
+    x_shares: Sequence[Sequence[int]],
+    proof_shares: Sequence[ReferenceProofShare],
+    challenge: VerificationChallenge,
+) -> VerificationOutcome:
+    """Server side, run lock-step in-process, with naive interpolation."""
+    n_servers = len(x_shares)
+    if n_servers < 2:
+        raise SnipError("a SNIP needs at least two verifiers")
+    m = circuit.n_mul_gates
+    p = field.modulus
+    r = challenge.r
+    if m and r in set(range(1, m + 1)):
+        raise SnipError("challenge point r collides with a gate index")
+
+    coeffs = list(challenge.assertion_coefficients)
+    sigma_shares = []
+    assertion_shares = []
+    d_shares: list[int] = []
+    e_shares: list[int] = []
+    per_server_state = []
+    for i in range(n_servers):
+        share = proof_shares[i]
+        # Multiplication-gate outputs: evaluate [h]_i at t = 1..M.
+        mul_out = [poly_eval(field, share.h_coeffs, t) for t in range(1, m + 1)]
+        wires = circuit.reconstruct_wire_shares(
+            field, x_shares[i], mul_out, is_leader=(i == 0)
+        )
+        assertion_shares.append(
+            batched_assertion_share(field, wires.assertion_shares, coeffs)
+        )
+        if m:
+            points = list(range(m + 1))
+            weights = lagrange_coefficients_at(field, points, r)
+            f_r = field.inner_product(
+                weights, [share.f0] + wires.mul_inputs_left
+            )
+            g_r = field.inner_product(
+                weights, [share.g0] + wires.mul_inputs_right
+            )
+            rh_r = (r * poly_eval(field, share.h_coeffs, r)) % p
+            d_shares.append((f_r - share.a) % p)
+            e_shares.append((r * g_r - share.b) % p)
+            per_server_state.append((share, rh_r))
+
+    if m == 0:
+        sigma_total = 0
+    else:
+        d = sum(d_shares) % p
+        e = sum(e_shares) % p
+        s_inv = pow(n_servers % p, -1, p)
+        for share, rh_r in per_server_state:
+            sigma_shares.append(
+                (d * e % p * s_inv + d * share.b + e * share.a + share.c - rh_r)
+                % p
+            )
+        sigma_total = sum(sigma_shares) % p
+    assertion_total = sum(assertion_shares) % p
+    return VerificationOutcome(
+        accepted=(sigma_total == 0 and assertion_total == 0),
+        sigma_total=sigma_total,
+        assertion_total=assertion_total,
+    )

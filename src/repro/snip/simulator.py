@@ -1,0 +1,179 @@
+"""The SNIP zero-knowledge simulator (Appendix D.2).
+
+The zero-knowledge property says: a malicious server's entire view of
+the verification protocol can be reproduced by a simulator that never
+sees the client's input ``x``.  This module implements that simulator
+for the two-server case (one honest, one adversarial server — the
+general case reduces to it because all values are additively shared).
+
+The simulated view consists of everything the adversarial server
+receives:
+
+* its own shares of ``x`` and of the proof (uniformly random — real
+  additive shares are uniform), and
+* the honest server's two broadcast messages, generated from freshly
+  sampled ``f(r), g(r)`` (uniform in the real world too, thanks to the
+  random masks f(0), g(0)) and from the *consistency relations* the
+  real protocol guarantees.
+
+Tests compare real and simulated view distributions; the library also
+uses the simulator inline as an executable statement of what the
+protocol is allowed to leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import Circuit, batched_assertion_share
+from repro.field.prime_field import PrimeField
+from repro.snip.proof import SnipProofShare, snip_domain_sizes
+from repro.snip.verifier import (
+    Round1Message,
+    Round2Message,
+    SnipVerifierParty,
+    VerificationContext,
+)
+
+
+@dataclass
+class AdversaryView:
+    """What the adversarial server sees during one verification."""
+
+    x_share: list[int]
+    proof_share: SnipProofShare
+    honest_round1: Round1Message
+    honest_round2: Round2Message
+
+
+class SnipSimulator:
+    """Produces adversary views without access to the client's input."""
+
+    def __init__(self, ctx: VerificationContext, rng) -> None:
+        self.ctx = ctx
+        self.rng = rng
+
+    def simulate(
+        self,
+        adversary_delta_d: int = 0,
+        adversary_delta_e: int = 0,
+    ) -> AdversaryView:
+        """Simulate the view of an adversary who shifts its round-1
+        broadcast by (delta_d, delta_e); (0, 0) is an honest-but-curious
+        server."""
+        ctx = self.ctx
+        field = ctx.field
+        circuit = ctx.circuit
+        rng = self.rng
+        p = field.modulus
+        m = ctx.n_mul_gates
+        _, size_2n = snip_domain_sizes(m)
+
+        # The adversary's own shares are uniform in the real protocol.
+        x_share = field.rand_vector(circuit.n_inputs, rng)
+        adv_share = SnipProofShare(
+            f0=field.rand(rng),
+            g0=field.rand(rng),
+            h_evals=field.rand_vector(size_2n, rng),
+            a=field.rand(rng),
+            b=field.rand(rng),
+            c=field.rand(rng),
+        )
+
+        # What an honest holder of these shares would compute locally.
+        adv_party = SnipVerifierParty(
+            ctx, server_index=1, n_servers=2,
+            x_share=x_share, proof_share=adv_share,
+        )
+        adv_round1 = adv_party.round1()
+        adv_f_r = adv_party._f_r
+        adv_rg_r = adv_party._rg_r
+        adv_rh_r = adv_party._rh_r
+        adv_assertion = adv_party._assertion_share
+
+        if m == 0:
+            honest_round1 = Round1Message(d=0, e=0)
+            honest_round2 = Round2Message(
+                sigma=0, assertion=field.neg(adv_assertion)
+            )
+            return AdversaryView(
+                x_share=x_share,
+                proof_share=adv_share,
+                honest_round1=honest_round1,
+                honest_round2=honest_round2,
+            )
+
+        # Sample the protocol-wide secrets the way the real world
+        # distributes them: f(r), g(r) uniform; triple valid.
+        r = ctx.challenge.r
+        f_r = field.rand(rng)
+        g_r = field.rand(rng)
+        h_r = field.mul(f_r, g_r)  # honest client: h = f * g
+        a = field.rand(rng)
+        b = field.rand(rng)
+        c = field.mul(a, b)
+
+        honest_a = field.sub(a, adv_share.a)
+        honest_b = field.sub(b, adv_share.b)
+        honest_c = field.sub(c, adv_share.c)
+        honest_f_r = field.sub(f_r, adv_f_r)
+        honest_rg_r = field.sub((r * g_r) % p, adv_rg_r)
+        honest_rh_r = field.sub((r * h_r) % p, adv_rh_r)
+
+        honest_round1 = Round1Message(
+            d=field.sub(honest_f_r, honest_a),
+            e=field.sub(honest_rg_r, honest_b),
+        )
+
+        # Adversary's (possibly shifted) broadcast, then the honest
+        # server's round-2 response per the real combining rule.
+        d_hat = (adv_round1.d + adversary_delta_d + honest_round1.d) % p
+        e_hat = (adv_round1.e + adversary_delta_e + honest_round1.e) % p
+        s_inv = pow(2, -1, p)
+        honest_sigma = (
+            d_hat * e_hat % p * s_inv
+            + d_hat * honest_b
+            + e_hat * honest_a
+            + honest_c
+            - honest_rh_r
+        ) % p
+        # Valid input: assertion shares across servers sum to zero.
+        honest_round2 = Round2Message(
+            sigma=honest_sigma, assertion=field.neg(adv_assertion)
+        )
+        return AdversaryView(
+            x_share=x_share,
+            proof_share=adv_share,
+            honest_round1=honest_round1,
+            honest_round2=honest_round2,
+        )
+
+
+def real_adversary_view(
+    ctx: VerificationContext,
+    x: list[int],
+    rng,
+    adversary_delta_d: int = 0,
+    adversary_delta_e: int = 0,
+) -> AdversaryView:
+    """Run the *real* two-server protocol on input ``x`` and record the
+    adversary's view, for distribution comparison against the simulator."""
+    from repro.snip.prover import prove_and_share  # local to avoid cycle
+
+    field = ctx.field
+    x_shares, proof_shares = prove_and_share(field, ctx.circuit, x, 2, rng)
+    honest = SnipVerifierParty(ctx, 0, 2, x_shares[0], proof_shares[0])
+    adversary = SnipVerifierParty(ctx, 1, 2, x_shares[1], proof_shares[1])
+    honest_r1 = honest.round1()
+    adv_r1 = adversary.round1()
+    shifted = Round1Message(
+        d=field.add(adv_r1.d, adversary_delta_d),
+        e=field.add(adv_r1.e, adversary_delta_e),
+    )
+    honest_r2 = honest.round2([honest_r1, shifted])
+    return AdversaryView(
+        x_share=list(x_shares[1]),
+        proof_share=proof_shares[1],
+        honest_round1=honest_r1,
+        honest_round2=honest_r2,
+    )

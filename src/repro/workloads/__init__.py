@@ -1,0 +1,28 @@
+"""Section 6.2 application workloads: cell grids, browser stats,
+surveys, and health-regression datasets."""
+
+from repro.workloads.scenarios import (
+    BROWSER_CONFIGS,
+    CELL_GRIDS,
+    HEALTH_DATASETS,
+    SURVEYS,
+    BrowserStatsAfe,
+    CellSignalAfe,
+    Scenario,
+    SurveyAfe,
+    all_scenarios,
+    scenario_by_name,
+)
+
+__all__ = [
+    "BROWSER_CONFIGS",
+    "CELL_GRIDS",
+    "HEALTH_DATASETS",
+    "SURVEYS",
+    "BrowserStatsAfe",
+    "CellSignalAfe",
+    "Scenario",
+    "SurveyAfe",
+    "all_scenarios",
+    "scenario_by_name",
+]

@@ -1,0 +1,186 @@
+"""Tests for boolean OR/AND and min/max AFEs (the GF(2) family)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.afe import (
+    AfeError,
+    ApproxMaxAfe,
+    BoolAndAfe,
+    BoolOrAfe,
+    MaxAfe,
+    MinAfe,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(6001)
+
+
+# ----------------------------------------------------------------------
+# OR / AND
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "inputs,expected",
+    [([False, False, False], False), ([False, True, False], True),
+     ([True] * 5, True), ([False], False)],
+)
+def test_or(inputs, expected, rng):
+    afe = BoolOrAfe(lambda_bits=64)
+    assert afe.roundtrip(inputs, rng) is expected
+
+
+@pytest.mark.parametrize(
+    "inputs,expected",
+    [([True, True, True], True), ([True, False, True], False),
+     ([False] * 4, False), ([True], True)],
+)
+def test_and(inputs, expected, rng):
+    afe = BoolAndAfe(lambda_bits=64)
+    assert afe.roundtrip(inputs, rng) is expected
+
+
+def test_or_false_negative_rate_small_lambda(rng):
+    """With lambda = 2, two 'true' encodings can cancel: the 2^-lambda
+    failure mode is real and observable."""
+    afe = BoolOrAfe(lambda_bits=2)
+    failures = sum(
+        1 for _ in range(2000) if afe.roundtrip([True, True], rng) is False
+    )
+    # Pr[cancel] = 2^-2 (XOR of two equal random strings, conditioned
+    # on... ) — just require it's clearly nonzero yet a minority.
+    assert 0 < failures < 1200
+
+
+def test_or_all_valid_no_circuit(rng):
+    afe = BoolOrAfe(lambda_bits=16)
+    assert afe.valid_circuit() is None
+    assert afe.check_valid(afe.encode(True, rng))
+    assert afe.check_valid([1] * 16)
+    assert not afe.check_valid([1] * 15)  # wrong length only
+
+
+def test_or_requires_rng_for_true():
+    afe = BoolOrAfe(lambda_bits=8)
+    with pytest.raises(AfeError):
+        afe.encode(True)
+    assert afe.encode(False) == [0] * 8
+
+
+def test_or_rejects_non_boolean(rng):
+    afe = BoolOrAfe(lambda_bits=8)
+    with pytest.raises(AfeError):
+        afe.encode(3, rng)
+
+
+def test_bad_lambda():
+    with pytest.raises(AfeError):
+        BoolOrAfe(lambda_bits=0)
+
+
+# ----------------------------------------------------------------------
+# MIN / MAX exact
+# ----------------------------------------------------------------------
+
+
+def test_max_roundtrip(rng):
+    afe = MaxAfe(domain_size=16, lambda_bits=64)
+    values = [3, 7, 1, 11, 0]
+    assert afe.roundtrip(values, rng) == 11
+
+
+def test_min_roundtrip(rng):
+    afe = MinAfe(domain_size=16, lambda_bits=64)
+    values = [3, 7, 2, 11, 5]
+    assert afe.roundtrip(values, rng) == 2
+
+
+def test_max_of_zeros(rng):
+    afe = MaxAfe(domain_size=8, lambda_bits=64)
+    assert afe.roundtrip([0, 0, 0], rng) == 0
+
+
+def test_min_extremes(rng):
+    afe = MinAfe(domain_size=8, lambda_bits=64)
+    assert afe.roundtrip([7, 7], rng) == 7
+    assert afe.roundtrip([0, 7], rng) == 0
+
+
+def test_single_client_minmax(rng):
+    for cls, value in ((MaxAfe, 5), (MinAfe, 5)):
+        afe = cls(domain_size=10, lambda_bits=64)
+        assert afe.roundtrip([value], rng) == value
+
+
+def test_minmax_domain_checks(rng):
+    afe = MaxAfe(domain_size=8, lambda_bits=16)
+    with pytest.raises(AfeError):
+        afe.encode(8, rng)
+    with pytest.raises(AfeError):
+        afe.encode(-1, rng)
+    with pytest.raises(AfeError):
+        MaxAfe(domain_size=1)
+
+
+def test_speed_range_check_example(rng):
+    """The paper's example domain: car speeds 0-250 km/h in unary."""
+    afe = MaxAfe(domain_size=251, lambda_bits=32)
+    speeds = [88, 134, 61, 199]
+    assert afe.roundtrip(speeds, rng) == 199
+
+
+@given(
+    values=st.lists(st.integers(0, 15), min_size=1, max_size=10),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_minmax_property(values, seed):
+    r = random.Random(seed)
+    max_afe = MaxAfe(domain_size=16, lambda_bits=64)
+    min_afe = MinAfe(domain_size=16, lambda_bits=64)
+    assert max_afe.roundtrip(values, r) == max(values)
+    assert min_afe.roundtrip(values, r) == min(values)
+
+
+# ----------------------------------------------------------------------
+# Approximate MAX
+# ----------------------------------------------------------------------
+
+
+def test_approx_max_within_factor(rng):
+    afe = ApproxMaxAfe(domain_size=1 << 20, factor=2.0, lambda_bits=64)
+    values = [1000, 50, 3, 700000]
+    estimate = afe.roundtrip(values, rng)
+    true_max = max(values)
+    assert true_max <= estimate <= true_max * 2.0
+
+
+def test_approx_max_zero(rng):
+    afe = ApproxMaxAfe(domain_size=1 << 10, factor=2.0, lambda_bits=64)
+    assert afe.roundtrip([0, 0], rng) == 0.0
+
+
+def test_approx_max_shrinks_encoding():
+    exact_k = MaxAfe(domain_size=1 << 16, lambda_bits=32).k
+    approx_k = ApproxMaxAfe(domain_size=1 << 16, factor=2.0, lambda_bits=32).k
+    assert approx_k < exact_k / 1000
+
+
+def test_approx_max_bad_factor():
+    with pytest.raises(AfeError):
+        ApproxMaxAfe(domain_size=100, factor=1.0)
+
+
+def test_packet_counter_example(rng):
+    """The paper's networking example: approximate max of 64-bit-ish
+    packet counters with a handful of log bins."""
+    afe = ApproxMaxAfe(domain_size=1 << 30, factor=4.0, lambda_bits=32)
+    counters = [123, 9_000_000, 42_000]
+    estimate = afe.roundtrip(counters, rng)
+    assert 9_000_000 <= estimate <= 9_000_000 * 4.0

@@ -1,0 +1,217 @@
+"""Tests for frequency-count, set, sketch, and most-popular AFEs."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.afe import (
+    AfeError,
+    CountMinSketchAfe,
+    FrequencyCountAfe,
+    MostPopularStringAfe,
+    SetIntersectionAfe,
+    SetUnionAfe,
+)
+from repro.field import FIELD87
+
+
+@pytest.fixture
+def rng():
+    return random.Random(700)
+
+
+# ----------------------------------------------------------------------
+# Frequency count
+# ----------------------------------------------------------------------
+
+
+def test_histogram_roundtrip(rng):
+    afe = FrequencyCountAfe(FIELD87, 8)
+    values = [rng.randrange(8) for _ in range(100)]
+    histogram = afe.roundtrip(values)
+    expected = Counter(values)
+    assert histogram == [expected.get(i, 0) for i in range(8)]
+
+
+def test_one_hot_validation():
+    afe = FrequencyCountAfe(FIELD87, 4)
+    assert afe.check_valid(afe.encode(2))
+    assert not afe.check_valid([1, 1, 0, 0])  # two ones
+    assert not afe.check_valid([0, 0, 0, 0])  # no ones
+    assert not afe.check_valid([2, 0, 0, 0])  # right sum, not a bit
+    assert afe.valid_circuit().n_mul_gates == 4
+
+
+def test_histogram_domain_check():
+    afe = FrequencyCountAfe(FIELD87, 4)
+    with pytest.raises(AfeError):
+        afe.encode(4)
+    with pytest.raises(AfeError):
+        FrequencyCountAfe(FIELD87, 1)
+
+
+def test_quantiles():
+    afe = FrequencyCountAfe(FIELD87, 5)
+    histogram = [1, 4, 3, 0, 2]  # 10 samples
+    assert afe.quantile(histogram, 0.0) == 0
+    assert afe.quantile(histogram, 0.5) == 1
+    assert afe.quantile(histogram, 0.9) == 4
+    assert afe.quantile(histogram, 1.0) == 4
+    assert afe.mode(histogram) == 1
+
+
+def test_quantile_errors():
+    afe = FrequencyCountAfe(FIELD87, 3)
+    with pytest.raises(AfeError):
+        afe.quantile([0, 0, 0], 0.5)
+    with pytest.raises(AfeError):
+        afe.quantile([1, 0, 0], 1.5)
+
+
+@given(values=st.lists(st.integers(0, 5), min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_histogram_property(values):
+    afe = FrequencyCountAfe(FIELD87, 6)
+    histogram = afe.roundtrip(values)
+    assert sum(histogram) == len(values)
+    for v, count in Counter(values).items():
+        assert histogram[v] == count
+
+
+# ----------------------------------------------------------------------
+# Sets
+# ----------------------------------------------------------------------
+
+
+def test_set_union(rng):
+    afe = SetUnionAfe(universe_size=10, lambda_bits=64)
+    sets = [{1, 2}, {2, 5}, set(), {9}]
+    assert afe.roundtrip(sets, rng) == {1, 2, 5, 9}
+
+
+def test_set_intersection(rng):
+    afe = SetIntersectionAfe(universe_size=10, lambda_bits=64)
+    sets = [{1, 2, 5}, {2, 5, 7}, {2, 3, 5}]
+    assert afe.roundtrip(sets, rng) == {2, 5}
+
+
+def test_set_intersection_empty_result(rng):
+    afe = SetIntersectionAfe(universe_size=6, lambda_bits=64)
+    assert afe.roundtrip([{1}, {2}], rng) == set()
+
+
+def test_set_member_bounds(rng):
+    afe = SetUnionAfe(universe_size=4, lambda_bits=16)
+    with pytest.raises(AfeError):
+        afe.encode({4}, rng)
+    with pytest.raises(AfeError):
+        afe.encode({-1}, rng)
+
+
+# ----------------------------------------------------------------------
+# Count-min sketch
+# ----------------------------------------------------------------------
+
+
+def test_sketch_shape_low_res():
+    """The paper's low-res browser config: delta=2^-10, eps=1/10."""
+    afe = CountMinSketchAfe(FIELD87, epsilon=1 / 10, delta=2**-10)
+    assert afe.depth == 7   # ceil(ln(2^10)) = ceil(6.93)
+    assert afe.width == 28  # ceil(e * 10)
+    # Valid: one-hot per row -> depth*width mul gates.
+    assert afe.valid_circuit().n_mul_gates == afe.depth * afe.width
+
+
+def test_sketch_estimates_never_underestimate(rng):
+    afe = CountMinSketchAfe(FIELD87, epsilon=1 / 10, delta=2**-10)
+    items = [f"url-{rng.randrange(6)}" for _ in range(200)]
+    sketch = afe.roundtrip(items)
+    truth = Counter(items)
+    for item, count in truth.items():
+        estimate = sketch.estimate(item)
+        assert estimate >= count
+        assert estimate <= count + 0.1 * len(items) + 1
+
+
+def test_sketch_heavy_hitters(rng):
+    afe = CountMinSketchAfe(FIELD87, epsilon=1 / 50, delta=2**-10)
+    items = ["popular"] * 80 + [f"rare-{i}" for i in range(20)]
+    rng.shuffle(items)
+    sketch = afe.roundtrip(items)
+    hitters = sketch.heavy_hitters(
+        ["popular", "rare-3", "absent"], threshold=40
+    )
+    assert hitters and hitters[0][0] == "popular"
+
+
+def test_sketch_encoding_valid(rng):
+    afe = CountMinSketchAfe(FIELD87, epsilon=1 / 4, delta=0.1)
+    enc = afe.encode("hello")
+    assert afe.check_valid(enc)
+    enc[0] = (enc[0] + 1) % FIELD87.modulus
+    assert not afe.check_valid(enc)
+
+
+def test_sketch_bad_params():
+    with pytest.raises(AfeError):
+        CountMinSketchAfe(FIELD87, epsilon=0, delta=0.1)
+    with pytest.raises(AfeError):
+        CountMinSketchAfe(FIELD87, epsilon=0.1, delta=1.5)
+
+
+def test_sketch_accepts_bytes_and_str():
+    afe = CountMinSketchAfe(FIELD87, epsilon=1 / 4, delta=0.1)
+    assert afe.encode("abc") == afe.encode(b"abc")
+
+
+# ----------------------------------------------------------------------
+# Most popular string
+# ----------------------------------------------------------------------
+
+
+def test_most_popular_majority(rng):
+    afe = MostPopularStringAfe(FIELD87, n_bits=16)
+    winner = 0xBEEF
+    values = [winner] * 6 + [rng.randrange(1 << 16) for _ in range(4)]
+    assert afe.roundtrip(values) == winner
+
+
+def test_most_popular_strings(rng):
+    afe = MostPopularStringAfe(FIELD87, n_bits=64)
+    values = [b"home.com"] * 5 + [b"evil.com"] * 2
+    result = afe.decode_bytes(
+        afe.aggregate([afe.encode(v) for v in values]), len(values)
+    )
+    assert result == b"home.com"
+
+
+def test_most_popular_no_majority_garbage_ok(rng):
+    """Below 50% popularity the output is unspecified — just must not
+    crash and must stay in range."""
+    afe = MostPopularStringAfe(FIELD87, n_bits=8)
+    values = [1, 2, 3, 4]
+    result = afe.roundtrip(values)
+    assert 0 <= result < 256
+
+
+def test_most_popular_validation():
+    afe = MostPopularStringAfe(FIELD87, n_bits=8)
+    assert afe.check_valid(afe.encode(0x5A))
+    assert not afe.check_valid([2] + [0] * 7)
+    with pytest.raises(AfeError):
+        afe.encode(256)
+
+
+@given(
+    winner=st.integers(0, 255),
+    noise=st.lists(st.integers(0, 255), min_size=0, max_size=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_most_popular_property(winner, noise):
+    """A strict majority always decodes exactly."""
+    afe = MostPopularStringAfe(FIELD87, n_bits=8)
+    values = [winner] * (len(noise) + 1) + noise
+    assert afe.roundtrip(values) == winner

@@ -1,0 +1,171 @@
+"""Tests for sum/mean/product/geometric-mean AFEs."""
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.afe import (
+    AfeError,
+    GeometricMeanAfe,
+    IntegerMeanAfe,
+    IntegerSumAfe,
+    ProductAfe,
+    check_field_capacity,
+)
+from repro.field import FIELD87, FIELD_SMALL
+
+
+@pytest.fixture
+def rng():
+    return random.Random(808)
+
+
+def test_sum_afe_shape():
+    afe = IntegerSumAfe(FIELD87, 4)
+    assert afe.k == 5
+    assert afe.k_prime == 1
+    assert afe.valid_circuit().n_mul_gates == 4  # Table 3's "four-bit" config
+
+
+def test_sum_roundtrip(rng):
+    afe = IntegerSumAfe(FIELD87, 8)
+    values = [rng.randrange(256) for _ in range(50)]
+    assert afe.roundtrip(values) == sum(values)
+
+
+def test_sum_encoding_valid(rng):
+    afe = IntegerSumAfe(FIELD87, 6)
+    for _ in range(10):
+        v = rng.randrange(64)
+        assert afe.check_valid(afe.encode(v))
+
+
+def test_sum_rejects_malformed_encoding():
+    afe = IntegerSumAfe(FIELD87, 4)
+    enc = afe.encode(9)
+    enc[0] = 10  # value disagrees with bits
+    assert not afe.check_valid(enc)
+    enc2 = afe.encode(9)
+    enc2[1] = 3  # not a bit
+    assert not afe.check_valid(enc2)
+
+
+def test_sum_rejects_out_of_range():
+    afe = IntegerSumAfe(FIELD87, 4)
+    with pytest.raises(AfeError):
+        afe.encode(16)
+    with pytest.raises(AfeError):
+        afe.encode(-1)
+
+
+def test_sum_needs_positive_bits():
+    with pytest.raises(AfeError):
+        IntegerSumAfe(FIELD87, 0)
+
+
+def test_sum_decode_validates_sigma():
+    afe = IntegerSumAfe(FIELD87, 4)
+    with pytest.raises(AfeError):
+        afe.decode([1, 2], 1)
+
+
+def test_truncate_checks_length():
+    afe = IntegerSumAfe(FIELD87, 4)
+    with pytest.raises(AfeError):
+        afe.truncate([1, 2, 3])
+
+
+def test_aggregate_empty_rejected():
+    afe = IntegerSumAfe(FIELD87, 4)
+    with pytest.raises(AfeError):
+        afe.aggregate([])
+
+
+def test_mean_roundtrip(rng):
+    afe = IntegerMeanAfe(FIELD87, 8)
+    values = [rng.randrange(256) for _ in range(7)]
+    assert afe.roundtrip(values) == Fraction(sum(values), 7)
+
+
+def test_mean_zero_clients():
+    afe = IntegerMeanAfe(FIELD87, 8)
+    with pytest.raises(AfeError):
+        afe.decode([5], 0)
+
+
+def test_field_capacity_guard():
+    check_field_capacity(FIELD87, 2**8, 10**6)  # fine
+    with pytest.raises(AfeError):
+        check_field_capacity(FIELD_SMALL, 2**8, 10**6)
+
+
+def test_product_roundtrip_accuracy(rng):
+    afe = ProductAfe(FIELD87, n_bits=24, frac_bits=12)
+    values = [rng.uniform(1.0, 50.0) for _ in range(5)]
+    estimate = afe.roundtrip(values)
+    exact = math.prod(values)
+    assert abs(math.log2(estimate) - math.log2(exact)) < 0.02
+
+
+def test_product_rejects_inputs_below_one():
+    afe = ProductAfe(FIELD87, n_bits=16)
+    with pytest.raises(AfeError):
+        afe.encode(0.5)
+
+
+def test_product_overflow_guard():
+    afe = ProductAfe(FIELD87, n_bits=10, frac_bits=8)
+    with pytest.raises(AfeError):
+        afe.encode(2.0**5)  # log2 = 5 -> 1280 >= 2^10
+
+
+def test_product_bad_params():
+    with pytest.raises(AfeError):
+        ProductAfe(FIELD87, n_bits=8, frac_bits=8)
+    with pytest.raises(AfeError):
+        ProductAfe(FIELD87, n_bits=8, frac_bits=0)
+
+
+def test_product_circuit_checks_quantized_encoding(rng):
+    afe = ProductAfe(FIELD87, n_bits=16, frac_bits=8)
+    enc = afe.encode(3.7)
+    assert afe.check_valid(enc)
+    enc[2] = 5  # corrupt a bit
+    assert not afe.check_valid(enc)
+
+
+def test_geometric_mean(rng):
+    afe = GeometricMeanAfe(FIELD87, n_bits=24, frac_bits=12)
+    values = [2.0, 8.0]  # geomean = 4
+    assert abs(afe.roundtrip(values) - 4.0) < 0.05
+
+
+def test_geometric_mean_zero_clients():
+    afe = GeometricMeanAfe(FIELD87, n_bits=16)
+    with pytest.raises(AfeError):
+        afe.decode([0], 0)
+
+
+@given(values=st.lists(st.integers(0, 255), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_sum_correctness_property(values):
+    """AFE correctness (Definition 11) for the sum encoding."""
+    afe = IntegerSumAfe(FIELD87, 8)
+    assert afe.roundtrip(values) == sum(values)
+
+
+@given(value=st.integers(0, 255))
+@settings(max_examples=50, deadline=None)
+def test_sum_soundness_property(value):
+    """AFE soundness (Definition 12): encodings validate, and shifting
+    any single coordinate invalidates (for this encoding)."""
+    afe = IntegerSumAfe(FIELD87, 8)
+    enc = afe.encode(value)
+    assert afe.check_valid(enc)
+    bad = list(enc)
+    bad[0] = (bad[0] + 1) % FIELD87.modulus
+    assert not afe.check_valid(bad)

@@ -1,0 +1,93 @@
+"""Tests for variance/stddev AFEs."""
+
+import random
+import statistics
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.afe import AfeError, StddevAfe, VarianceAfe
+from repro.field import FIELD87
+
+
+@pytest.fixture
+def rng():
+    return random.Random(3030)
+
+
+def test_shape():
+    afe = VarianceAfe(FIELD87, 8)
+    assert afe.k == 10
+    assert afe.k_prime == 2
+    # b bit checks + 1 square check
+    assert afe.valid_circuit().n_mul_gates == 9
+
+
+def test_variance_matches_statistics_pvariance(rng):
+    afe = VarianceAfe(FIELD87, 8)
+    values = [rng.randrange(256) for _ in range(40)]
+    mean, variance = afe.roundtrip(values)
+    assert mean == Fraction(sum(values), len(values))
+    expected = statistics.pvariance(values)
+    assert abs(float(variance) - expected) < 1e-9
+
+
+def test_variance_constant_inputs():
+    afe = VarianceAfe(FIELD87, 8)
+    mean, variance = afe.roundtrip([42] * 10)
+    assert mean == 42
+    assert variance == 0
+
+
+def test_single_client():
+    afe = VarianceAfe(FIELD87, 4)
+    mean, variance = afe.roundtrip([7])
+    assert (mean, variance) == (7, 0)
+
+
+def test_encoding_validates(rng):
+    afe = VarianceAfe(FIELD87, 6)
+    enc = afe.encode(33)
+    assert afe.check_valid(enc)
+
+
+def test_wrong_square_rejected():
+    afe = VarianceAfe(FIELD87, 6)
+    enc = afe.encode(33)
+    enc[1] = (enc[1] + 1) % FIELD87.modulus
+    assert not afe.check_valid(enc)
+
+
+def test_out_of_range_rejected():
+    afe = VarianceAfe(FIELD87, 6)
+    with pytest.raises(AfeError):
+        afe.encode(64)
+
+
+def test_zero_clients():
+    afe = VarianceAfe(FIELD87, 6)
+    with pytest.raises(AfeError):
+        afe.decode([0, 0], 0)
+
+
+def test_bad_sigma_length():
+    afe = VarianceAfe(FIELD87, 6)
+    with pytest.raises(AfeError):
+        afe.decode([1], 5)
+
+
+def test_stddev(rng):
+    afe = StddevAfe(FIELD87, 8)
+    values = [rng.randrange(256) for _ in range(25)]
+    mean, stddev = afe.roundtrip(values)
+    assert abs(stddev - statistics.pstdev(values)) < 1e-9
+
+
+@given(values=st.lists(st.integers(0, 63), min_size=2, max_size=25))
+@settings(max_examples=40, deadline=None)
+def test_variance_property(values):
+    afe = VarianceAfe(FIELD87, 6)
+    _, variance = afe.roundtrip(values)
+    assert abs(float(variance) - statistics.pvariance(values)) < 1e-9

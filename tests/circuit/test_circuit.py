@@ -1,0 +1,341 @@
+"""Tests for circuit construction, evaluation, and share reconstruction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    Circuit,
+    CircuitBuilder,
+    CircuitError,
+    Gate,
+    Op,
+    batched_assertion_share,
+)
+from repro.field import FIELD87, FIELD_SMALL, FIELD_TINY, FieldError
+from repro.sharing import reconstruct_scalar, share_vector
+
+
+@pytest.fixture
+def rng():
+    return random.Random(11)
+
+
+def build_bit_circuit(field):
+    """x * (x - 1) == 0, the canonical one-mul Valid circuit."""
+    b = CircuitBuilder(field, name="bit")
+    x = b.input()
+    square = b.mul(x, x)
+    b.assert_zero(b.sub(square, x))
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Builder behaviour
+# ----------------------------------------------------------------------
+
+
+def test_builder_requires_inputs():
+    b = CircuitBuilder(FIELD_TINY)
+    with pytest.raises(CircuitError):
+        b.build()
+
+
+def test_builder_requires_assertions():
+    b = CircuitBuilder(FIELD_TINY)
+    b.input()
+    with pytest.raises(CircuitError):
+        b.build()
+
+
+def test_constant_folding_consumes_no_mul_gates():
+    b = CircuitBuilder(FIELD_TINY)
+    x = b.input()
+    c1 = b.constant(3)
+    c2 = b.constant(4)
+    prod = b.mul(c1, c2)  # folds to constant 12
+    scaled = b.mul(c2, x)  # becomes MUL_CONST
+    b.assert_zero(b.sub(b.add(prod, scaled), x))
+    circuit = b.build()
+    assert circuit.n_mul_gates == 0
+
+
+def test_constant_cache_deduplicates():
+    b = CircuitBuilder(FIELD_TINY)
+    b.input()
+    w1 = b.constant(7)
+    w2 = b.constant(7)
+    w3 = b.constant(7 + FIELD_TINY.modulus)
+    assert w1 == w2 == w3
+
+
+def test_mul_of_two_variables_counts():
+    b = CircuitBuilder(FIELD_TINY)
+    x, y = b.inputs(2)
+    b.assert_zero(b.mul(x, y))
+    assert b.build().n_mul_gates == 1
+
+
+def test_assert_zero_unknown_wire():
+    b = CircuitBuilder(FIELD_TINY)
+    b.input()
+    with pytest.raises(CircuitError):
+        b.assert_zero(99)
+
+
+def test_linear_combination_mismatch():
+    b = CircuitBuilder(FIELD_TINY)
+    x = b.input()
+    with pytest.raises(CircuitError):
+        b.linear_combination([1, 2], [x])
+
+
+def test_wire_sum_empty_is_zero_const():
+    b = CircuitBuilder(FIELD_TINY)
+    x = b.input()
+    zero = b.wire_sum([])
+    b.assert_equal(x, zero)
+    circuit = b.build()
+    assert circuit.check(FIELD_TINY, [0])
+    assert not circuit.check(FIELD_TINY, [5])
+
+
+# ----------------------------------------------------------------------
+# Structural validation
+# ----------------------------------------------------------------------
+
+
+def test_forward_reference_rejected():
+    gates = [Gate(Op.INPUT, payload=0), Gate(Op.ADD, left=0, right=5)]
+    with pytest.raises(CircuitError):
+        Circuit(gates, n_inputs=1, assertions=[1])
+
+
+def test_duplicate_input_index_rejected():
+    gates = [Gate(Op.INPUT, payload=0), Gate(Op.INPUT, payload=0)]
+    with pytest.raises(CircuitError):
+        Circuit(gates, n_inputs=2, assertions=[0])
+
+
+def test_assertion_out_of_range_rejected():
+    gates = [Gate(Op.INPUT, payload=0)]
+    with pytest.raises(CircuitError):
+        Circuit(gates, n_inputs=1, assertions=[3])
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+
+
+def test_bit_circuit_accepts_bits_rejects_others():
+    circuit = build_bit_circuit(FIELD_TINY)
+    assert circuit.check(FIELD_TINY, [0])
+    assert circuit.check(FIELD_TINY, [1])
+    for v in range(2, 97):
+        assert not circuit.check(FIELD_TINY, [v])
+
+
+def test_evaluate_records_mul_trace():
+    f = FIELD_TINY
+    b = CircuitBuilder(f)
+    x, y = b.inputs(2)
+    xy = b.mul(x, y)
+    x2 = b.mul(x, x)
+    b.assert_zero(b.sub(xy, x2))
+    circuit = b.build()
+    trace = circuit.evaluate(f, [3, 9])
+    assert trace.mul_inputs_left == [3, 3]
+    assert trace.mul_inputs_right == [9, 3]
+    assert trace.mul_outputs == [27, 9]
+    assert trace.assertion_values == [(27 - 9) % 97]
+    assert not trace.is_valid
+
+
+def test_evaluate_wrong_arity():
+    circuit = build_bit_circuit(FIELD_TINY)
+    with pytest.raises(CircuitError):
+        circuit.evaluate(FIELD_TINY, [1, 2])
+
+
+def test_evaluate_all_ops():
+    f = FIELD_TINY
+    b = CircuitBuilder(f)
+    x = b.input()
+    w = b.add(x, b.constant(10))      # x + 10
+    w = b.sub(w, b.constant(3))       # x + 7
+    w = b.mul_const(2, w)             # 2x + 14
+    w = b.mul(w, x)                   # (2x + 14) x
+    b.assert_zero(w)
+    circuit = b.build()
+    trace = circuit.evaluate(f, [5])
+    assert trace.wire_values[-1] == ((2 * 5 + 14) * 5) % 97
+
+
+# ----------------------------------------------------------------------
+# Share reconstruction (the SNIP verifier's local step)
+# ----------------------------------------------------------------------
+
+
+def reconstruct_via_shares(circuit, field, inputs, n_servers, rng):
+    """Helper: run the share-local reconstruction across n servers and
+    recombine; must agree with plaintext evaluation."""
+    trace = circuit.evaluate(field, inputs)
+    input_shares = share_vector(field, list(inputs), n_servers, rng)
+    mul_shares = share_vector(field, trace.mul_outputs, n_servers, rng) if (
+        trace.mul_outputs
+    ) else [[] for _ in range(n_servers)]
+    per_server = [
+        circuit.reconstruct_wire_shares(
+            field, input_shares[i], mul_shares[i], is_leader=(i == 0)
+        )
+        for i in range(n_servers)
+    ]
+    return trace, per_server
+
+
+@pytest.mark.parametrize("n_servers", [2, 3, 5])
+def test_wire_share_reconstruction_matches_plaintext(n_servers, rng):
+    f = FIELD_SMALL
+    b = CircuitBuilder(f)
+    x, y, z = b.inputs(3)
+    t1 = b.mul(x, y)
+    t2 = b.add(t1, b.mul_const(7, z))
+    t3 = b.mul(t2, t2)
+    b.assert_zero(b.sub(t3, b.constant(4)))
+    circuit = b.build()
+    inputs = [f.rand(rng) for _ in range(3)]
+    trace, per_server = reconstruct_via_shares(circuit, f, inputs, n_servers, rng)
+    for wire in range(len(circuit)):
+        total = reconstruct_scalar(
+            f, [s.wire_values[wire] for s in per_server]
+        )
+        assert total == trace.wire_values[wire]
+
+
+def test_mul_input_shares_sum_to_plaintext(rng):
+    """The verifier's f/g polynomial points: shares of u_t and v_t."""
+    f = FIELD_SMALL
+    b = CircuitBuilder(f)
+    x, y = b.inputs(2)
+    b.assert_zero(b.mul(b.add(x, y), b.sub(x, y)))
+    circuit = b.build()
+    inputs = [17, 29]
+    trace, per_server = reconstruct_via_shares(circuit, f, inputs, 3, rng)
+    for t in range(circuit.n_mul_gates):
+        left = reconstruct_scalar(
+            f, [s.mul_inputs_left[t] for s in per_server]
+        )
+        right = reconstruct_scalar(
+            f, [s.mul_inputs_right[t] for s in per_server]
+        )
+        assert left == trace.mul_inputs_left[t]
+        assert right == trace.mul_inputs_right[t]
+
+
+def test_assertion_shares_sum_to_zero_for_valid_input(rng):
+    f = FIELD_SMALL
+    circuit = build_bit_circuit(f)
+    trace, per_server = reconstruct_via_shares(circuit, f, [1], 3, rng)
+    assert trace.is_valid
+    combined = reconstruct_scalar(
+        f, [s.assertion_shares[0] for s in per_server]
+    )
+    assert combined == 0
+
+
+def test_reconstruct_rejects_bad_arity(rng):
+    f = FIELD_SMALL
+    circuit = build_bit_circuit(f)
+    with pytest.raises(CircuitError):
+        circuit.reconstruct_wire_shares(f, [1, 2], [0], True)
+    with pytest.raises(CircuitError):
+        circuit.reconstruct_wire_shares(f, [1], [0, 0], True)
+
+
+# ----------------------------------------------------------------------
+# Batched assertions
+# ----------------------------------------------------------------------
+
+
+def test_batched_assertion_share_zero_when_valid(rng):
+    f = FIELD_SMALL
+    b = CircuitBuilder(f)
+    bits = b.inputs(4)
+    for bit in bits:
+        sq = b.mul(bit, bit)
+        b.assert_zero(b.sub(sq, bit))
+    circuit = b.build()
+
+    inputs = [0, 1, 1, 0]
+    trace = circuit.evaluate(f, inputs)
+    challenge = f.rand_vector(len(circuit.assertions), rng)
+
+    input_shares = share_vector(f, inputs, 3, rng)
+    mul_shares = share_vector(f, trace.mul_outputs, 3, rng)
+    combined = []
+    for i in range(3):
+        ws = circuit.reconstruct_wire_shares(
+            f, input_shares[i], mul_shares[i], is_leader=(i == 0)
+        )
+        combined.append(
+            batched_assertion_share(f, ws.assertion_shares, challenge)
+        )
+    assert reconstruct_scalar(f, combined) == 0
+
+
+def test_batched_assertion_share_nonzero_when_invalid(rng):
+    """With an invalid input, a random challenge catches it w.h.p."""
+    f = FIELD87  # large field: failure probability ~ 1/|F|
+    b = CircuitBuilder(f)
+    bits = b.inputs(2)
+    for bit in bits:
+        sq = b.mul(bit, bit)
+        b.assert_zero(b.sub(sq, bit))
+    circuit = b.build()
+
+    inputs = [1, 5]  # 5 is not a bit
+    trace = circuit.evaluate(f, inputs)
+    challenge = f.rand_vector(len(circuit.assertions), rng)
+    total = f.inner_product(challenge, trace.assertion_values)
+    assert total != 0
+
+
+def test_batched_assertion_length_mismatch():
+    with pytest.raises(FieldError):
+        batched_assertion_share(FIELD_TINY, [1, 2], [1])
+
+
+# ----------------------------------------------------------------------
+# Property-based
+# ----------------------------------------------------------------------
+
+
+@given(
+    x=st.integers(0, FIELD_SMALL.modulus - 1),
+    y=st.integers(0, FIELD_SMALL.modulus - 1),
+    seed=st.integers(0, 2**32),
+)
+@settings(max_examples=40, deadline=None)
+def test_share_reconstruction_property(x, y, seed):
+    """Share-local wire reconstruction is correct for random inputs."""
+    f = FIELD_SMALL
+    b = CircuitBuilder(f)
+    wx, wy = b.inputs(2)
+    prod = b.mul(wx, wy)
+    b.assert_zero(b.sub(prod, b.constant((x * y) % f.modulus)))
+    circuit = b.build()
+    r = random.Random(seed)
+    trace = circuit.evaluate(f, [x, y])
+    assert trace.is_valid
+    input_shares = share_vector(f, [x, y], 2, r)
+    mul_shares = share_vector(f, trace.mul_outputs, 2, r)
+    parts = [
+        circuit.reconstruct_wire_shares(
+            f, input_shares[i], mul_shares[i], is_leader=(i == 0)
+        ).assertion_shares[0]
+        for i in range(2)
+    ]
+    assert reconstruct_scalar(f, parts) == 0

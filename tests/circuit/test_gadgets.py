@@ -1,0 +1,160 @@
+"""Tests for validity-circuit gadgets."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    CircuitBuilder,
+    assert_binary_decomposition,
+    assert_bit,
+    assert_bits,
+    assert_one_hot,
+    assert_product,
+    assert_range_binary,
+    assert_square,
+)
+from repro.field import FIELD87, FIELD_SMALL, FIELD_TINY
+
+
+@pytest.fixture
+def rng():
+    return random.Random(5150)
+
+
+def test_assert_bit_cost_and_semantics():
+    f = FIELD_TINY
+    b = CircuitBuilder(f)
+    x = b.input()
+    assert_bit(b, x)
+    circuit = b.build()
+    assert circuit.n_mul_gates == 1
+    assert circuit.check(f, [0]) and circuit.check(f, [1])
+    assert not circuit.check(f, [2])
+
+
+def test_assert_bits_cost_scales():
+    f = FIELD_TINY
+    b = CircuitBuilder(f)
+    wires = b.inputs(5)
+    assert_bits(b, wires)
+    assert b.build().n_mul_gates == 5
+
+
+@pytest.mark.parametrize("n_bits", [1, 4, 8])
+def test_binary_decomposition_accepts_consistent(n_bits, rng):
+    f = FIELD87
+    b = CircuitBuilder(f)
+    value = b.input()
+    bits = b.inputs(n_bits)
+    assert_binary_decomposition(b, value, bits)
+    circuit = b.build()
+    for _ in range(10):
+        x = rng.randrange(1 << n_bits)
+        bit_values = [(x >> i) & 1 for i in range(n_bits)]
+        assert circuit.check(f, [x] + bit_values)
+
+
+def test_binary_decomposition_rejects_wrong_value():
+    f = FIELD87
+    b = CircuitBuilder(f)
+    value = b.input()
+    bits = b.inputs(4)
+    assert_binary_decomposition(b, value, bits)
+    circuit = b.build()
+    # bits say 5, value says 6
+    assert not circuit.check(f, [6, 1, 0, 1, 0])
+
+
+def test_binary_decomposition_rejects_non_bits():
+    f = FIELD87
+    b = CircuitBuilder(f)
+    value = b.input()
+    bits = b.inputs(2)
+    assert_binary_decomposition(b, value, bits)
+    circuit = b.build()
+    # "bits" = (2, 0): weighted sum is 2, but 2 is not a bit.
+    assert not circuit.check(f, [2, 2, 0])
+
+
+def test_binary_decomposition_rejects_overflow_encoding():
+    """A value >= 2^b cannot satisfy the decomposition (the car cannot
+    report 100,000 km/h, per the paper's Section 2 example)."""
+    f = FIELD87
+    b = CircuitBuilder(f)
+    value = b.input()
+    bits = b.inputs(4)
+    assert_binary_decomposition(b, value, bits)
+    circuit = b.build()
+    for bad_bits in ([1, 1, 1, 2], [0, 0, 0, 0]):
+        assert not circuit.check(f, [16] + bad_bits)
+
+
+def test_assert_product(rng):
+    f = FIELD_SMALL
+    b = CircuitBuilder(f)
+    x, y, claimed = b.inputs(3)
+    assert_product(b, x, y, claimed)
+    circuit = b.build()
+    assert circuit.n_mul_gates == 1
+    for _ in range(5):
+        xv, yv = f.rand(rng), f.rand(rng)
+        assert circuit.check(f, [xv, yv, f.mul(xv, yv)])
+        assert not circuit.check(f, [xv, yv, f.add(f.mul(xv, yv), 1)])
+
+
+def test_assert_square(rng):
+    f = FIELD_SMALL
+    b = CircuitBuilder(f)
+    x, claimed = b.inputs(2)
+    assert_square(b, x, claimed)
+    circuit = b.build()
+    xv = f.rand(rng)
+    assert circuit.check(f, [xv, f.mul(xv, xv)])
+    assert not circuit.check(f, [xv, f.add(f.mul(xv, xv), 3)])
+
+
+@pytest.mark.parametrize("size", [2, 5])
+def test_assert_one_hot(size):
+    f = FIELD87
+    b = CircuitBuilder(f)
+    wires = b.inputs(size)
+    assert_one_hot(b, wires)
+    circuit = b.build()
+    assert circuit.n_mul_gates == size
+    for hot in range(size):
+        vec = [1 if i == hot else 0 for i in range(size)]
+        assert circuit.check(f, vec)
+    assert not circuit.check(f, [0] * size)          # nothing set
+    assert not circuit.check(f, [1] * size)          # too many set
+    two = [0] * size
+    two[0] = 2                                       # right sum, not a bit
+    assert not circuit.check(f, two)
+
+
+def test_assert_range_binary_returns_fresh_inputs(rng):
+    f = FIELD87
+    b = CircuitBuilder(f)
+    value = b.input()
+    bit_wires = assert_range_binary(b, value, 6)
+    circuit = b.build()
+    assert len(bit_wires) == 6
+    assert circuit.n_inputs == 7
+    x = 45
+    bits = [(x >> i) & 1 for i in range(6)]
+    assert circuit.check(f, [x] + bits)
+    assert not circuit.check(f, [64] + bits)
+
+
+@given(x=st.integers(0, 255))
+@settings(max_examples=50, deadline=None)
+def test_range_check_property(x):
+    f = FIELD87
+    b = CircuitBuilder(f)
+    value = b.input()
+    assert_range_binary(b, value, 8)
+    circuit = b.build()
+    bits = [(x >> i) & 1 for i in range(8)]
+    assert circuit.check(f, [x] + bits)

@@ -1,0 +1,178 @@
+"""Tests for the crypto substrate (stream, HKDF, box, signatures)."""
+
+import random
+
+import pytest
+
+from repro.crypto import (
+    BoxKeyPair,
+    CryptoError,
+    SigningKeyPair,
+    hkdf_sha256,
+    keystream,
+    mac_tag,
+    mac_verify,
+    open_box,
+    seal,
+    sealed_overhead,
+    sign,
+    stream_xor,
+    verify,
+    verify_or_raise,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(5566)
+
+
+# ----------------------------------------------------------------------
+# Primitives
+# ----------------------------------------------------------------------
+
+
+def test_hkdf_deterministic_and_length():
+    out1 = hkdf_sha256(b"ikm", b"salt", b"info", 64)
+    out2 = hkdf_sha256(b"ikm", b"salt", b"info", 64)
+    assert out1 == out2
+    assert len(out1) == 64
+
+
+def test_hkdf_separates_inputs():
+    assert hkdf_sha256(b"a", b"s", b"i", 32) != hkdf_sha256(b"b", b"s", b"i", 32)
+    assert hkdf_sha256(b"a", b"s", b"i", 32) != hkdf_sha256(b"a", b"t", b"i", 32)
+    assert hkdf_sha256(b"a", b"s", b"i", 32) != hkdf_sha256(b"a", b"s", b"j", 32)
+
+
+def test_hkdf_length_limit():
+    with pytest.raises(CryptoError):
+        hkdf_sha256(b"x", b"", b"", 255 * 32 + 1)
+
+
+def test_keystream_requires_proper_key():
+    with pytest.raises(CryptoError):
+        keystream(b"short", b"nonce", 10)
+
+
+def test_stream_xor_roundtrip():
+    key = bytes(range(32))
+    data = b"the quick brown fox" * 10
+    ct = stream_xor(key, b"nonce-1", data)
+    assert ct != data
+    assert stream_xor(key, b"nonce-1", ct) == data
+
+
+def test_stream_nonce_separation():
+    key = bytes(range(32))
+    assert stream_xor(key, b"n1", b"hello") != stream_xor(key, b"n2", b"hello")
+
+
+def test_mac_roundtrip():
+    tag = mac_tag(b"k" * 32, b"message")
+    assert mac_verify(b"k" * 32, b"message", tag)
+    assert not mac_verify(b"k" * 32, b"messagX", tag)
+    assert not mac_verify(b"j" * 32, b"message", tag)
+
+
+# ----------------------------------------------------------------------
+# Box
+# ----------------------------------------------------------------------
+
+
+def test_box_roundtrip(rng):
+    keypair = BoxKeyPair.generate(rng)
+    message = b"client submission payload" * 4
+    sealed = seal(keypair.public, message, rng)
+    assert open_box(keypair, sealed) == message
+
+
+def test_box_overhead_constant(rng):
+    keypair = BoxKeyPair.generate(rng)
+    for size in (0, 10, 1000):
+        sealed = seal(keypair.public, b"x" * size, rng)
+        assert len(sealed) == size + sealed_overhead()
+
+
+def test_box_tamper_detected(rng):
+    keypair = BoxKeyPair.generate(rng)
+    sealed = bytearray(seal(keypair.public, b"secret", rng))
+    sealed[-1] ^= 1
+    with pytest.raises(CryptoError):
+        open_box(keypair, bytes(sealed))
+
+
+def test_box_wrong_key_fails(rng):
+    alice = BoxKeyPair.generate(rng)
+    bob = BoxKeyPair.generate(rng)
+    sealed = seal(alice.public, b"for alice", rng)
+    with pytest.raises(CryptoError):
+        open_box(bob, sealed)
+
+
+def test_box_too_short(rng):
+    keypair = BoxKeyPair.generate(rng)
+    with pytest.raises(CryptoError):
+        open_box(keypair, b"tiny")
+
+
+def test_box_randomized(rng):
+    keypair = BoxKeyPair.generate(rng)
+    s1 = seal(keypair.public, b"same message", rng)
+    s2 = seal(keypair.public, b"same message", rng)
+    assert s1 != s2  # fresh ephemeral key per box
+
+
+def test_box_default_rng():
+    keypair = BoxKeyPair.generate()
+    sealed = seal(keypair.public, b"os-random path")
+    assert open_box(keypair, sealed) == b"os-random path"
+
+
+# ----------------------------------------------------------------------
+# Signatures
+# ----------------------------------------------------------------------
+
+
+def test_sign_verify_roundtrip(rng):
+    keypair = SigningKeyPair.generate(rng)
+    message = b"client registration"
+    signature = sign(keypair, message, rng)
+    assert verify(keypair.public, message, signature)
+
+
+def test_signature_rejects_wrong_message(rng):
+    keypair = SigningKeyPair.generate(rng)
+    signature = sign(keypair, b"original", rng)
+    assert not verify(keypair.public, b"forged", signature)
+
+
+def test_signature_rejects_wrong_key(rng):
+    alice = SigningKeyPair.generate(rng)
+    eve = SigningKeyPair.generate(rng)
+    signature = sign(alice, b"msg", rng)
+    assert not verify(eve.public, b"msg", signature)
+
+
+def test_signature_rejects_malformed(rng):
+    keypair = SigningKeyPair.generate(rng)
+    assert not verify(keypair.public, b"msg", b"junk")
+    assert not verify(keypair.public, b"msg", b"\x00" * 65)
+    sig = bytearray(sign(keypair, b"msg", rng))
+    sig[0] = 0x07  # invalid point prefix
+    assert not verify(keypair.public, b"msg", bytes(sig))
+
+
+def test_verify_or_raise(rng):
+    keypair = SigningKeyPair.generate(rng)
+    signature = sign(keypair, b"ok", rng)
+    verify_or_raise(keypair.public, b"ok", signature)
+    with pytest.raises(CryptoError):
+        verify_or_raise(keypair.public, b"not ok", signature)
+
+
+def test_signature_deterministic_keygen(rng):
+    a = SigningKeyPair.generate(random.Random(1))
+    b = SigningKeyPair.generate(random.Random(1))
+    assert a.secret == b.secret
+    assert a.public == b.public

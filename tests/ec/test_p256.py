@@ -1,0 +1,139 @@
+"""Tests for the from-scratch P-256 implementation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import (
+    GENERATOR,
+    INFINITY,
+    ORDER,
+    EcError,
+    Point,
+    multi_scalar_mult,
+    random_scalar,
+    reset_op_counter,
+    scalar_mult,
+    scalar_mult_count,
+)
+from repro.ec.p256 import A, B, P
+
+
+@pytest.fixture
+def rng():
+    return random.Random(256256)
+
+
+def test_generator_on_curve():
+    assert GENERATOR.is_on_curve()
+
+
+def test_curve_equation_constants():
+    # a = -3 (mod p), the standard P-256 choice.
+    assert A == P - 3
+    assert (GENERATOR.y**2 - GENERATOR.x**3 - A * GENERATOR.x - B) % P == 0
+
+
+def test_generator_order():
+    assert scalar_mult(ORDER, GENERATOR).infinity
+    assert not scalar_mult(ORDER - 1, GENERATOR).infinity
+
+
+def test_identity_laws(rng):
+    p = scalar_mult(random_scalar(rng), GENERATOR)
+    assert p + INFINITY == p
+    assert INFINITY + p == p
+    assert p - p == INFINITY
+    assert (-INFINITY) == INFINITY
+
+
+def test_addition_commutative_and_associative(rng):
+    points = [scalar_mult(random_scalar(rng), GENERATOR) for _ in range(3)]
+    a, b, c = points
+    assert a + b == b + a
+    assert (a + b) + c == a + (b + c)
+
+
+def test_scalar_mult_linearity(rng):
+    k1, k2 = random_scalar(rng), random_scalar(rng)
+    lhs = scalar_mult(k1, GENERATOR) + scalar_mult(k2, GENERATOR)
+    rhs = scalar_mult((k1 + k2) % ORDER, GENERATOR)
+    assert lhs == rhs
+
+
+def test_scalar_mult_small_values():
+    two_g = scalar_mult(2, GENERATOR)
+    assert two_g == GENERATOR + GENERATOR
+    assert scalar_mult(0, GENERATOR) == INFINITY
+    assert scalar_mult(1, GENERATOR) == GENERATOR
+
+
+def test_doubling_point_with_y_zero_is_infinity():
+    # No P-256 point has y == 0 (x^3 - 3x + b = 0 has no roots), but
+    # doubling infinity must stay infinity.
+    assert scalar_mult(5, INFINITY) == INFINITY
+
+
+def test_point_encoding_roundtrip(rng):
+    for _ in range(10):
+        point = scalar_mult(random_scalar(rng), GENERATOR)
+        assert Point.decode(point.encode()) == point
+    assert Point.decode(INFINITY.encode()) == INFINITY
+
+
+def test_encoding_is_compressed():
+    assert len(GENERATOR.encode()) == 33
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(EcError):
+        Point.decode(b"\x05" + b"\x00" * 32)
+    with pytest.raises(EcError):
+        Point.decode(b"\x02" + b"\xff" * 32)  # x >= p
+    with pytest.raises(EcError):
+        Point.decode(b"\x02" * 10)
+
+
+def test_decode_rejects_non_curve_x():
+    # Find an x with no curve point (about half of all x fail).
+    x = 5
+    while True:
+        candidate = b"\x02" + x.to_bytes(32, "big")
+        rhs = (x**3 + A * x + B) % P
+        y = pow(rhs, (P + 1) // 4, P)
+        if (y * y - rhs) % P != 0:
+            with pytest.raises(EcError):
+                Point.decode(candidate)
+            break
+        x += 1
+
+
+def test_multi_scalar_mult(rng):
+    k1, k2 = random_scalar(rng), random_scalar(rng)
+    p = scalar_mult(k2, GENERATOR)
+    expected = scalar_mult(k1, GENERATOR) + scalar_mult(k2, p)
+    assert multi_scalar_mult([(k1, GENERATOR), (k2, p)]) == expected
+
+
+def test_op_counter(rng):
+    reset_op_counter()
+    scalar_mult(random_scalar(rng), GENERATOR)
+    scalar_mult(random_scalar(rng), GENERATOR)
+    assert scalar_mult_count() == 2
+    reset_op_counter()
+    assert scalar_mult_count() == 0
+
+
+def test_negation_on_curve(rng):
+    p = scalar_mult(random_scalar(rng), GENERATOR)
+    assert (-p).is_on_curve()
+    assert (-(-p)) == p
+
+
+@given(k=st.integers(1, 2**64))
+@settings(max_examples=20, deadline=None)
+def test_double_and_add_consistency(k):
+    """k*G computed with the window method equals (k-1)*G + G."""
+    assert scalar_mult(k, GENERATOR) == scalar_mult(k - 1, GENERATOR) + GENERATOR

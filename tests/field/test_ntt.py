@@ -1,0 +1,209 @@
+"""Tests for the NTT and evaluation domains (the SNIP's fast-path math)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import (
+    FIELD64,
+    FIELD87,
+    FIELD265,
+    FIELD_SMALL,
+    EvaluationDomain,
+    FieldError,
+    batch_inverse,
+    intt,
+    next_power_of_two,
+    ntt,
+    poly_eval,
+    poly_mul,
+    poly_mul_ntt,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+def test_next_power_of_two():
+    assert next_power_of_two(0) == 1
+    assert next_power_of_two(1) == 1
+    assert next_power_of_two(2) == 2
+    assert next_power_of_two(3) == 4
+    assert next_power_of_two(1025) == 2048
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 8, 64, 256])
+def test_ntt_intt_roundtrip(size, rng):
+    f = FIELD64
+    root = f.root_of_unity(size)
+    values = f.rand_vector(size, rng)
+    assert intt(f, ntt(f, values, root), root) == values
+
+
+def test_ntt_rejects_non_power_of_two():
+    f = FIELD64
+    with pytest.raises(FieldError):
+        ntt(f, [1, 2, 3], f.root_of_unity(4))
+
+
+def test_ntt_matches_direct_evaluation(rng):
+    """Forward NTT must agree with naive per-point Horner evaluation."""
+    f = FIELD_SMALL
+    size = 16
+    root = f.root_of_unity(size)
+    coeffs = f.rand_vector(size, rng)
+    evals = ntt(f, coeffs, root)
+    for j in range(size):
+        point = pow(root, j, f.modulus)
+        assert evals[j] == poly_eval(f, coeffs, point)
+
+
+@pytest.mark.parametrize("field", [FIELD87, FIELD265, FIELD64])
+def test_ntt_large_fields(field, rng):
+    size = 32
+    root = field.root_of_unity(size)
+    values = field.rand_vector(size, rng)
+    assert intt(field, ntt(field, values, root), root) == values
+
+
+# ----------------------------------------------------------------------
+# EvaluationDomain
+# ----------------------------------------------------------------------
+
+
+def test_domain_points_distinct_and_cyclic():
+    d = EvaluationDomain(FIELD_SMALL, 16)
+    assert len(set(d.points)) == 16
+    assert d.points[0] == 1
+    p = FIELD_SMALL.modulus
+    assert (d.points[-1] * d.root) % p == 1
+
+
+def test_domain_rejects_bad_size():
+    with pytest.raises(FieldError):
+        EvaluationDomain(FIELD_SMALL, 12)
+
+
+def test_domain_evaluate_interpolate_roundtrip(rng):
+    d = EvaluationDomain(FIELD87, 64)
+    coeffs = FIELD87.rand_vector(64, rng)
+    assert d.interpolate(d.evaluate(coeffs)) == coeffs
+
+
+def test_domain_evaluate_pads_short_polynomials(rng):
+    d = EvaluationDomain(FIELD_SMALL, 8)
+    coeffs = [3, 1, 4]
+    evals = d.evaluate(coeffs)
+    for point, value in zip(d.points, evals):
+        assert value == poly_eval(FIELD_SMALL, coeffs, point)
+
+
+def test_domain_evaluate_rejects_oversized_polynomial():
+    d = EvaluationDomain(FIELD_SMALL, 4)
+    with pytest.raises(FieldError):
+        d.evaluate([1] * 5)
+
+
+def test_domain_interpolate_rejects_wrong_count():
+    d = EvaluationDomain(FIELD_SMALL, 4)
+    with pytest.raises(FieldError):
+        d.interpolate([1, 2, 3])
+
+
+def test_contains_point():
+    d = EvaluationDomain(FIELD_SMALL, 8)
+    assert d.contains_point(1)
+    assert d.contains_point(d.root)
+    # 0 is never in a multiplicative subgroup.
+    assert not d.contains_point(0)
+
+
+def test_lagrange_coefficients_match_evaluation(rng):
+    """Closed-form domain Lagrange weights: P(r) = <weights, evals>."""
+    f = FIELD87
+    d = EvaluationDomain(f, 32)
+    coeffs = f.rand_vector(32, rng)
+    evals = d.evaluate(coeffs)
+    for _ in range(5):
+        r = f.rand(rng)
+        if d.contains_point(r):
+            continue
+        weights = d.lagrange_coefficients_at(r)
+        assert f.inner_product(weights, evals) == poly_eval(f, coeffs, r)
+
+
+def test_lagrange_coefficients_reject_domain_point():
+    d = EvaluationDomain(FIELD_SMALL, 8)
+    with pytest.raises(FieldError):
+        d.lagrange_coefficients_at(d.points[3])
+
+
+def test_double_domain_even_points_coincide():
+    """The h = f*g trick: domain(2N) even points == domain(N) points.
+
+    The SNIP sends h in point-value form over the 2N-domain; servers
+    read multiplication-gate outputs from the even indices, which this
+    property guarantees equal h at the N-domain points.
+    """
+    f = FIELD87
+    small = EvaluationDomain(f, 16)
+    double = EvaluationDomain(f, 32)
+    assert [double.points[2 * i] for i in range(16)] == small.points
+
+
+# ----------------------------------------------------------------------
+# batch_inverse
+# ----------------------------------------------------------------------
+
+
+def test_batch_inverse_matches_scalar(rng):
+    f = FIELD87
+    values = [f.rand_nonzero(rng) for _ in range(33)]
+    for v, inv in zip(values, batch_inverse(f, values)):
+        assert f.mul(v, inv) == 1
+
+
+def test_batch_inverse_empty():
+    assert batch_inverse(FIELD87, []) == []
+
+
+def test_batch_inverse_single():
+    assert batch_inverse(FIELD_SMALL, [2]) == [FIELD_SMALL.inv(2)]
+
+
+def test_batch_inverse_rejects_zero():
+    with pytest.raises(FieldError):
+        batch_inverse(FIELD_SMALL, [1, 0, 2])
+
+
+# ----------------------------------------------------------------------
+# poly_mul_ntt
+# ----------------------------------------------------------------------
+
+
+def test_poly_mul_ntt_matches_schoolbook(rng):
+    f = FIELD87
+    for _ in range(10):
+        a = f.rand_vector(rng.randrange(1, 20), rng)
+        b = f.rand_vector(rng.randrange(1, 20), rng)
+        assert poly_mul_ntt(f, a, b) == poly_mul(f, a, b)
+
+
+def test_poly_mul_ntt_empty():
+    assert poly_mul_ntt(FIELD87, [], [1, 2]) == []
+
+
+small = st.integers(min_value=0, max_value=FIELD_SMALL.modulus - 1)
+
+
+@given(
+    a=st.lists(small, min_size=1, max_size=12),
+    b=st.lists(small, min_size=1, max_size=12),
+)
+@settings(max_examples=50, deadline=None)
+def test_poly_mul_ntt_property(a, b):
+    assert poly_mul_ntt(FIELD_SMALL, a, b) == poly_mul(FIELD_SMALL, a, b)

@@ -1,0 +1,176 @@
+"""Unit and property tests for reference polynomial arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import (
+    FIELD87,
+    FIELD_SMALL,
+    FIELD_TINY,
+    FieldError,
+    lagrange_coefficients_at,
+    lagrange_interpolate,
+    poly_add,
+    poly_degree,
+    poly_eval,
+    poly_mul,
+    poly_normalize,
+    poly_scale,
+    poly_sub,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+def test_normalize_strips_trailing_zeros():
+    assert poly_normalize([1, 2, 0, 0]) == [1, 2]
+    assert poly_normalize([0, 0]) == []
+    assert poly_normalize([]) == []
+
+
+def test_degree():
+    assert poly_degree([]) == -1
+    assert poly_degree([5]) == 0
+    assert poly_degree([0, 0, 3]) == 2
+    assert poly_degree([1, 0, 0]) == 0
+
+
+def test_eval_constant_and_linear():
+    f = FIELD_TINY
+    assert poly_eval(f, [], 12) == 0
+    assert poly_eval(f, [42], 12) == 42
+    assert poly_eval(f, [1, 2], 10) == 21  # 1 + 2*10
+
+
+def test_add_sub_roundtrip(rng):
+    f = FIELD_SMALL
+    a = f.rand_vector(5, rng)
+    b = f.rand_vector(3, rng)
+    total = poly_add(f, a, b)
+    assert poly_normalize(poly_sub(f, total, b)) == poly_normalize(a)
+
+
+def test_mul_degrees():
+    f = FIELD_TINY
+    a = [1, 1]  # 1 + x
+    b = [1, 96]  # 1 - x
+    assert poly_mul(f, a, b) == [1, 0, 96]  # 1 - x^2
+
+
+def test_mul_by_zero():
+    assert poly_mul(FIELD_TINY, [1, 2, 3], []) == []
+    assert poly_mul(FIELD_TINY, [], []) == []
+
+
+def test_mul_evaluates_correctly(rng):
+    f = FIELD_SMALL
+    a = f.rand_vector(6, rng)
+    b = f.rand_vector(4, rng)
+    prod = poly_mul(f, a, b)
+    for _ in range(10):
+        x = f.rand(rng)
+        assert poly_eval(f, prod, x) == f.mul(
+            poly_eval(f, a, x), poly_eval(f, b, x)
+        )
+
+
+def test_scale():
+    f = FIELD_TINY
+    assert poly_scale(f, 2, [1, 2, 3]) == [2, 4, 6]
+
+
+def test_interpolate_through_points(rng):
+    f = FIELD_SMALL
+    xs = list(range(8))
+    ys = f.rand_vector(8, rng)
+    coeffs = lagrange_interpolate(f, xs, ys)
+    assert len(coeffs) <= 8
+    for x, y in zip(xs, ys):
+        assert poly_eval(f, coeffs, x) == y
+
+
+def test_interpolate_recovers_polynomial(rng):
+    f = FIELD_SMALL
+    coeffs = poly_normalize(f.rand_vector(5, rng))
+    xs = list(range(len(coeffs)))
+    ys = [poly_eval(f, coeffs, x) for x in xs]
+    assert poly_normalize(lagrange_interpolate(f, xs, ys)) == coeffs
+
+
+def test_interpolate_rejects_duplicate_points():
+    with pytest.raises(FieldError):
+        lagrange_interpolate(FIELD_TINY, [1, 1], [2, 3])
+
+
+def test_interpolate_rejects_mismatched_lengths():
+    with pytest.raises(FieldError):
+        lagrange_interpolate(FIELD_TINY, [1, 2], [3])
+
+
+def test_lagrange_coefficients_match_interpolation(rng):
+    """The Appendix I inner-product trick equals interpolate-then-evaluate."""
+    f = FIELD87
+    xs = list(range(9))
+    ys = f.rand_vector(9, rng)
+    r = f.rand(rng)
+    coeffs = lagrange_interpolate(f, xs, ys)
+    weights = lagrange_coefficients_at(f, xs, r)
+    assert f.inner_product(weights, ys) == poly_eval(f, coeffs, r)
+
+
+def test_lagrange_coefficients_at_domain_point():
+    # At a domain point the weights collapse to an indicator vector.
+    f = FIELD_SMALL
+    xs = [2, 5, 11]
+    weights = lagrange_coefficients_at(f, xs, 5)
+    assert weights == [0, 1, 0]
+
+
+def test_lagrange_coefficients_reject_duplicates():
+    with pytest.raises(FieldError):
+        lagrange_coefficients_at(FIELD_TINY, [3, 3], 1)
+
+
+# ----------------------------------------------------------------------
+# Property-based
+# ----------------------------------------------------------------------
+
+coeff_lists = st.lists(
+    st.integers(min_value=0, max_value=FIELD_SMALL.modulus - 1),
+    min_size=0,
+    max_size=8,
+)
+
+
+@given(a=coeff_lists, b=coeff_lists, x=st.integers(0, FIELD_SMALL.modulus - 1))
+@settings(max_examples=80, deadline=None)
+def test_eval_is_ring_homomorphism(a, b, x):
+    f = FIELD_SMALL
+    assert poly_eval(f, poly_add(f, a, b), x) == f.add(
+        poly_eval(f, a, x), poly_eval(f, b, x)
+    )
+    assert poly_eval(f, poly_mul(f, a, b), x) == f.mul(
+        poly_eval(f, a, x), poly_eval(f, b, x)
+    )
+
+
+@given(a=coeff_lists, b=coeff_lists)
+@settings(max_examples=60, deadline=None)
+def test_mul_commutes(a, b):
+    f = FIELD_SMALL
+    assert poly_mul(f, a, b) == poly_mul(f, b, a)
+
+
+@given(ys=st.lists(st.integers(0, 96), min_size=1, max_size=10, unique=False))
+@settings(max_examples=60, deadline=None)
+def test_interpolation_degree_bound(ys):
+    f = FIELD_TINY
+    xs = list(range(len(ys)))
+    coeffs = lagrange_interpolate(f, xs, ys)
+    assert poly_degree(coeffs) < len(ys)

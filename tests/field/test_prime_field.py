@@ -1,0 +1,327 @@
+"""Unit tests for scalar/vector prime-field arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import (
+    FIELD64,
+    FIELD87,
+    FIELD265,
+    FIELD_SMALL,
+    FIELD_TINY,
+    GF2,
+    FieldError,
+    PrimeField,
+)
+
+ALL_FIELDS = [FIELD87, FIELD265, FIELD64, FIELD_SMALL, FIELD_TINY, GF2]
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+
+
+def test_modulus_too_small_rejected():
+    with pytest.raises(FieldError):
+        PrimeField(1)
+
+
+def test_two_adicity_requires_generator():
+    with pytest.raises(FieldError):
+        PrimeField(97, two_adicity=5)
+
+
+def test_two_adicity_must_divide_group_order():
+    with pytest.raises(FieldError):
+        PrimeField(97, two_adicity=6, generator=5)
+
+
+def test_shipped_moduli_have_declared_two_adicity():
+    for field in (FIELD87, FIELD265, FIELD64, FIELD_SMALL, FIELD_TINY):
+        assert (field.modulus - 1) % (1 << field.two_adicity) == 0
+
+
+def test_shipped_moduli_are_prime():
+    # Fermat tests with several bases; real generation used Miller-Rabin.
+    for field in ALL_FIELDS:
+        for base in (2, 3, 5, 7, 11):
+            if base % field.modulus == 0:
+                continue
+            assert pow(base, field.modulus - 1, field.modulus) == 1
+
+
+def test_field_bit_lengths_match_paper():
+    assert FIELD87.bits == 87
+    assert FIELD265.bits == 265
+
+
+def test_equality_and_hash():
+    clone = PrimeField(FIELD_TINY.modulus, two_adicity=5, generator=5)
+    assert clone == FIELD_TINY
+    assert hash(clone) == hash(FIELD_TINY)
+    assert FIELD_TINY != FIELD_SMALL
+    assert FIELD_TINY != "not a field"
+
+
+# ----------------------------------------------------------------------
+# Scalar ops
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("field", ALL_FIELDS, ids=lambda f: f.name)
+def test_add_sub_inverse_each_other(field, rng):
+    for _ in range(50):
+        a, b = field.rand(rng), field.rand(rng)
+        assert field.sub(field.add(a, b), b) == a
+
+
+@pytest.mark.parametrize("field", ALL_FIELDS, ids=lambda f: f.name)
+def test_mul_div_inverse_each_other(field, rng):
+    for _ in range(50):
+        a = field.rand(rng)
+        b = field.rand_nonzero(rng)
+        assert field.div(field.mul(a, b), b) == a
+
+
+@pytest.mark.parametrize("field", ALL_FIELDS, ids=lambda f: f.name)
+def test_inv_of_zero_raises(field):
+    with pytest.raises(FieldError):
+        field.inv(0)
+
+
+def test_neg_and_reduce():
+    f = FIELD_TINY
+    assert f.neg(1) == 96
+    assert f.neg(0) == 0
+    assert f.reduce(97 * 5 + 3) == 3
+    assert f.reduce(-1) == 96
+
+
+def test_pow_matches_builtin():
+    f = FIELD_SMALL
+    assert f.pow(7, 1000) == pow(7, 1000, f.modulus)
+
+
+def test_signed_embedding_roundtrip():
+    f = FIELD_TINY
+    for v in range(-48, 49):
+        assert f.to_signed(f.from_signed(v)) == v
+
+
+def test_signed_embedding_boundary():
+    f = FIELD_TINY  # p = 97, p // 2 = 48
+    assert f.to_signed(48) == 48
+    assert f.to_signed(49) == -48
+
+
+# ----------------------------------------------------------------------
+# Vector ops
+# ----------------------------------------------------------------------
+
+
+def test_vec_add_sub_roundtrip(rng):
+    f = FIELD87
+    xs = f.rand_vector(20, rng)
+    ys = f.rand_vector(20, rng)
+    assert f.vec_sub(f.vec_add(xs, ys), ys) == xs
+
+
+def test_vec_length_mismatch_raises():
+    with pytest.raises(FieldError):
+        FIELD_TINY.vec_add([1, 2], [1])
+    with pytest.raises(FieldError):
+        FIELD_TINY.vec_sub([1], [1, 2])
+    with pytest.raises(FieldError):
+        FIELD_TINY.inner_product([1], [1, 2])
+
+
+def test_vec_scale_distributes(rng):
+    f = FIELD_SMALL
+    xs = f.rand_vector(10, rng)
+    ys = f.rand_vector(10, rng)
+    c = f.rand(rng)
+    lhs = f.vec_scale(c, f.vec_add(xs, ys))
+    rhs = f.vec_add(f.vec_scale(c, xs), f.vec_scale(c, ys))
+    assert lhs == rhs
+
+
+def test_vec_sum_matches_repeated_add(rng):
+    f = FIELD_SMALL
+    vecs = [f.rand_vector(5, rng) for _ in range(7)]
+    acc = vecs[0]
+    for v in vecs[1:]:
+        acc = f.vec_add(acc, v)
+    assert f.vec_sum(vecs) == acc
+
+
+def test_vec_sum_empty_raises():
+    with pytest.raises(FieldError):
+        FIELD_TINY.vec_sum([])
+
+
+def test_inner_product_small_case():
+    f = FIELD_TINY
+    assert f.inner_product([1, 2, 3], [4, 5, 6]) == (4 + 10 + 18) % 97
+
+
+def test_gf2_addition_is_xor():
+    assert GF2.add(1, 1) == 0
+    assert GF2.add(1, 0) == 1
+    assert GF2.vec_add([1, 0, 1], [1, 1, 0]) == [0, 1, 1]
+
+
+# ----------------------------------------------------------------------
+# Randomness
+# ----------------------------------------------------------------------
+
+
+def test_rand_vector_in_range(rng):
+    f = FIELD_TINY
+    vec = f.rand_vector(1000, rng)
+    assert all(0 <= v < f.modulus for v in vec)
+    # All residues should appear over 1000 draws from F_97 w.h.p.
+    assert len(set(vec)) > 80
+
+
+def test_rand_nonzero_never_zero(rng):
+    assert all(GF2.rand_nonzero(rng) == 1 for _ in range(10))
+    assert all(FIELD_TINY.rand_nonzero(rng) != 0 for _ in range(200))
+
+
+# ----------------------------------------------------------------------
+# Roots of unity
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("field", [FIELD87, FIELD265, FIELD64, FIELD_SMALL])
+def test_root_of_unity_has_exact_order(field):
+    for log_order in (1, 2, 4, field.two_adicity and min(8, field.two_adicity)):
+        order = 1 << log_order
+        w = field.root_of_unity(order)
+        assert pow(w, order, field.modulus) == 1
+        assert pow(w, order // 2, field.modulus) != 1
+
+
+def test_root_of_unity_order_one():
+    assert FIELD87.root_of_unity(1) == 1
+
+
+def test_root_of_unity_rejects_non_power_of_two():
+    with pytest.raises(FieldError):
+        FIELD87.root_of_unity(3)
+
+
+def test_root_of_unity_rejects_excessive_order():
+    with pytest.raises(FieldError):
+        FIELD_SMALL.root_of_unity(1 << 10)
+    with pytest.raises(FieldError):
+        GF2.root_of_unity(2)
+
+
+def test_root_of_unity_cached():
+    w1 = FIELD87.root_of_unity(16)
+    w2 = FIELD87.root_of_unity(16)
+    assert w1 == w2
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("field", ALL_FIELDS, ids=lambda f: f.name)
+def test_element_encoding_roundtrip(field, rng):
+    for _ in range(20):
+        a = field.rand(rng)
+        assert field.decode_element(field.encode_element(a)) == a
+
+
+def test_encoded_size():
+    assert FIELD87.encoded_size == 11
+    assert FIELD265.encoded_size == 34
+    assert GF2.encoded_size == 1
+
+
+def test_vector_encoding_roundtrip(rng):
+    f = FIELD87
+    xs = f.rand_vector(17, rng)
+    assert f.decode_vector(f.encode_vector(xs)) == xs
+
+
+def test_decode_element_rejects_wrong_size():
+    with pytest.raises(FieldError):
+        FIELD87.decode_element(b"\x00")
+
+
+def test_decode_element_rejects_out_of_range():
+    data = (FIELD_TINY.modulus).to_bytes(FIELD_TINY.encoded_size, "big")
+    with pytest.raises(FieldError):
+        FIELD_TINY.decode_element(data)
+
+
+def test_decode_vector_rejects_ragged_input():
+    with pytest.raises(FieldError):
+        FIELD87.decode_vector(b"\x00" * 13)
+
+
+# ----------------------------------------------------------------------
+# Hash-to-field
+# ----------------------------------------------------------------------
+
+
+def test_hash_to_element_deterministic():
+    a = FIELD87.hash_to_element(b"transcript", b"part2")
+    b = FIELD87.hash_to_element(b"transcript", b"part2")
+    assert a == b
+    assert 0 <= a < FIELD87.modulus
+
+
+def test_hash_to_element_domain_separated():
+    # Length-prefixing means ("ab", "c") != ("a", "bc").
+    assert FIELD87.hash_to_element(b"ab", b"c") != FIELD87.hash_to_element(
+        b"a", b"bc"
+    )
+
+
+def test_contains():
+    assert 0 in FIELD_TINY
+    assert 96 in FIELD_TINY
+    assert 97 not in FIELD_TINY
+    assert "x" not in FIELD_TINY
+
+
+# ----------------------------------------------------------------------
+# Property-based: field axioms
+# ----------------------------------------------------------------------
+
+small_elements = st.integers(min_value=0, max_value=FIELD_SMALL.modulus - 1)
+
+
+@given(a=small_elements, b=small_elements, c=small_elements)
+@settings(max_examples=100, deadline=None)
+def test_field_axioms(a, b, c):
+    f = FIELD_SMALL
+    assert f.add(a, b) == f.add(b, a)
+    assert f.mul(a, b) == f.mul(b, a)
+    assert f.add(f.add(a, b), c) == f.add(a, f.add(b, c))
+    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+    assert f.add(a, 0) == a
+    assert f.mul(a, 1) == a
+
+
+@given(a=small_elements)
+@settings(max_examples=100, deadline=None)
+def test_nonzero_elements_invertible(a):
+    f = FIELD_SMALL
+    if a != 0:
+        assert f.mul(a, f.inv(a)) == 1

@@ -1,0 +1,120 @@
+"""Tests for Beaver triples and the share-multiplication protocol."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import FIELD87, FIELD_SMALL, FieldError
+from repro.mpc import (
+    BeaverTriple,
+    generate_triple,
+    multiply_finalize,
+    multiply_round1,
+    share_triple,
+)
+from repro.sharing import reconstruct_scalar, share_scalar
+
+
+@pytest.fixture
+def rng():
+    return random.Random(900)
+
+
+def run_multiplication(field, y, z, n_servers, rng, triple=None):
+    """Full Beaver multiplication across n in-process servers."""
+    if triple is None:
+        triple = generate_triple(field, rng)
+    triple_shares = share_triple(field, triple, n_servers, rng)
+    y_shares = share_scalar(field, y, n_servers, rng)
+    z_shares = share_scalar(field, z, n_servers, rng)
+    round1 = [
+        multiply_round1(field, y_shares[i], z_shares[i], triple_shares[i])
+        for i in range(n_servers)
+    ]
+    d_shares = [m[0] for m in round1]
+    e_shares = [m[1] for m in round1]
+    product_shares = [
+        multiply_finalize(field, d_shares, e_shares, triple_shares[i], n_servers)
+        for i in range(n_servers)
+    ]
+    return reconstruct_scalar(field, product_shares)
+
+
+def test_generate_triple_valid(rng):
+    for _ in range(10):
+        assert generate_triple(FIELD87, rng).is_valid(FIELD87)
+
+
+def test_share_triple_reconstructs(rng):
+    f = FIELD_SMALL
+    triple = generate_triple(f, rng)
+    shares = share_triple(f, triple, 4, rng)
+    assert reconstruct_scalar(f, [s.a for s in shares]) == triple.a
+    assert reconstruct_scalar(f, [s.b for s in shares]) == triple.b
+    assert reconstruct_scalar(f, [s.c for s in shares]) == triple.c
+
+
+@pytest.mark.parametrize("n_servers", [2, 3, 5])
+def test_multiplication_correct(n_servers, rng):
+    f = FIELD87
+    for _ in range(5):
+        y, z = f.rand(rng), f.rand(rng)
+        assert run_multiplication(f, y, z, n_servers, rng) == f.mul(y, z)
+
+
+def test_multiplication_with_zero(rng):
+    f = FIELD_SMALL
+    assert run_multiplication(f, 0, 17, 3, rng) == 0
+
+
+def test_bad_triple_shifts_product_by_alpha(rng):
+    """c = ab + alpha shifts the result by exactly alpha — the fact the
+    SNIP soundness proof (Appendix D.1) relies on."""
+    f = FIELD_SMALL
+    y, z = f.rand(rng), f.rand(rng)
+    a, b = f.rand(rng), f.rand(rng)
+    alpha = 13
+    bad = BeaverTriple(a=a, b=b, c=f.add(f.mul(a, b), alpha))
+    assert not bad.is_valid(f)
+    result = run_multiplication(f, y, z, 3, rng, triple=bad)
+    assert result == f.add(f.mul(y, z), alpha)
+
+
+def test_finalize_requires_all_shares(rng):
+    f = FIELD_SMALL
+    triple = generate_triple(f, rng)
+    shares = share_triple(f, triple, 3, rng)
+    with pytest.raises(FieldError):
+        multiply_finalize(f, [1, 2], [3, 4], shares[0], 3)
+
+
+def test_broadcast_leaks_nothing_without_triple(rng):
+    """d = y - a is uniform when a is: a histogram over many runs."""
+    f = FIELD_SMALL
+    counts = [0] * f.modulus
+    trials = 4000
+    y = 1234 % f.modulus
+    for _ in range(trials):
+        triple = generate_triple(f, rng)
+        shares = share_triple(f, triple, 2, rng)
+        y_shares = share_scalar(f, y, 2, rng)
+        d0, _ = multiply_round1(f, y_shares[0], y_shares[0], shares[0])
+        counts[d0] += 1
+    expected = trials / f.modulus
+    # Loose bound: every bucket within 6 sigma.
+    assert all(abs(c - expected) < 6 * (expected**0.5) + 5 for c in counts)
+
+
+@given(
+    y=st.integers(0, FIELD_SMALL.modulus - 1),
+    z=st.integers(0, FIELD_SMALL.modulus - 1),
+    n=st.integers(2, 5),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_multiplication_property(y, z, n, seed):
+    f = FIELD_SMALL
+    r = random.Random(seed)
+    assert run_multiplication(f, y, z, n, r) == f.mul(y, z)

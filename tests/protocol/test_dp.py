@@ -1,0 +1,90 @@
+"""Tests for the distributed differential-privacy extension (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.field import FIELD87
+from repro.protocol import (
+    DpError,
+    add_noise_to_accumulator,
+    discrete_laplace_scale,
+    server_noise_share,
+)
+
+
+@pytest.fixture
+def generator():
+    return np.random.default_rng(20260610)
+
+
+def test_noise_share_is_integer(generator):
+    share = server_noise_share(1.0, 1.0, 5, generator)
+    assert isinstance(share, int)
+
+
+def test_noise_sum_is_centered(generator):
+    """Total noise across servers has mean ~0."""
+    totals = []
+    for _ in range(3000):
+        totals.append(
+            sum(server_noise_share(1.0, 1.0, 5, generator) for _ in range(5))
+        )
+    scale = discrete_laplace_scale(1.0, 1.0)
+    mean = np.mean(totals)
+    assert abs(mean) < 5 * scale / np.sqrt(len(totals))
+
+
+def test_noise_scale_matches_theory(generator):
+    """Empirical stddev of the summed noise ~ the DLap stddev."""
+    epsilon, sensitivity, s = 0.5, 1.0, 3
+    totals = [
+        sum(
+            server_noise_share(epsilon, sensitivity, s, generator)
+            for _ in range(s)
+        )
+        for _ in range(4000)
+    ]
+    theory = discrete_laplace_scale(epsilon, sensitivity)
+    measured = float(np.std(totals))
+    assert 0.8 * theory < measured < 1.25 * theory
+
+
+def test_noise_grows_as_epsilon_shrinks():
+    assert discrete_laplace_scale(0.1, 1.0) > discrete_laplace_scale(1.0, 1.0)
+
+
+def test_parameter_validation(generator):
+    with pytest.raises(DpError):
+        server_noise_share(0, 1.0, 3, generator)
+    with pytest.raises(DpError):
+        server_noise_share(1.0, 0, 3, generator)
+    with pytest.raises(DpError):
+        server_noise_share(1.0, 1.0, 0, generator)
+
+
+def test_accumulator_noising(generator):
+    field = FIELD87
+    accumulator = [100, 200, 300]
+    noised = add_noise_to_accumulator(
+        field, accumulator, epsilon=2.0, sensitivity=1.0,
+        n_servers=2, generator=generator,
+    )
+    assert len(noised) == 3
+    for original, noisy in zip(accumulator, noised):
+        # Noise at eps=2 is small; centered lift recovers the offset.
+        offset = field.to_signed(field.sub(noisy, original))
+        assert abs(offset) < 50
+
+
+def test_noised_aggregate_still_useful(generator):
+    """Accuracy sanity: with n=1000 clients and eps=1, the noisy sum is
+    within a tiny relative error of the truth."""
+    field = FIELD87
+    true_sum = 50_000
+    total_noise = sum(
+        server_noise_share(1.0, 1.0, 5, generator) for _ in range(5)
+    )
+    noisy = field.to_signed(
+        field.add(true_sum, field.from_signed(total_noise))
+    )
+    assert abs(noisy - true_sum) < 100  # relative error < 0.2%

@@ -1,0 +1,138 @@
+"""End-to-end robustness (Definition 6): malicious clients cannot
+corrupt the aggregate beyond choosing their own in-domain value."""
+
+import random
+
+import pytest
+
+from repro.afe import FrequencyCountAfe, IntegerSumAfe
+from repro.field import FIELD87
+from repro.protocol import PrioDeployment
+from repro.protocol.wire import ClientPacket, PacketKind
+
+
+@pytest.fixture
+def rng():
+    return random.Random(424243)
+
+
+def corrupt_explicit_element(submission, field, index, delta):
+    """Mutate one element of the explicit (last-server) packet."""
+    packet = submission.packets[-1]
+    vec = field.decode_vector(packet.body)
+    vec[index] = (vec[index] + delta) % field.modulus
+    submission.packets[-1] = ClientPacket(
+        submission_id=packet.submission_id,
+        server_index=packet.server_index,
+        kind=PacketKind.EXPLICIT,
+        n_elements=packet.n_elements,
+        body=field.encode_vector(vec),
+    )
+
+
+def test_oversized_value_attack_rejected(rng):
+    """The Section 3 attack that Prio exists to stop: submitting a huge
+    value where a 0/1-style bounded value is expected."""
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 3, rng=rng)
+    deployment.submit_many([3, 7])
+
+    def make_huge(submission):
+        # Shift the x component of the explicit share by +10^6: the
+        # reconstructed value no longer matches its bit decomposition.
+        corrupt_explicit_element(submission, FIELD87, 0, 1_000_000)
+
+    assert not deployment.submit(5, mutate=make_huge)
+    assert deployment.publish() == 10  # unaffected by the attack
+    assert deployment.stats.n_rejected == 1
+
+
+def test_bit_tamper_rejected(rng):
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 2, rng=rng)
+    deployment.submit(2)
+
+    def flip_bit_share(submission):
+        corrupt_explicit_element(submission, FIELD87, 1, 7)
+
+    assert not deployment.submit(3, mutate=flip_bit_share)
+    assert deployment.publish() == 2
+
+
+def test_proof_tamper_rejected(rng):
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 2, rng=rng)
+    deployment.submit(1)
+
+    def corrupt_proof(submission):
+        # The proof share lives after the k encoding elements.
+        corrupt_explicit_element(submission, FIELD87, afe.k + 3, 1)
+
+    assert not deployment.submit(1, mutate=corrupt_proof)
+    assert deployment.publish() == 1
+
+
+def test_histogram_stuffing_rejected(rng):
+    """A client may vote once: multi-hot encodings are rejected, so a
+    single client shifts any count by at most 1 (the robustness bound)."""
+    afe = FrequencyCountAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 3, rng=rng)
+    deployment.submit_many([0, 1, 1, 2])
+
+    def stuff_ballot(submission):
+        # Try to add an extra vote for candidate 3.
+        corrupt_explicit_element(submission, FIELD87, 3, 1)
+
+    assert not deployment.submit(1, mutate=stuff_ballot)
+    assert deployment.publish() == [1, 2, 1, 0]
+
+
+def test_many_malicious_clients_cannot_corrupt(rng):
+    """Robustness holds against an unbounded number of malicious
+    clients (Section 1): every bad submission is rejected."""
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 2, rng=rng)
+    honest = [rng.randrange(16) for _ in range(10)]
+    deployment.submit_many(honest)
+
+    def corrupt(submission):
+        corrupt_explicit_element(
+            submission, FIELD87, rng.randrange(afe.k), 1 + rng.randrange(100)
+        )
+
+    rejected = 0
+    for _ in range(10):
+        if not deployment.submit(rng.randrange(16), mutate=corrupt):
+            rejected += 1
+    assert rejected == 10
+    assert deployment.publish() == sum(honest)
+
+
+def test_malicious_client_can_still_lie_within_domain(rng):
+    """What robustness does NOT prevent (Section 2): a faulty car can
+    misreport its speed, as long as the value is in-domain."""
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 2, rng=rng)
+    deployment.submit(0)   # truth: 0
+    deployment.submit(15)  # lie, but a valid 4-bit lie
+    assert deployment.publish() == 15
+
+
+def test_truncated_packet_stream_rejected(rng):
+    """Dropping the proof elements entirely must be detected."""
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 2, rng=rng)
+
+    def truncate(submission):
+        packet = submission.packets[-1]
+        vec = FIELD87.decode_vector(packet.body)[: afe.k]
+        submission.packets[-1] = ClientPacket(
+            submission_id=packet.submission_id,
+            server_index=packet.server_index,
+            kind=PacketKind.EXPLICIT,
+            n_elements=afe.k,
+            body=FIELD87.encode_vector(vec),
+        )
+
+    assert not deployment.submit(3, mutate=truncate)
+    assert deployment.stats.n_rejected == 1

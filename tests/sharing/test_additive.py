@@ -1,0 +1,131 @@
+"""Tests for additive s-out-of-s secret sharing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import FIELD87, FIELD_SMALL, FIELD_TINY, GF2, FieldError
+from repro.sharing import (
+    reconstruct_scalar,
+    reconstruct_vector,
+    share_of_constant,
+    share_scalar,
+    share_vector,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(2024)
+
+
+@pytest.mark.parametrize("n_shares", [1, 2, 3, 5, 10])
+def test_scalar_roundtrip(n_shares, rng):
+    f = FIELD87
+    for _ in range(10):
+        x = f.rand(rng)
+        shares = share_scalar(f, x, n_shares, rng)
+        assert len(shares) == n_shares
+        assert reconstruct_scalar(f, shares) == x
+
+
+def test_scalar_share_rejects_zero_parties(rng):
+    with pytest.raises(FieldError):
+        share_scalar(FIELD87, 1, 0, rng)
+
+
+def test_reconstruct_rejects_empty():
+    with pytest.raises(FieldError):
+        reconstruct_scalar(FIELD87, [])
+    with pytest.raises(FieldError):
+        reconstruct_vector(FIELD87, [])
+
+
+@pytest.mark.parametrize("n_shares", [1, 2, 5])
+def test_vector_roundtrip(n_shares, rng):
+    f = FIELD87
+    xs = f.rand_vector(33, rng)
+    shares = share_vector(f, xs, n_shares, rng)
+    assert len(shares) == n_shares
+    assert all(len(s) == 33 for s in shares)
+    assert reconstruct_vector(f, shares) == xs
+
+
+def test_vector_roundtrip_gf2(rng):
+    xs = [rng.randrange(2) for _ in range(64)]
+    shares = share_vector(GF2, xs, 3, rng)
+    assert reconstruct_vector(GF2, shares) == xs
+
+
+def test_ragged_share_vectors_rejected(rng):
+    f = FIELD_TINY
+    shares = share_vector(f, [1, 2, 3], 2, rng)
+    shares[1] = shares[1][:2]
+    with pytest.raises(FieldError):
+        reconstruct_vector(f, shares)
+
+
+def test_linearity_of_shares(rng):
+    """[x]_i + [y]_i is a valid sharing of x + y (the aggregation step)."""
+    f = FIELD_SMALL
+    xs = f.rand_vector(8, rng)
+    ys = f.rand_vector(8, rng)
+    sx = share_vector(f, xs, 3, rng)
+    sy = share_vector(f, ys, 3, rng)
+    summed = [f.vec_add(a, b) for a, b in zip(sx, sy)]
+    assert reconstruct_vector(f, summed) == f.vec_add(xs, ys)
+
+
+def test_affine_ops_on_shares(rng):
+    """Servers can compute shares of alpha*x + beta locally."""
+    f = FIELD_SMALL
+    x = f.rand(rng)
+    alpha, beta = 17, 29
+    shares = share_scalar(f, x, 4, rng)
+    transformed = [
+        f.add(f.mul(alpha, s), share_of_constant(f, beta, is_leader=(i == 0)))
+        for i, s in enumerate(shares)
+    ]
+    assert reconstruct_scalar(f, transformed) == f.add(f.mul(alpha, x), beta)
+
+
+def test_share_of_constant_sums_once():
+    f = FIELD_TINY
+    shares = [share_of_constant(f, 42, is_leader=(i == 0)) for i in range(5)]
+    assert reconstruct_scalar(f, shares) == 42
+
+
+def test_any_proper_subset_is_uniform(rng):
+    """Statistical check of the privacy property: s-1 shares of two
+    different secrets are identically distributed (here: chi-square-free
+    sanity check that each residue bucket is hit roughly equally)."""
+    f = FIELD_TINY
+    counts_zero = [0] * f.modulus
+    counts_one = [0] * f.modulus
+    trials = 5000
+    for _ in range(trials):
+        counts_zero[share_scalar(f, 0, 2, rng)[0]] += 1
+        counts_one[share_scalar(f, 1, 2, rng)[0]] += 1
+    expected = trials / f.modulus
+    for c0, c1 in zip(counts_zero, counts_one):
+        assert abs(c0 - expected) < 6 * expected**0.5
+        assert abs(c1 - expected) < 6 * expected**0.5
+
+
+def test_single_share_is_the_secret(rng):
+    f = FIELD_TINY
+    assert share_scalar(f, 55, 1, rng) == [55]
+
+
+@given(
+    x=st.integers(0, FIELD_SMALL.modulus - 1),
+    n=st.integers(1, 8),
+    seed=st.integers(0, 2**32),
+)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(x, n, seed):
+    f = FIELD_SMALL
+    r = random.Random(seed)
+    assert reconstruct_scalar(f, share_scalar(f, x, n, r)) == x

@@ -1,0 +1,137 @@
+"""Tests for PRG-compressed sharing (Appendix I optimization 1)."""
+
+import random
+
+import pytest
+
+from repro.field import FIELD87, FIELD265, FIELD_SMALL, FieldError
+from repro.sharing import (
+    SEED_SIZE,
+    PrgStream,
+    expand_seed,
+    new_seed,
+    prg_reconstruct_vector,
+    prg_share_vector,
+    reconstruct_vector,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(31337)
+
+
+def test_stream_deterministic():
+    seed = b"\x01" * SEED_SIZE
+    a = PrgStream(seed).read(100)
+    b = PrgStream(seed).read(100)
+    assert a == b
+
+
+def test_stream_incremental_reads_match_one_shot():
+    seed = b"\x02" * SEED_SIZE
+    s1 = PrgStream(seed)
+    chunks = s1.read(10) + s1.read(500) + s1.read(3)
+    s2 = PrgStream(seed)
+    assert s2.read(513) == chunks
+
+
+def test_stream_domain_separation():
+    seed = b"\x03" * SEED_SIZE
+    a = PrgStream(seed, domain=b"a").read(32)
+    b = PrgStream(seed, domain=b"b").read(32)
+    assert a != b
+
+
+def test_stream_rejects_bad_seed_length():
+    with pytest.raises(FieldError):
+        PrgStream(b"short")
+
+
+def test_new_seed_length(rng):
+    assert len(new_seed()) == SEED_SIZE
+    assert len(new_seed(rng)) == SEED_SIZE
+
+
+def test_new_seed_deterministic_with_rng():
+    assert new_seed(random.Random(5)) == new_seed(random.Random(5))
+
+
+@pytest.mark.parametrize("field", [FIELD87, FIELD265, FIELD_SMALL])
+def test_expand_seed_uniform_range(field, rng):
+    seed = new_seed(rng)
+    vec = expand_seed(field, seed, 200)
+    assert len(vec) == 200
+    assert all(0 <= v < field.modulus for v in vec)
+
+
+def test_expand_seed_deterministic(rng):
+    seed = new_seed(rng)
+    assert expand_seed(FIELD87, seed, 50) == expand_seed(FIELD87, seed, 50)
+
+
+def test_expand_seed_prefix_stable(rng):
+    """Expanding to a longer length preserves the shorter prefix."""
+    seed = new_seed(rng)
+    short = expand_seed(FIELD87, seed, 10)
+    long = expand_seed(FIELD87, seed, 100)
+    assert long[:10] == short
+
+
+def test_expand_zero_length(rng):
+    assert expand_seed(FIELD87, new_seed(rng), 0) == []
+
+
+@pytest.mark.parametrize("n_shares", [1, 2, 3, 5])
+def test_prg_share_roundtrip(n_shares, rng):
+    f = FIELD87
+    xs = f.rand_vector(40, rng)
+    seeds, explicit = prg_share_vector(f, xs, n_shares, rng)
+    assert len(seeds) == n_shares - 1
+    assert len(explicit) == 40
+    assert prg_reconstruct_vector(f, seeds, explicit) == xs
+
+
+def test_prg_share_matches_expanded_shares(rng):
+    """PRG shares reconstruct identically to materialized additive shares."""
+    f = FIELD87
+    xs = f.rand_vector(16, rng)
+    seeds, explicit = prg_share_vector(f, xs, 4, rng)
+    materialized = [expand_seed(f, seed, 16) for seed in seeds] + [explicit]
+    assert reconstruct_vector(f, materialized) == xs
+
+
+def test_prg_share_rejects_zero_parties(rng):
+    with pytest.raises(FieldError):
+        prg_share_vector(FIELD87, [1], 0, rng)
+
+
+def test_prg_share_single_party(rng):
+    f = FIELD_SMALL
+    xs = f.rand_vector(5, rng)
+    seeds, explicit = prg_share_vector(f, xs, 1, rng)
+    assert seeds == []
+    assert explicit == xs
+
+
+def test_upload_cost_is_constant_in_parties(rng):
+    """The point of the optimization: upload size ~ L, not s*L."""
+    f = FIELD87
+    length = 1000
+    xs = f.rand_vector(length, rng)
+    for s in (2, 5, 10):
+        seeds, explicit = prg_share_vector(f, xs, s, rng)
+        explicit_bytes = len(explicit) * f.encoded_size
+        seed_bytes = sum(len(seed) for seed in seeds)
+        naive_bytes = s * length * f.encoded_size
+        # Compressed upload is L elements + s-1 seeds; the naive scheme
+        # ships s*L elements, so the savings factor approaches s.
+        assert explicit_bytes + seed_bytes < naive_bytes / (s - 0.5)
+
+
+def test_expansion_statistics(rng):
+    """Crude uniformity check on the rejection sampler (mean near p/2)."""
+    f = FIELD_SMALL
+    vec = expand_seed(f, new_seed(rng), 4000)
+    mean = sum(vec) / len(vec)
+    assert abs(mean - f.modulus / 2) < f.modulus * 0.05

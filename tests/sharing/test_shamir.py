@@ -1,0 +1,103 @@
+"""Tests for the Shamir threshold-sharing extension (Appendix B)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.field import FIELD87, FIELD_SMALL, FIELD_TINY, FieldError
+from repro.sharing import (
+    shamir_reconstruct_scalar,
+    shamir_reconstruct_vector,
+    shamir_share_scalar,
+    shamir_share_vector,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(404)
+
+
+@pytest.mark.parametrize("threshold,n", [(1, 1), (2, 3), (3, 5), (5, 5)])
+def test_scalar_roundtrip(threshold, n, rng):
+    f = FIELD87
+    x = f.rand(rng)
+    shares = shamir_share_scalar(f, x, threshold, n, rng)
+    assert len(shares) == n
+    assert shamir_reconstruct_scalar(f, shares[:threshold]) == x
+
+
+def test_every_quorum_reconstructs(rng):
+    f = FIELD_SMALL
+    x = f.rand(rng)
+    shares = shamir_share_scalar(f, x, 3, 5, rng)
+    for quorum in itertools.combinations(shares, 3):
+        assert shamir_reconstruct_scalar(f, list(quorum)) == x
+
+
+def test_below_threshold_is_uniform(rng):
+    """t-1 shares leak nothing: marginal of share 1 is ~uniform."""
+    f = FIELD_TINY
+    counts = [0] * f.modulus
+    trials = 4000
+    for _ in range(trials):
+        shares = shamir_share_scalar(f, 7, 2, 3, rng)
+        counts[shares[0][1]] += 1
+    expected = trials / f.modulus
+    assert all(abs(c - expected) < 6 * expected**0.5 for c in counts)
+
+
+def test_rejects_bad_threshold(rng):
+    with pytest.raises(FieldError):
+        shamir_share_scalar(FIELD87, 1, 0, 3, rng)
+    with pytest.raises(FieldError):
+        shamir_share_scalar(FIELD87, 1, 4, 3, rng)
+
+
+def test_rejects_too_many_shares_for_tiny_field(rng):
+    with pytest.raises(FieldError):
+        shamir_share_scalar(FIELD_TINY, 1, 2, 97, rng)
+
+
+def test_reconstruct_rejects_duplicates(rng):
+    f = FIELD_SMALL
+    shares = shamir_share_scalar(f, 9, 2, 3, rng)
+    with pytest.raises(FieldError):
+        shamir_reconstruct_scalar(f, [shares[0], shares[0]])
+
+
+def test_reconstruct_rejects_empty():
+    with pytest.raises(FieldError):
+        shamir_reconstruct_scalar(FIELD_SMALL, [])
+    with pytest.raises(FieldError):
+        shamir_reconstruct_vector(FIELD_SMALL, [])
+
+
+def test_vector_roundtrip(rng):
+    f = FIELD87
+    xs = f.rand_vector(12, rng)
+    shares = shamir_share_vector(f, xs, 3, 5, rng)
+    assert shamir_reconstruct_vector(f, shares[:3]) == xs
+    assert shamir_reconstruct_vector(f, shares[1:4]) == xs
+
+
+def test_vector_linearity(rng):
+    """Shamir shares are linear, so aggregation-by-summing still works."""
+    f = FIELD_SMALL
+    xs = f.rand_vector(6, rng)
+    ys = f.rand_vector(6, rng)
+    sx = shamir_share_vector(f, xs, 2, 3, rng)
+    sy = shamir_share_vector(f, ys, 2, 3, rng)
+    summed = [
+        (ix, f.vec_add(vx, vy)) for (ix, vx), (_, vy) in zip(sx, sy)
+    ]
+    assert shamir_reconstruct_vector(f, summed[:2]) == f.vec_add(xs, ys)
+
+
+def test_vector_ragged_rejected(rng):
+    f = FIELD_SMALL
+    shares = shamir_share_vector(f, [1, 2, 3], 2, 3, rng)
+    broken = [(shares[0][0], shares[0][1][:2]), shares[1]]
+    with pytest.raises(FieldError):
+        shamir_reconstruct_vector(f, broken)

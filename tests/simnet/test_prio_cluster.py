@@ -1,0 +1,107 @@
+"""Integration: the full Prio protocol over the simulated WAN.
+
+These tests exercise genuinely asynchronous message delivery — round-1
+broadcasts can overtake uploads across transatlantic links — and check
+that correctness, robustness, and agreement are timing-independent.
+"""
+
+import random
+
+import pytest
+
+from repro.afe import FrequencyCountAfe, IntegerSumAfe
+from repro.field import FIELD87
+from repro.simnet import paper_wan_topology, same_datacenter
+from repro.simnet.prio_cluster import run_cluster
+
+
+@pytest.fixture
+def rng():
+    return random.Random(999)
+
+
+def test_wan_cluster_sums_correctly(rng):
+    afe = IntegerSumAfe(FIELD87, 6)
+    values = [rng.randrange(64) for _ in range(12)]
+    report = run_cluster(afe, paper_wan_topology(), values, rng)
+    assert report.n_accepted == 12
+    assert report.n_rejected == 0
+    assert report.aggregate == sum(values)
+
+
+def test_same_datacenter_cluster(rng):
+    afe = FrequencyCountAfe(FIELD87, 4)
+    values = [rng.randrange(4) for _ in range(10)]
+    report = run_cluster(afe, same_datacenter(3), values, rng)
+    assert report.aggregate is not None
+    assert sum(report.aggregate) == 10
+
+
+def test_wan_latency_dominates_wall_clock(rng):
+    """Two broadcast rounds across the WAN: the wall clock must be at
+    least two one-way worst-case latencies, and under a second for a
+    small batch."""
+    afe = IntegerSumAfe(FIELD87, 4)
+    report = run_cluster(afe, paper_wan_topology(), [3], rng)
+    worst_one_way = 0.079  # Oregon <-> Frankfurt
+    assert report.wall_clock_s >= 2 * worst_one_way
+    assert report.wall_clock_s < 1.0
+
+
+def test_datacenter_faster_than_wan(rng):
+    afe = IntegerSumAfe(FIELD87, 4)
+    wan = run_cluster(afe, paper_wan_topology(), [1, 2], rng)
+    lan = run_cluster(
+        afe, same_datacenter(5), [1, 2], random.Random(999)
+    )
+    assert lan.wall_clock_s < wan.wall_clock_s
+
+
+def test_malicious_submission_rejected_over_wan(rng):
+    from repro.protocol.wire import ClientPacket, PacketKind
+
+    afe = IntegerSumAfe(FIELD87, 4)
+    values = [5, 9, 2]
+
+    def corrupt_second(index, submission):
+        if index != 1:
+            return
+        packet = submission.packets[-1]
+        vec = FIELD87.decode_vector(packet.body)
+        vec[0] = (vec[0] + 12345) % FIELD87.modulus
+        submission.packets[-1] = ClientPacket(
+            submission_id=packet.submission_id,
+            server_index=packet.server_index,
+            kind=PacketKind.EXPLICIT,
+            n_elements=packet.n_elements,
+            body=FIELD87.encode_vector(vec),
+        )
+
+    report = run_cluster(
+        afe, paper_wan_topology(), values, rng, mutate=corrupt_second
+    )
+    assert report.n_accepted == 2
+    assert report.n_rejected == 1
+    assert report.aggregate == 5 + 2
+
+
+def test_servers_agree_under_interleaving(rng):
+    """Many submissions in flight at once; every server must reach the
+    same accept/reject decisions (asserted inside run_cluster)."""
+    afe = IntegerSumAfe(FIELD87, 4)
+    values = [rng.randrange(16) for _ in range(30)]
+    report = run_cluster(afe, paper_wan_topology(), values, rng)
+    assert report.n_accepted == 30
+
+
+def test_byte_accounting_over_wan(rng):
+    """Per-peer verification traffic: 4 elements across 2 rounds."""
+    afe = IntegerSumAfe(FIELD87, 4)
+    n = 10
+    report = run_cluster(afe, paper_wan_topology(), [1] * n, rng)
+    element = FIELD87.encoded_size
+    n_servers = 5
+    # Server 1 (a non-leader, no client traffic in this model):
+    # 2 rounds x 2 elements to each of 4 peers per submission.
+    expected = n * 2 * (2 * element) * (n_servers - 1)
+    assert report.server_tx_bytes[1] == expected

@@ -1,0 +1,169 @@
+"""Tests for the Prio-MPC variant (server-side Valid evaluation)."""
+
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, assert_bit, assert_binary_decomposition
+from repro.field import FIELD87, FIELD_SMALL
+from repro.snip import ServerRandomness, SnipError
+from repro.snip.mpc_variant import (
+    MpcSubmissionShare,
+    build_mpc_submission,
+    build_triple_validity_circuit,
+    mpc_upload_elements,
+    verify_mpc_submission,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(2468)
+
+
+def bits_circuit(field, n_bits):
+    b = CircuitBuilder(field, name="mpc-bits")
+    wires = b.inputs(n_bits)
+    for w in wires:
+        assert_bit(b, w)
+    return b.build()
+
+
+def test_triple_circuit_shape():
+    circuit = build_triple_validity_circuit(FIELD_SMALL, 4)
+    assert circuit.n_inputs == 12
+    assert circuit.n_mul_gates == 4
+
+
+def test_triple_circuit_requires_positive_count():
+    with pytest.raises(SnipError):
+        build_triple_validity_circuit(FIELD_SMALL, 0)
+
+
+def test_triple_circuit_accepts_valid_triples(rng):
+    f = FIELD_SMALL
+    circuit = build_triple_validity_circuit(f, 2)
+    a1, b1 = f.rand(rng), f.rand(rng)
+    a2, b2 = f.rand(rng), f.rand(rng)
+    good = [a1, b1, f.mul(a1, b1), a2, b2, f.mul(a2, b2)]
+    assert circuit.check(f, good)
+    bad = list(good)
+    bad[2] = (bad[2] + 1) % f.modulus
+    assert not circuit.check(f, bad)
+
+
+@pytest.mark.parametrize("n_servers", [2, 3, 5])
+def test_honest_mpc_submission_accepted(n_servers, rng):
+    f = FIELD87
+    circuit = bits_circuit(f, 4)
+    x = [1, 0, 1, 1]
+    shares = build_mpc_submission(f, circuit.n_mul_gates, x, n_servers, rng)
+    randomness = ServerRandomness(rng.randbytes(16))
+    outcome = verify_mpc_submission(f, circuit, shares, randomness)
+    assert outcome.accepted
+    assert outcome.triple_check is not None and outcome.triple_check.accepted
+    assert outcome.n_rounds == 1  # independent bit checks, one level
+
+
+def test_invalid_input_rejected(rng):
+    f = FIELD87
+    circuit = bits_circuit(f, 4)
+    x = [1, 0, 9, 1]
+    shares = build_mpc_submission(f, circuit.n_mul_gates, x, 3, rng)
+    randomness = ServerRandomness(rng.randbytes(16))
+    outcome = verify_mpc_submission(f, circuit, shares, randomness)
+    assert not outcome.accepted
+    assert outcome.triple_check.accepted  # triples were fine
+    assert outcome.assertion_total != 0   # the input was not
+
+
+def test_bad_triples_rejected_before_mpc(rng):
+    f = FIELD87
+    circuit = bits_circuit(f, 3)
+    shares = build_mpc_submission(f, circuit.n_mul_gates, [1, 0, 1], 2, rng)
+    # Corrupt one c-component of the dealt triples.
+    shares[0].triple_vector_share[2] = (
+        shares[0].triple_vector_share[2] + 1
+    ) % f.modulus
+    randomness = ServerRandomness(rng.randbytes(16))
+    outcome = verify_mpc_submission(f, circuit, shares, randomness)
+    assert not outcome.accepted
+    assert not outcome.triple_check.accepted
+    assert outcome.n_rounds == 0  # MPC never ran
+
+
+def test_affine_circuit_no_triples(rng):
+    f = FIELD87
+    b = CircuitBuilder(f, name="affine-mpc")
+    x, y = b.inputs(2)
+    b.assert_zero(b.sub(b.add(x, y), b.constant(9)))
+    circuit = b.build()
+    shares = build_mpc_submission(f, 0, [4, 5], 2, rng)
+    randomness = ServerRandomness(rng.randbytes(16))
+    outcome = verify_mpc_submission(f, circuit, shares, randomness)
+    assert outcome.accepted
+    assert outcome.triple_check is None
+
+
+def test_client_does_not_need_circuit(rng):
+    """The client builds its upload from M alone — e.g. a proprietary
+    Valid circuit whose structure the servers keep secret."""
+    f = FIELD87
+    # Server-secret circuit: input must be a 4-bit int equal to 7 mod 9.
+    b = CircuitBuilder(f, name="proprietary")
+    value = b.input()
+    bits = b.inputs(4)
+    assert_binary_decomposition(b, value, bits)
+    circuit = b.build()
+
+    x_value = 13
+    x = [x_value] + [(x_value >> i) & 1 for i in range(4)]
+    shares = build_mpc_submission(f, circuit.n_mul_gates, x, 3, rng)
+    randomness = ServerRandomness(rng.randbytes(16))
+    assert verify_mpc_submission(f, circuit, shares, randomness).accepted
+
+
+def test_missing_proof_share_raises(rng):
+    f = FIELD87
+    circuit = bits_circuit(f, 2)
+    shares = build_mpc_submission(f, 2, [1, 0], 2, rng)
+    shares[1] = MpcSubmissionShare(
+        x_share=shares[1].x_share,
+        triple_vector_share=shares[1].triple_vector_share,
+        triple_proof_share=None,
+    )
+    randomness = ServerRandomness(rng.randbytes(16))
+    with pytest.raises(SnipError):
+        verify_mpc_submission(f, circuit, shares, randomness)
+
+
+def test_ragged_triple_vector_raises():
+    share = MpcSubmissionShare(
+        x_share=[1], triple_vector_share=[1, 2], triple_proof_share=None
+    )
+    with pytest.raises(SnipError):
+        share.triple_shares()
+
+
+def test_upload_cost_grows_with_m():
+    assert mpc_upload_elements(10, 0) == 10
+    small = mpc_upload_elements(10, 4)
+    large = mpc_upload_elements(10, 64)
+    assert small < large
+    # Theta(M): triples alone are 3M elements.
+    assert large >= 10 + 3 * 64
+
+
+def test_bandwidth_theta_m(rng):
+    """Server-to-server traffic grows with M (Figure 6's contrast)."""
+    f = FIELD87
+    randomness = ServerRandomness(rng.randbytes(16))
+    costs = []
+    for n_bits in (2, 8):
+        circuit = bits_circuit(f, n_bits)
+        x = [1] * n_bits
+        shares = build_mpc_submission(f, circuit.n_mul_gates, x, 2, rng)
+        outcome = verify_mpc_submission(f, circuit, shares, randomness)
+        assert outcome.accepted
+        costs.append(outcome.elements_broadcast_per_server)
+    assert costs[1] > costs[0]

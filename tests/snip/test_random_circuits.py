@@ -1,0 +1,163 @@
+"""Property-based SNIP tests over randomly generated circuits.
+
+The SNIP must be complete and sound for *every* Valid circuit, not
+just the AFE shapes the library ships.  These tests generate random
+arithmetic-circuit DAGs with hypothesis, make the input valid by
+construction (assert the final wire equals its own evaluated value),
+and check: honest proofs verify; corrupted proofs do not; the NTT
+variant agrees with the textbook reference variant.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import CircuitBuilder
+from repro.field import FIELD87, FIELD_SMALL
+from repro.sharing import share_vector
+from repro.snip import (
+    ServerRandomness,
+    VerificationContext,
+    build_proof,
+    build_reference_proof,
+    prove_and_share,
+    share_proof,
+    share_reference_proof,
+    verify_reference_snip,
+    verify_snip,
+)
+
+
+@st.composite
+def valid_circuit_and_input(draw, field, max_inputs=4, max_ops=10):
+    """A random circuit whose assertions the generated input satisfies."""
+    n_inputs = draw(st.integers(1, max_inputs))
+    ops = draw(
+        st.lists(
+            st.sampled_from(["add", "sub", "mul", "mul_const"]),
+            min_size=1,
+            max_size=max_ops,
+        )
+    )
+    seed = draw(st.integers(0, 2**32))
+    rng = random.Random(seed)
+    inputs = [rng.randrange(field.modulus) for _ in range(n_inputs)]
+
+    # Pass 1: evaluate the op sequence on the inputs in plain Python to
+    # learn the wire values.
+    values = list(inputs)
+    recorded = []
+    p = field.modulus
+    for op in ops:
+        i = rng.randrange(len(values))
+        j = rng.randrange(len(values))
+        c = rng.randrange(p)
+        recorded.append((op, i, j, c))
+        if op == "add":
+            values.append((values[i] + values[j]) % p)
+        elif op == "sub":
+            values.append((values[i] - values[j]) % p)
+        elif op == "mul":
+            values.append((values[i] * values[j]) % p)
+        else:
+            values.append((c * values[i]) % p)
+
+    # Pass 2: build the circuit, asserting the last wire equals its
+    # known value (affine assertion; input is valid by construction).
+    builder = CircuitBuilder(field, name="rand-valid")
+    wires = builder.inputs(n_inputs)
+    pool = list(wires)
+    for op, i, j, c in recorded:
+        if op == "add":
+            pool.append(builder.add(pool[i], pool[j]))
+        elif op == "sub":
+            pool.append(builder.sub(pool[i], pool[j]))
+        elif op == "mul":
+            pool.append(builder.mul(pool[i], pool[j]))
+        else:
+            pool.append(builder.mul_const(c, pool[i]))
+    builder.assert_equals_const(pool[-1], values[-1])
+    circuit = builder.build()
+    return circuit, inputs, seed
+
+
+@given(case=valid_circuit_and_input(FIELD87))
+@settings(max_examples=40, deadline=None)
+def test_honest_proof_accepted_for_random_circuits(case):
+    circuit, inputs, seed = case
+    rng = random.Random(seed ^ 0xA5A5)
+    assert circuit.check(FIELD87, inputs)
+    x_shares, proof_shares = prove_and_share(
+        FIELD87, circuit, inputs, 3, rng
+    )
+    challenge = ServerRandomness(b"rand-ok").challenge(FIELD87, circuit, 0)
+    ctx = VerificationContext(FIELD87, circuit, challenge)
+    assert verify_snip(ctx, x_shares, proof_shares).accepted
+
+
+@given(case=valid_circuit_and_input(FIELD87))
+@settings(max_examples=25, deadline=None)
+def test_corrupted_proof_rejected_for_random_circuits(case):
+    circuit, inputs, seed = case
+    rng = random.Random(seed ^ 0x5A5A)
+    proof = build_proof(FIELD87, circuit, inputs, rng)
+    x_shares = share_vector(FIELD87, inputs, 2, rng)
+    proof_shares = share_proof(FIELD87, proof, 2, rng)
+    if circuit.n_mul_gates:
+        # Corrupt an odd-indexed h evaluation: breaks h = f*g without
+        # touching any wire value, so only the polynomial test can
+        # catch it.
+        proof_shares[0].h_evals[1] = (
+            proof_shares[0].h_evals[1] + 1
+        ) % FIELD87.modulus
+    else:
+        # Affine-only circuit: corrupt the data share instead.  If the
+        # random circuit's assertion happens not to depend on x[0]
+        # (e.g. everything multiplied by zero), the shifted input is
+        # *still valid* and acceptance is correct — skip those.
+        corrupted = list(inputs)
+        corrupted[0] = (corrupted[0] + 1) % FIELD87.modulus
+        if circuit.check(FIELD87, corrupted):
+            return
+        x_shares[0][0] = (x_shares[0][0] + 1) % FIELD87.modulus
+    challenge = ServerRandomness(b"rand-bad").challenge(FIELD87, circuit, 0)
+    ctx = VerificationContext(FIELD87, circuit, challenge)
+    assert not verify_snip(ctx, x_shares, proof_shares).accepted
+
+
+@given(case=valid_circuit_and_input(FIELD87, max_inputs=3, max_ops=6))
+@settings(max_examples=15, deadline=None)
+def test_reference_variant_agrees_on_random_circuits(case):
+    circuit, inputs, seed = case
+    rng = random.Random(seed ^ 0x1111)
+    challenge = ServerRandomness(b"rand-ref").challenge(FIELD87, circuit, 0)
+
+    x_shares, proof_shares = prove_and_share(FIELD87, circuit, inputs, 2, rng)
+    ctx = VerificationContext(FIELD87, circuit, challenge)
+    ntt_outcome = verify_snip(ctx, x_shares, proof_shares)
+
+    ref_proof = build_reference_proof(FIELD87, circuit, inputs, rng)
+    ref_shares = share_reference_proof(FIELD87, ref_proof, 2, rng)
+    ref_x = share_vector(FIELD87, inputs, 2, rng)
+    ref_outcome = verify_reference_snip(
+        FIELD87, circuit, ref_x, ref_shares, challenge
+    )
+    assert ntt_outcome.accepted and ref_outcome.accepted
+
+
+@given(case=valid_circuit_and_input(FIELD_SMALL, max_inputs=3, max_ops=5))
+@settings(max_examples=20, deadline=None)
+def test_small_field_roundtrip(case):
+    """The whole stack also works over small fields (used by the
+    soundness experiments), as long as the domain fits the 2-adicity."""
+    circuit, inputs, seed = case
+    if circuit.n_mul_gates > 100:
+        return  # would exceed F_3329's NTT domain budget
+    rng = random.Random(seed)
+    x_shares, proof_shares = prove_and_share(
+        FIELD_SMALL, circuit, inputs, 2, rng
+    )
+    challenge = ServerRandomness(b"small").challenge(FIELD_SMALL, circuit, 0)
+    ctx = VerificationContext(FIELD_SMALL, circuit, challenge)
+    assert verify_snip(ctx, x_shares, proof_shares).accepted

@@ -1,0 +1,300 @@
+"""SNIP correctness: honest clients are always accepted."""
+
+import random
+
+import pytest
+
+from repro.circuit import (
+    CircuitBuilder,
+    assert_binary_decomposition,
+    assert_bit,
+    assert_one_hot,
+)
+from repro.field import FIELD87, FIELD265, FIELD_SMALL
+from repro.snip import (
+    ServerRandomness,
+    SnipError,
+    VerificationContext,
+    build_proof,
+    proof_num_elements,
+    prove_and_share,
+    share_proof,
+    snip_domain_sizes,
+    verify_snip,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+def bits_circuit(field, n_bits, name="bits"):
+    b = CircuitBuilder(field, name=name)
+    wires = b.inputs(n_bits)
+    for w in wires:
+        assert_bit(b, w)
+    return b.build()
+
+
+def make_ctx(field, circuit, rng, epoch=0):
+    randomness = ServerRandomness(seed=rng.randbytes(16))
+    challenge = randomness.challenge(field, circuit, epoch)
+    return VerificationContext(field, circuit, challenge)
+
+
+# ----------------------------------------------------------------------
+# Domain sizing / layout
+# ----------------------------------------------------------------------
+
+
+def test_domain_sizes():
+    assert snip_domain_sizes(0) == (0, 0)
+    assert snip_domain_sizes(1) == (2, 4)
+    assert snip_domain_sizes(3) == (4, 8)
+    assert snip_domain_sizes(4) == (8, 16)
+    assert snip_domain_sizes(1024) == (2048, 4096)
+
+
+def test_proof_num_elements_matches_flatten(rng):
+    f = FIELD_SMALL
+    circuit = bits_circuit(f, 5)
+    x = [1, 0, 1, 1, 0]
+    proof = build_proof(f, circuit, x, rng)
+    shares = share_proof(f, proof, 3, rng)
+    for share in shares:
+        assert len(share.flatten()) == proof_num_elements(5)
+
+
+def test_flatten_unflatten_roundtrip(rng):
+    from repro.snip import SnipProofShare
+
+    f = FIELD_SMALL
+    circuit = bits_circuit(f, 3)
+    proof = build_proof(f, circuit, [1, 1, 0], rng)
+    share = share_proof(f, proof, 2, rng)[0]
+    restored = SnipProofShare.unflatten(f, share.flatten(), 3)
+    assert restored == share
+
+
+def test_unflatten_rejects_bad_length():
+    from repro.snip import SnipProofShare
+
+    with pytest.raises(SnipError):
+        SnipProofShare.unflatten(FIELD_SMALL, [0] * 4, 3)
+
+
+# ----------------------------------------------------------------------
+# Honest acceptance
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n_servers", [2, 3, 5])
+@pytest.mark.parametrize("n_bits", [1, 3, 8])
+def test_honest_client_accepted(n_servers, n_bits, rng):
+    f = FIELD87
+    circuit = bits_circuit(f, n_bits)
+    x = [rng.randrange(2) for _ in range(n_bits)]
+    x_shares, proof_shares = prove_and_share(f, circuit, x, n_servers, rng)
+    ctx = make_ctx(f, circuit, rng)
+    outcome = verify_snip(ctx, x_shares, proof_shares)
+    assert outcome.accepted
+    assert outcome.sigma_total == 0
+    assert outcome.assertion_total == 0
+
+
+def test_honest_acceptance_large_field(rng):
+    f = FIELD265
+    circuit = bits_circuit(f, 4)
+    x = [0, 1, 1, 0]
+    x_shares, proof_shares = prove_and_share(f, circuit, x, 2, rng)
+    ctx = make_ctx(f, circuit, rng)
+    assert verify_snip(ctx, x_shares, proof_shares).accepted
+
+
+def test_honest_acceptance_many_epochs(rng):
+    """Acceptance must hold for every challenge epoch (fresh r each)."""
+    f = FIELD87
+    circuit = bits_circuit(f, 4)
+    x = [1, 0, 0, 1]
+    randomness = ServerRandomness(seed=b"epoch-test-seed!")
+    for epoch in range(5):
+        challenge = randomness.challenge(f, circuit, epoch)
+        ctx = VerificationContext(f, circuit, challenge)
+        x_shares, proof_shares = prove_and_share(f, circuit, x, 3, rng)
+        assert verify_snip(ctx, x_shares, proof_shares).accepted
+
+
+def test_affine_only_circuit(rng):
+    """M = 0: no polynomial test, assertions still enforced."""
+    f = FIELD87
+    b = CircuitBuilder(f, name="affine")
+    x, y = b.inputs(2)
+    b.assert_zero(b.sub(b.add(x, y), b.constant(10)))
+    circuit = b.build()
+    assert circuit.n_mul_gates == 0
+
+    ctx = make_ctx(f, circuit, rng)
+    x_shares, proof_shares = prove_and_share(f, circuit, [4, 6], 3, rng)
+    assert verify_snip(ctx, x_shares, proof_shares).accepted
+
+    bad_shares, bad_proof = prove_and_share(f, circuit, [4, 6], 3, rng)
+    bad_shares[0][0] = (bad_shares[0][0] + 1) % f.modulus
+    assert not verify_snip(ctx, bad_shares, bad_proof).accepted
+
+
+def test_binary_decomposition_circuit(rng):
+    """The integer-sum AFE's Valid circuit verifies end-to-end."""
+    f = FIELD87
+    b = CircuitBuilder(f, name="int-sum")
+    value = b.input()
+    bits = b.inputs(8)
+    assert_binary_decomposition(b, value, bits)
+    circuit = b.build()
+    x_value = 173
+    x = [x_value] + [(x_value >> i) & 1 for i in range(8)]
+    ctx = make_ctx(f, circuit, rng)
+    x_shares, proof_shares = prove_and_share(f, circuit, x, 2, rng)
+    assert verify_snip(ctx, x_shares, proof_shares).accepted
+
+
+def test_one_hot_circuit(rng):
+    f = FIELD87
+    b = CircuitBuilder(f, name="one-hot")
+    wires = b.inputs(6)
+    assert_one_hot(b, wires)
+    circuit = b.build()
+    x = [0, 0, 1, 0, 0, 0]
+    ctx = make_ctx(f, circuit, rng)
+    x_shares, proof_shares = prove_and_share(f, circuit, x, 4, rng)
+    assert verify_snip(ctx, x_shares, proof_shares).accepted
+
+
+# ----------------------------------------------------------------------
+# Prover guards
+# ----------------------------------------------------------------------
+
+
+def test_prover_refuses_invalid_input(rng):
+    f = FIELD87
+    circuit = bits_circuit(f, 2)
+    with pytest.raises(SnipError):
+        build_proof(f, circuit, [1, 7], rng)
+
+
+def test_prover_allows_invalid_with_flag(rng):
+    f = FIELD87
+    circuit = bits_circuit(f, 2)
+    proof = build_proof(f, circuit, [1, 7], rng, check_valid=False)
+    assert len(proof.h_evals) == snip_domain_sizes(2)[1]
+
+
+def test_share_proof_needs_two_servers(rng):
+    f = FIELD_SMALL
+    circuit = bits_circuit(f, 1)
+    proof = build_proof(f, circuit, [1], rng)
+    with pytest.raises(SnipError):
+        share_proof(f, proof, 1, rng)
+
+
+# ----------------------------------------------------------------------
+# Challenge derivation
+# ----------------------------------------------------------------------
+
+
+def test_challenge_deterministic_across_servers():
+    f = FIELD87
+    circuit = bits_circuit(f, 3)
+    a = ServerRandomness(b"shared-seed").challenge(f, circuit, 7)
+    b = ServerRandomness(b"shared-seed").challenge(f, circuit, 7)
+    assert a == b
+
+
+def test_challenge_varies_with_epoch():
+    f = FIELD87
+    circuit = bits_circuit(f, 3)
+    rand = ServerRandomness(b"shared-seed")
+    assert rand.challenge(f, circuit, 0) != rand.challenge(f, circuit, 1)
+
+
+def test_challenge_avoids_degenerate_points():
+    from repro.field import EvaluationDomain
+
+    f = FIELD_SMALL  # small field: collisions actually plausible
+    circuit = bits_circuit(f, 7)
+    _, size_2n = snip_domain_sizes(7)
+    domain = EvaluationDomain(f, size_2n)
+    rand = ServerRandomness(b"!")
+    for epoch in range(200):
+        challenge = rand.challenge(f, circuit, epoch)
+        assert challenge.r != 0
+        assert not domain.contains_point(challenge.r)
+
+
+def test_context_rejects_degenerate_r():
+    f = FIELD87
+    circuit = bits_circuit(f, 2)
+    from repro.snip import VerificationChallenge
+
+    bad = VerificationChallenge(r=0, assertion_coefficients=(1, 1))
+    with pytest.raises(SnipError):
+        VerificationContext(f, circuit, bad)
+
+
+def test_context_rejects_wrong_challenge_arity():
+    f = FIELD87
+    circuit = bits_circuit(f, 2)
+    from repro.snip import VerificationChallenge
+
+    bad = VerificationChallenge(r=5, assertion_coefficients=(1,))
+    with pytest.raises(SnipError):
+        VerificationContext(f, circuit, bad)
+
+
+# ----------------------------------------------------------------------
+# Cross-validation against the textbook construction
+# ----------------------------------------------------------------------
+
+
+def test_reference_and_ntt_variants_agree(rng):
+    from repro.snip import (
+        build_reference_proof,
+        share_reference_proof,
+        verify_reference_snip,
+    )
+
+    f = FIELD87
+    circuit = bits_circuit(f, 5)
+    x = [1, 1, 0, 1, 0]
+    randomness = ServerRandomness(b"xval")
+    challenge = randomness.challenge(f, circuit, 0)
+
+    ctx = VerificationContext(f, circuit, challenge)
+    x_shares, proof_shares = prove_and_share(f, circuit, x, 3, rng)
+    assert verify_snip(ctx, x_shares, proof_shares).accepted
+
+    ref_proof = build_reference_proof(f, circuit, x, rng)
+    ref_shares = share_reference_proof(f, ref_proof, 3, rng)
+    outcome = verify_reference_snip(f, circuit, x_shares, ref_shares, challenge)
+    assert outcome.accepted
+
+
+def test_reference_variant_rejects_invalid(rng):
+    from repro.snip import (
+        build_reference_proof,
+        share_reference_proof,
+        verify_reference_snip,
+    )
+
+    f = FIELD87
+    circuit = bits_circuit(f, 3)
+    x = [1, 2, 0]  # invalid
+    randomness = ServerRandomness(b"xval2")
+    challenge = randomness.challenge(f, circuit, 0)
+    ref_proof = build_reference_proof(f, circuit, x, rng, check_valid=False)
+    ref_shares = share_reference_proof(f, ref_proof, 2, rng)
+    from repro.sharing import share_vector
+
+    x_shares = share_vector(f, x, 2, rng)
+    outcome = verify_reference_snip(f, circuit, x_shares, ref_shares, challenge)
+    assert not outcome.accepted

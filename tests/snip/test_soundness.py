@@ -1,0 +1,209 @@
+"""SNIP soundness (Appendix D.1): cheating clients are rejected.
+
+Each test plays a different malicious-client strategy from the paper's
+analysis and checks the servers reject.  Tests on the 87-bit field
+should reject with overwhelming probability (failure odds ~2^-80); the
+final test measures the acceptance *rate* on a deliberately small field
+and checks it against the (2M+1)/|F| Schwartz-Zippel bound.
+"""
+
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, assert_bit
+from repro.field import FIELD87, FIELD_SMALL
+from repro.sharing import share_vector
+from repro.snip import (
+    ServerRandomness,
+    VerificationContext,
+    build_proof,
+    prove_and_share,
+    share_proof,
+    verify_snip,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(666)
+
+
+def bits_circuit(field, n_bits):
+    b = CircuitBuilder(field, name="bits")
+    wires = b.inputs(n_bits)
+    for w in wires:
+        assert_bit(b, w)
+    return b.build()
+
+
+def fresh_ctx(field, circuit, rng):
+    challenge = ServerRandomness(rng.randbytes(16)).challenge(
+        field, circuit, 0
+    )
+    return VerificationContext(field, circuit, challenge)
+
+
+def test_invalid_input_with_consistent_proof_rejected(rng):
+    """Cheater runs the honest prover on an out-of-range input: the
+    polynomial test passes (h really is f*g) but the batched assertion
+    check catches the nonzero Valid output."""
+    f = FIELD87
+    circuit = bits_circuit(f, 4)
+    x = [1, 0, 5, 0]  # 5 is not a bit
+    proof = build_proof(f, circuit, x, rng, check_valid=False)
+    x_shares = share_vector(f, x, 3, rng)
+    proof_shares = share_proof(f, proof, 3, rng)
+    ctx = fresh_ctx(f, circuit, rng)
+    outcome = verify_snip(ctx, x_shares, proof_shares)
+    assert not outcome.accepted
+    assert outcome.sigma_total == 0          # h is consistent
+    assert outcome.assertion_total != 0      # but Valid(x) != ok
+
+
+def test_lying_h_rejected_by_polynomial_test(rng):
+    """Cheater submits an invalid input but fakes the mul-gate output
+    wires inside h so the assertions *look* satisfied; then h != f*g and
+    the Schwartz-Zippel test fires (the Section 4.2 core argument)."""
+    f = FIELD87
+    circuit = bits_circuit(f, 4)
+    good = [1, 0, 1, 0]
+    bad = [1, 0, 5, 0]
+    # Build an honest proof for the *valid* input, then attach it to the
+    # invalid input's shares: mul outputs in h now disagree with the
+    # real wire values derived from x.
+    proof = build_proof(f, circuit, good, rng)
+    x_shares = share_vector(f, bad, 3, rng)
+    proof_shares = share_proof(f, proof, 3, rng)
+    ctx = fresh_ctx(f, circuit, rng)
+    outcome = verify_snip(ctx, x_shares, proof_shares)
+    assert not outcome.accepted
+    assert outcome.sigma_total != 0
+
+
+def test_corrupted_h_evaluation_rejected(rng):
+    """Flipping a single h evaluation breaks h = f*g."""
+    f = FIELD87
+    circuit = bits_circuit(f, 3)
+    x = [1, 1, 0]
+    x_shares, proof_shares = prove_and_share(f, circuit, x, 2, rng)
+    proof_shares[0].h_evals[1] = (proof_shares[0].h_evals[1] + 1) % f.modulus
+    ctx = fresh_ctx(f, circuit, rng)
+    assert not verify_snip(ctx, x_shares, proof_shares).accepted
+
+
+def test_corrupted_even_h_point_rejected(rng):
+    """Corrupting an even (gate output) point changes a wire share, so
+    either the assertions or the polynomial test must catch it."""
+    f = FIELD87
+    circuit = bits_circuit(f, 3)
+    x = [1, 1, 0]
+    x_shares, proof_shares = prove_and_share(f, circuit, x, 2, rng)
+    proof_shares[1].h_evals[2] = (proof_shares[1].h_evals[2] + 17) % f.modulus
+    ctx = fresh_ctx(f, circuit, rng)
+    assert not verify_snip(ctx, x_shares, proof_shares).accepted
+
+
+def test_bad_beaver_triple_rejected(rng):
+    """c = ab + alpha shifts sigma by alpha (Appendix D.1's P-hat)."""
+    f = FIELD87
+    circuit = bits_circuit(f, 3)
+    x = [0, 1, 1]
+    x_shares, proof_shares = prove_and_share(f, circuit, x, 2, rng)
+    proof_shares[0].c = (proof_shares[0].c + 99) % f.modulus
+    ctx = fresh_ctx(f, circuit, rng)
+    outcome = verify_snip(ctx, x_shares, proof_shares)
+    assert not outcome.accepted
+    assert outcome.sigma_total != 0
+
+
+def test_bad_triple_with_bad_h_still_rejected(rng):
+    """A cheater cannot use a crooked triple to cancel a crooked h:
+    the t-multiplier makes P-hat nonzero whenever fg != h, for *any*
+    adversarial alpha chosen before r (the Appendix D.1 theorem)."""
+    f = FIELD87
+    circuit = bits_circuit(f, 4)
+    x = [1, 0, 5, 0]
+    proof = build_proof(f, circuit, x, rng, check_valid=False)
+    # Fake the third gate's output inside h to look like a valid bit
+    # check result, and shift c to try to cancel the sigma offset.
+    x_shares = share_vector(f, x, 2, rng)
+    proof_shares = share_proof(f, proof, 2, rng)
+    proof_shares[0].h_evals[6] = (proof_shares[0].h_evals[6] + 3) % f.modulus
+    proof_shares[0].c = (proof_shares[0].c + 1234567) % f.modulus
+    ctx = fresh_ctx(f, circuit, rng)
+    assert not verify_snip(ctx, x_shares, proof_shares).accepted
+
+
+def test_corrupted_f0_g0_rejected(rng):
+    """f(0)/g(0) shares feed the interpolation; corrupting them breaks
+    h = f*g."""
+    f = FIELD87
+    circuit = bits_circuit(f, 2)
+    x = [1, 0]
+    for attr in ("f0", "g0"):
+        x_shares, proof_shares = prove_and_share(f, circuit, x, 2, rng)
+        setattr(
+            proof_shares[0], attr,
+            (getattr(proof_shares[0], attr) + 5) % f.modulus,
+        )
+        ctx = fresh_ctx(f, circuit, rng)
+        assert not verify_snip(ctx, x_shares, proof_shares).accepted
+
+
+def test_inconsistent_x_share_rejected(rng):
+    """Tampering one server's x share changes the wire values, which
+    must be caught (this is what robustness means end-to-end)."""
+    f = FIELD87
+    circuit = bits_circuit(f, 4)
+    x = [1, 0, 1, 1]
+    x_shares, proof_shares = prove_and_share(f, circuit, x, 3, rng)
+    x_shares[2][1] = (x_shares[2][1] + 1) % f.modulus
+    ctx = fresh_ctx(f, circuit, rng)
+    assert not verify_snip(ctx, x_shares, proof_shares).accepted
+
+
+def test_rejection_rate_respects_schwartz_zippel_bound(rng):
+    """On a small field, measure the cheater's acceptance probability
+    and compare it with the (2M+1)/|F| bound.
+
+    Strategy: proof for a valid input attached to an invalid input.
+    The polynomial test operates on P(t) = t*(fg - h): acceptance
+    requires r to hit a root, probability <= (2M+1)/|F|; because the
+    assertion batch must also vanish (an extra 1/|F| event on an
+    independent challenge), the joint rate is well under the bound.
+    """
+    f = FIELD_SMALL  # |F| = 3329
+    circuit = bits_circuit(f, 3)  # M = 3, bound = 7/3329 ~ 0.0021
+    good = [1, 1, 0]
+    bad = [1, 2, 0]
+    trials = 600
+    accepted = 0
+    for trial in range(trials):
+        proof = build_proof(f, circuit, good, rng)
+        x_shares = share_vector(f, bad, 2, rng)
+        proof_shares = share_proof(f, proof, 2, rng)
+        challenge = ServerRandomness(rng.randbytes(16)).challenge(
+            f, circuit, trial
+        )
+        ctx = VerificationContext(f, circuit, challenge)
+        if verify_snip(ctx, x_shares, proof_shares).accepted:
+            accepted += 1
+    bound = (2 * circuit.n_mul_gates + 1) / f.modulus
+    # With 600 trials the expected count under the bound is ~1.3;
+    # allow generous slack while still catching a broken test.
+    assert accepted <= max(5, 3 * bound * trials)
+
+
+def test_all_zero_proof_rejected(rng):
+    f = FIELD87
+    circuit = bits_circuit(f, 2)
+    x = [1, 3]
+    x_shares = share_vector(f, x, 2, rng)
+    proof = build_proof(f, circuit, [1, 1], rng)
+    proof_shares = share_proof(f, proof, 2, rng)
+    for share in proof_shares:
+        share.h_evals = [0] * len(share.h_evals)
+        share.f0 = share.g0 = share.a = share.b = share.c = 0
+    ctx = fresh_ctx(f, circuit, rng)
+    assert not verify_snip(ctx, x_shares, proof_shares).accepted

@@ -1,0 +1,90 @@
+"""Tests driving the Appendix D.1 soundness game end to end."""
+
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, assert_bit
+from repro.field import FIELD87, FIELD_SMALL
+from repro.sharing import share_vector
+from repro.snip import build_proof, share_proof
+from repro.snip.soundness import run_soundness_experiment
+
+
+def bits_circuit(field, n_bits):
+    builder = CircuitBuilder(field, name="game-bits")
+    for wire in builder.inputs(n_bits):
+        assert_bit(builder, wire)
+    return builder.build()
+
+
+def make_cheater(field, circuit, good, bad, seed):
+    """Adversary: honest proof for a *valid* input, attached to an
+    invalid input's shares (the strongest simple strategy — the
+    polynomial test is the only thing standing in its way)."""
+
+    def adversary(trial):
+        rng = random.Random(seed * 1_000_003 + trial)
+        proof = build_proof(field, circuit, good, rng)
+        x_shares = share_vector(field, bad, 2, rng)
+        proof_shares = share_proof(field, proof, 2, rng)
+        return x_shares, proof_shares
+
+    return adversary
+
+
+def make_honest(field, circuit, x, seed):
+    def adversary(trial):
+        rng = random.Random(seed * 1_000_003 + trial)
+        proof = build_proof(field, circuit, x, rng)
+        x_shares = share_vector(field, x, 2, rng)
+        proof_shares = share_proof(field, proof, 2, rng)
+        return x_shares, proof_shares
+
+    return adversary
+
+
+def test_honest_strategy_always_accepted():
+    field = FIELD_SMALL
+    circuit = bits_circuit(field, 3)
+    report = run_soundness_experiment(
+        field, circuit, make_honest(field, circuit, [1, 0, 1], 1), trials=50
+    )
+    assert report.accepted == 50
+
+
+def test_cheater_rate_within_schwartz_zippel_bound():
+    """On F_3329 with M = 3 the bound is 7/3329 ~ 0.21%; the measured
+    acceptance rate over 400 trials must be consistent with it."""
+    field = FIELD_SMALL
+    circuit = bits_circuit(field, 3)
+    report = run_soundness_experiment(
+        field, circuit,
+        make_cheater(field, circuit, [1, 0, 1], [1, 2, 1], 7),
+        trials=400,
+    )
+    assert report.within_bound, str(report)
+    assert report.theoretical_bound == pytest.approx(7 / 3329)
+
+
+def test_cheater_never_accepted_on_production_field():
+    """At |F| ~ 2^87 the acceptance probability is ~2^-80: zero
+    acceptances, every time."""
+    field = FIELD87
+    circuit = bits_circuit(field, 4)
+    report = run_soundness_experiment(
+        field, circuit,
+        make_cheater(field, circuit, [1, 0, 1, 0], [1, 3, 1, 0], 9),
+        trials=25,
+    )
+    assert report.accepted == 0
+
+
+def test_report_formatting():
+    field = FIELD_SMALL
+    circuit = bits_circuit(field, 2)
+    report = run_soundness_experiment(
+        field, circuit, make_honest(field, circuit, [1, 1], 3), trials=5
+    )
+    text = str(report)
+    assert "trials=5" in text and "accepted=5" in text

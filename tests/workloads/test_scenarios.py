@@ -1,0 +1,117 @@
+"""Tests for the Section 6.2 application workloads."""
+
+import random
+
+import pytest
+
+from repro.afe import AfeError
+from repro.field import FIELD87
+from repro.protocol import PrioDeployment
+from repro.workloads import (
+    BrowserStatsAfe,
+    CellSignalAfe,
+    Scenario,
+    SurveyAfe,
+    all_scenarios,
+    scenario_by_name,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(62626)
+
+
+def test_registry_covers_figure7():
+    scenarios = all_scenarios()
+    names = [s.name for s in scenarios]
+    assert names == [
+        "geneva", "seattle", "chicago", "london", "tokyo",
+        "lowres", "highres",
+        "beck-21", "pcri-78", "cpi-434",
+        "heart", "brca",
+    ]
+
+
+def test_scenario_lookup():
+    assert scenario_by_name("geneva").group == "cell"
+    with pytest.raises(KeyError):
+        scenario_by_name("atlantis")
+
+
+def test_gate_counts_same_order_of_magnitude():
+    """Our circuits' M vs the paper's reported M: within 3x each way
+    (encodings differ in detail, not in asymptotics)."""
+    for scenario in all_scenarios():
+        ours = scenario.mul_gates
+        paper = scenario.paper_mul_gates
+        assert ours > 0
+        assert paper / 3 <= ours <= paper * 3, (
+            scenario.name, ours, paper
+        )
+
+
+def test_generators_produce_valid_encodings(rng):
+    for scenario in all_scenarios():
+        value = scenario.generate(rng)
+        encoding = scenario.afe.encode(value, rng)
+        assert len(encoding) == scenario.afe.k
+        assert scenario.afe.check_valid(encoding), scenario.name
+
+
+def test_cell_signal_roundtrip(rng):
+    afe = CellSignalAfe(FIELD87, n_cells=4)
+    readings = [[1, 2, 3, 4], [5, 6, 7, 8], [15, 0, 1, 2]]
+    totals = afe.roundtrip(readings)
+    assert totals == [21, 8, 11, 14]
+
+
+def test_cell_signal_arity_check(rng):
+    afe = CellSignalAfe(FIELD87, n_cells=3)
+    with pytest.raises(AfeError):
+        afe.encode([1, 2])
+
+
+def test_survey_roundtrip(rng):
+    afe = SurveyAfe(FIELD87, n_questions=3, n_choices=4)
+    answers = [[0, 1, 2], [1, 1, 3], [0, 1, 0]]
+    histograms = afe.roundtrip(answers)
+    assert histograms[0] == [2, 1, 0, 0]
+    assert histograms[1] == [0, 3, 0, 0]
+    assert histograms[2] == [1, 0, 1, 1]
+
+
+def test_survey_arity(rng):
+    afe = SurveyAfe(FIELD87, n_questions=2, n_choices=4)
+    with pytest.raises(AfeError):
+        afe.encode([1])
+
+
+def test_browser_stats_roundtrip(rng):
+    afe = BrowserStatsAfe(FIELD87, epsilon=1 / 4, delta=0.1)
+    values = [
+        (50, 30, "site-0.example"),
+        (70, 60, "site-0.example"),
+        (30, 90, "site-1.example"),
+    ]
+    result = afe.roundtrip(values)
+    assert result["cpu_mean"] == pytest.approx(50.0)
+    assert result["mem_mean"] == pytest.approx(60.0)
+    assert result["url_sketch"].estimate("site-0.example") >= 2
+
+
+def test_beck21_end_to_end(rng):
+    """A small anonymous-survey deployment over the real pipeline."""
+    scenario = scenario_by_name("beck-21")
+    deployment = PrioDeployment.create(scenario.afe, 2, rng=rng)
+    answers = [scenario.generate(rng) for _ in range(5)]
+    assert deployment.submit_many(answers) == 5
+    histograms = deployment.publish()
+    assert len(histograms) == 21
+    assert all(sum(h) == 5 for h in histograms)
+
+
+def test_scenario_dataclass():
+    scenario = scenario_by_name("heart")
+    assert isinstance(scenario, Scenario)
+    assert scenario.afe.dimension == 13
