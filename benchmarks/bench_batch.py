@@ -1,0 +1,167 @@
+"""Scalar vs batched server-side verification throughput.
+
+Not a paper figure — this tracks the repo's own batched-verification
+pipeline (``verify_snip_batch`` + the deployment ``batch_size`` knob)
+against the one-at-a-time baseline the paper's prototype modeled, on
+the 87-bit evaluation field and the Figure 4/5 workload (a vector of
+one-bit integers).
+
+Emits the usual ``benchmarks/results/batch.json`` table *and* a
+``BENCH_batch.json`` record at the repo root so the performance
+trajectory of this path is tracked across PRs.  The acceptance gate:
+batched verification of >= 64 submissions must beat 64 scalar
+``verify_snip`` calls.
+"""
+
+import json
+import pathlib
+import random
+import time
+
+import pytest
+
+from common import FULL, emit_table, fmt_rate, fmt_seconds
+
+from repro.afe import VectorSumAfe
+from repro.field import FIELD87, backend_name
+from repro.snip import (
+    ServerRandomness,
+    VerificationContext,
+    prove_and_share_many,
+    prove_many,
+    verify_snip,
+    verify_snip_batch,
+)
+
+LENGTH = 1024 if FULL else 256
+BATCH_SIZES = (16, 64, 256) if FULL else (16, 64)
+N_SERVERS = 2
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _workload(batch, rng):
+    afe = VectorSumAfe(FIELD87, length=LENGTH, n_bits=1)
+    circuit = afe.valid_circuit()
+    encodings = [
+        afe.encode([rng.randrange(2) for _ in range(LENGTH)])
+        for _ in range(batch)
+    ]
+    subs = prove_and_share_many(
+        FIELD87, circuit, encodings, N_SERVERS, rng
+    )
+    challenge = ServerRandomness(b"bench-batch").challenge(
+        FIELD87, circuit, 0
+    )
+    ctx = VerificationContext(FIELD87, circuit, challenge)
+    return circuit, ctx, encodings, subs
+
+
+def _best_of(fn, repeat=3):
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def batch_data():
+    rng = random.Random(808)
+    rows = []
+    record = {
+        "field": "F87",
+        "afe": f"vector-sum-{LENGTH}x1bit",
+        "n_servers": N_SERVERS,
+        "backend": backend_name(),
+        "full_scale": FULL,
+        "points": [],
+    }
+    for batch in BATCH_SIZES:
+        circuit, ctx, encodings, subs = _workload(batch, rng)
+        # warm the context caches (Lagrange weights + functionals),
+        # matching a real server where one context serves ~2^10
+        # submissions per epoch
+        assert all(o.accepted for o in verify_snip_batch(ctx, subs))
+        assert verify_snip(ctx, subs[0][0], subs[0][1]).accepted
+
+        scalar_s = _best_of(
+            lambda: [verify_snip(ctx, xs, ps) for xs, ps in subs]
+        )
+        batch_s = _best_of(lambda: verify_snip_batch(ctx, subs))
+        prove_scalar_s = _best_of(
+            lambda: prove_many(
+                FIELD87, circuit, encodings, random.Random(1),
+                force_pure=True,
+            ),
+            repeat=1,
+        )
+        prove_batch_s = _best_of(
+            lambda: prove_many(
+                FIELD87, circuit, encodings, random.Random(1)
+            ),
+            repeat=1,
+        )
+        speedup = scalar_s / batch_s
+        rows.append([
+            batch,
+            fmt_seconds(scalar_s), fmt_seconds(batch_s),
+            f"{speedup:.2f}x",
+            fmt_rate(batch / batch_s),
+        ])
+        record["points"].append({
+            "batch_size": batch,
+            "scalar_verify_s": scalar_s,
+            "batch_verify_s": batch_s,
+            "verify_speedup": speedup,
+            "batch_verify_subs_per_s": batch / batch_s,
+            "prove_many_pure_s": prove_scalar_s,
+            "prove_many_batch_s": prove_batch_s,
+        })
+    emit_table(
+        "batch",
+        f"Batched verification — scalar vs verify_snip_batch "
+        f"(F87, L = {LENGTH} one-bit integers, {N_SERVERS} servers, "
+        f"backend: {record['backend']})",
+        ["batch", "scalar", "batched", "speedup", "subs/s batched"],
+        rows,
+        notes=[
+            "scalar column: batch x verify_snip, one submission at a time",
+            "warm verification context (fixed-r epoch, Appendix I)",
+        ],
+    )
+    (REPO_ROOT / "BENCH_batch.json").write_text(
+        json.dumps(record, indent=2)
+    )
+    return record
+
+
+def test_batch_verification_beats_scalar(batch_data):
+    """The acceptance gate: >= 64 submissions, measurably faster."""
+    point = next(
+        p for p in batch_data["points"] if p["batch_size"] >= 64
+    )
+    if batch_data["backend"] == "numpy":
+        assert point["verify_speedup"] > 1.2
+    else:
+        # the pure fallback must at least not be pathologically slower
+        assert point["verify_speedup"] > 0.5
+
+
+def test_batch_outcomes_match_scalar_spot_check(batch_data):
+    del batch_data
+    rng = random.Random(191)
+    _, ctx, _, subs = _workload(8, rng)
+    batch = verify_snip_batch(ctx, subs)
+    scalar = [verify_snip(ctx, xs, ps) for xs, ps in subs]
+    assert [o.accepted for o in batch] == [o.accepted for o in scalar]
+
+
+def test_bench_verify_batch_64(benchmark, batch_data):
+    del batch_data
+    rng = random.Random(222)
+    _, ctx, _, subs = _workload(64, rng)
+    verify_snip_batch(ctx, subs)  # warm
+    benchmark.pedantic(
+        verify_snip_batch, args=(ctx, subs), rounds=3, iterations=1
+    )

@@ -1,8 +1,40 @@
-"""Finite-field substrate: prime fields, polynomials, and NTTs.
+"""Finite-field substrate: prime fields, polynomials, NTTs — and the
+vectorized batch backend.
 
 Everything in Prio — secret sharing, SNIPs, and AFEs — is arithmetic
 over a prime field.  This subpackage is self-contained and has no
 dependencies on the rest of the library.
+
+Batched verification
+--------------------
+
+The scalar :class:`PrimeField` API performs one Python bigint call per
+element.  :mod:`repro.field.batch` provides the same arithmetic over
+whole vectors (or batches of vectors) at once, which is what the
+server-side batched SNIP pipeline (``verify_batch`` /
+``prove_many`` / the deployment ``batch_size`` knob) is built on:
+
+* **Limb scheme** — the 87-/265-bit moduli don't fit 64-bit lanes, so
+  each element is split into base-``2^24`` limbs stored as parallel
+  ``int64`` planes.  24-bit limbs keep every limb exactly three bytes
+  and leave 15 bits of lazy-reduction headroom: limb products are 48
+  bits, so batched inner products accumulate thousands of products per
+  lane before a single carry pass + vectorized Barrett reduction.
+  Results are always exact canonical representatives — bit-for-bit
+  equal to the scalar path (asserted by the randomized equivalence
+  suite in ``tests/field/test_batch_backend.py``).
+
+* **Backend selection** — the numpy backend is used when numpy imports
+  successfully and ``REPRO_FORCE_PURE=1`` is not set; otherwise a
+  pure-Python fallback with identical semantics runs.  Every entry
+  point also takes ``force_pure`` for explicit per-call control.
+
+* **The ``batch_size`` knob** — ``PrioDeployment.create(...,
+  batch_size=64)`` makes servers verify submissions in batches of 64:
+  one fused limb matmul covers every (challenge-weights, submission)
+  pair, amortizing fixed costs that the one-at-a-time path pays per
+  submission.  Acceptance decisions, statistics, and replay protection
+  remain per submission.
 """
 
 from repro.field.prime_field import FieldError, PrimeField
@@ -21,6 +53,7 @@ from repro.field.poly import (
     poly_add,
     poly_degree,
     poly_eval,
+    poly_eval_batch,
     poly_mul,
     poly_normalize,
     poly_scale,
@@ -30,9 +63,25 @@ from repro.field.ntt import (
     EvaluationDomain,
     batch_inverse,
     intt,
+    intt_batch,
     next_power_of_two,
     ntt,
+    ntt_batch,
     poly_mul_ntt,
+)
+from repro.field.batch import (
+    BatchVector,
+    PreparedWeights,
+    accumulate_rows,
+    backend_name,
+    butterfly,
+    dot_rows,
+    dot_rows_multi,
+    elementwise_mul_rows,
+    numpy_available,
+    poly_eval_rows,
+    prepare_weights,
+    use_numpy,
 )
 
 __all__ = [
@@ -50,6 +99,7 @@ __all__ = [
     "poly_add",
     "poly_degree",
     "poly_eval",
+    "poly_eval_batch",
     "poly_mul",
     "poly_normalize",
     "poly_scale",
@@ -57,7 +107,21 @@ __all__ = [
     "EvaluationDomain",
     "batch_inverse",
     "intt",
+    "intt_batch",
     "next_power_of_two",
     "ntt",
+    "ntt_batch",
     "poly_mul_ntt",
+    "BatchVector",
+    "PreparedWeights",
+    "accumulate_rows",
+    "backend_name",
+    "butterfly",
+    "dot_rows",
+    "dot_rows_multi",
+    "elementwise_mul_rows",
+    "numpy_available",
+    "poly_eval_rows",
+    "prepare_weights",
+    "use_numpy",
 ]

@@ -1,0 +1,857 @@
+"""Vectorized batch field arithmetic — the throughput backend.
+
+Prio's server cost is dominated by per-submission field arithmetic:
+polynomial evaluation inside SNIP checking and share accumulation
+(Sections 4-6; the NSDI evaluation's throughput figures all measure
+exactly these paths).  The scalar :class:`~repro.field.prime_field.PrimeField`
+API performs one Python bigint operation per element; this module
+performs the same arithmetic over *whole vectors (or batches of
+vectors) at once*, with two interchangeable backends:
+
+numpy limb backend (``"numpy"``)
+    The 87-/265-bit moduli do not fit in 64-bit SIMD lanes, so each
+    element is split into base-``2^24`` limbs stored as parallel
+    ``int64`` planes (shape ``(L, *vector_shape)``).  24-bit limbs —
+    rather than the 30-bit limbs a CRT residue system would use — keep
+    every limb exactly three bytes (so wire-format bytes convert to
+    limbs with pure numpy) and leave 15 bits of headroom per lane:
+    limb products are 48 bits, so *lazy reduction* can accumulate
+    thousands of products in an ``int64`` lane before a single carry
+    pass, which is what makes batched inner products one fused
+    matrix multiply per limb pair.  Canonical reduction mod ``p`` is a
+    vectorized Barrett reduction (HAC 14.42 in radix ``2^24``), so
+    every op returns exact canonical representatives — the backend is
+    bit-for-bit equivalent to the scalar path, which the randomized
+    equivalence suite asserts.
+
+pure-Python backend (``"pure"``)
+    The same API implemented with scalar bigint loops.  Selected
+    automatically when numpy is unavailable, or forced with the
+    environment variable ``REPRO_FORCE_PURE=1`` (the CI matrix runs
+    the whole test suite both ways).
+
+Backend selection happens at call time via :func:`use_numpy`; every
+public entry point also takes ``force_pure`` for explicit control.
+
+The high-level entry point is :class:`BatchVector` (elementwise
+add/sub/mul/scale, dot products, NTT butterflies over whole vectors);
+the SNIP/protocol layers use the row-oriented helpers
+(:func:`dot_rows`, :func:`dot_rows_multi`, :func:`ntt_rows`, ...)
+that take and return plain ``list[int]`` rows.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.field.prime_field import FieldError, PrimeField
+
+try:  # numpy is optional: every code path has a pure-Python fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via REPRO_FORCE_PURE
+    _np = None
+
+#: limb radix: 3 bytes per limb, 15 bits of lazy-reduction headroom
+LIMB_BITS = 24
+LIMB_BASE = 1 << LIMB_BITS
+LIMB_MASK = LIMB_BASE - 1
+
+_M48 = (1 << 48) - 1
+
+
+def numpy_available() -> bool:
+    """True iff numpy imported successfully."""
+    return _np is not None
+
+
+def use_numpy(force_pure: bool | None = None) -> bool:
+    """Resolve the backend for one call.
+
+    ``force_pure=True`` always selects the pure backend; ``False``
+    demands numpy (raises if missing); ``None`` (the default) uses
+    numpy when available unless ``REPRO_FORCE_PURE=1`` is set.
+    """
+    if force_pure is True:
+        return False
+    if force_pure is False:
+        if _np is None:
+            raise FieldError("numpy backend requested but numpy is missing")
+        return True
+    if _np is None:
+        return False
+    return os.environ.get("REPRO_FORCE_PURE") != "1"
+
+
+def backend_name(force_pure: bool | None = None) -> str:
+    return "numpy" if use_numpy(force_pure) else "pure"
+
+
+# ----------------------------------------------------------------------
+# Per-field limb context (numpy backend)
+# ----------------------------------------------------------------------
+
+
+class _LimbContext:
+    """Cached limb-decomposition constants for one modulus."""
+
+    __slots__ = (
+        "field", "modulus", "n_limbs", "p_planes", "p_ext_planes",
+        "mu_planes", "max_dot_terms", "_twiddle_cache",
+    )
+
+    def __init__(self, field: PrimeField) -> None:
+        p = field.modulus
+        self.field = field
+        self.modulus = p
+        bits = p.bit_length()
+        self.n_limbs = max(1, -(-bits // LIMB_BITS))
+        L = self.n_limbs
+        self.p_planes = _np.array(_int_limbs(p, L), dtype=_np.int64)
+        self.p_ext_planes = _np.array(_int_limbs(p, L + 1), dtype=_np.int64)
+        mu = (1 << (2 * L * LIMB_BITS)) // p
+        self.mu_planes = _np.array(_int_limbs(mu, L + 1), dtype=_np.int64)
+        # Lazy dot products stay exact while (a) int64 matmul lanes do
+        # not overflow: terms*L*2^48 < 2^63, and (b) the accumulated
+        # value fits Barrett's input domain: terms*p^2 < 2^(48L).
+        lane_limit = 1 << (63 - 2 * LIMB_BITS)
+        self.max_dot_terms = max(1, min(
+            lane_limit // L, 1 << max(0, 2 * L * LIMB_BITS - 2 * bits)
+        ))
+        self._twiddle_cache: dict = {}
+
+    def twiddle_planes(self, root: int, length: int):
+        """Limb planes of ``[root^0 .. root^{length-1}]`` (cached)."""
+        key = (root, length)
+        cached = self._twiddle_cache.get(key)
+        if cached is None:
+            p = self.modulus
+            tws = [1] * length
+            for i in range(1, length):
+                tws[i] = tws[i - 1] * root % p
+            cached = _encode(self, tws).reshape(self.n_limbs, length)
+            self._twiddle_cache[key] = cached
+        return cached
+
+
+_CTX_CACHE: dict[int, _LimbContext] = {}
+
+
+def _ctx(field: PrimeField) -> _LimbContext:
+    ctx = _CTX_CACHE.get(field.modulus)
+    if ctx is None:
+        ctx = _CTX_CACHE[field.modulus] = _LimbContext(field)
+    return ctx
+
+
+def _int_limbs(x: int, n_limbs: int) -> list[int]:
+    return [(x >> (LIMB_BITS * i)) & LIMB_MASK for i in range(n_limbs)]
+
+
+# ----------------------------------------------------------------------
+# numpy limb kernels.  Convention: limb planes come FIRST — an array of
+# shape (n_limbs, *element_shape) — so each plane is contiguous and
+# every kernel pass streams over cache-friendly memory.
+# ----------------------------------------------------------------------
+
+
+def _encode(ctx: _LimbContext, values: Sequence[int]):
+    """Python ints (canonical, in [0, p)) -> limb planes (L, n).
+
+    Two limbs per 48-bit chunk, extracted with object-dtype ufuncs
+    (numpy's C-level loop over PyNumber shift/mask is the cheapest
+    list->numpy crossing measured).  The top chunk is deliberately
+    left unmasked: values too wide for the field surface as an
+    ``OverflowError`` or an out-of-range limb, which
+    :func:`_encode_checked` turns into a canonicalizing retry instead
+    of silent truncation.
+    """
+    L = ctx.n_limbs
+    n = len(values)
+    planes = _np.zeros((L, n), dtype=_np.int64)
+    if n == 0:
+        return planes
+    obj = _np.array(values if isinstance(values, list) else list(values),
+                    dtype=object)
+    for chunk in range(0, L, 2):
+        shift = 48 * (chunk // 2)
+        col = (obj >> shift) if shift else obj
+        if chunk + 2 < L:
+            col = col & _M48
+        col64 = col.astype(_np.int64)
+        if chunk + 1 < L:
+            planes[chunk] = col64 & LIMB_MASK
+            planes[chunk + 1] = col64 >> LIMB_BITS
+        else:
+            planes[chunk] = col64
+    return planes
+
+
+def _encode_checked(ctx: _LimbContext, values: Sequence[int]):
+    """Encode with a vectorized canonicality check.
+
+    The optimistic mask/shift encode is only correct for canonical
+    inputs; rather than paying a Python ``% p`` per element up front,
+    encode first and verify the limb planes numerically (negative or
+    oversized inputs surface as out-of-range limbs or values >= p).
+    Only on violation — or Python ints too wide for int64 lanes — is
+    the slow canonicalizing pass taken.
+    """
+    try:
+        planes = _encode(ctx, values)
+    except (OverflowError, TypeError):
+        return _encode(ctx, [v % ctx.modulus for v in values])
+    if planes.size:
+        in_range = bool(
+            (planes >= 0).all() and (planes <= LIMB_MASK).all()
+        )
+        if in_range:
+            _, ge_p = _borrow_sub(
+                planes,
+                ctx.p_planes.reshape((-1,) + (1,) * (planes.ndim - 1)),
+            )
+            in_range = not bool(ge_p.any())
+        if not in_range:
+            return _encode(ctx, [v % ctx.modulus for v in values])
+    return planes
+
+
+def _decode(ctx: _LimbContext, planes) -> list[int]:
+    """Limb planes (L, n) -> canonical Python ints."""
+    L = planes.shape[0]
+    flat = planes.reshape(L, -1)
+    cols = []
+    for chunk in range(0, L, 2):
+        col = flat[chunk]
+        if chunk + 1 < L:
+            col = col | (flat[chunk + 1] << LIMB_BITS)
+        cols.append(col.tolist())
+    out = cols[0]
+    for idx in range(1, len(cols)):
+        shift = 48 * idx
+        out = [acc | (c << shift) for acc, c in zip(out, cols[idx])]
+    return out
+
+
+def _carry(planes, width: int):
+    """Propagate carries so every plane is a 24-bit limb.
+
+    Input entries must be nonnegative int64; the true value must fit in
+    ``width`` limbs (the final carry out must be zero).
+    """
+    m = planes.shape[0]
+    out = _np.zeros((width,) + planes.shape[1:], dtype=_np.int64)
+    out[:m] = planes
+    for i in range(width - 1):
+        c = out[i] >> LIMB_BITS
+        out[i] &= LIMB_MASK
+        out[i + 1] += c
+    return out
+
+
+def _borrow_sub(a, b_planes):
+    """``a - b`` limbwise with borrow; returns (diff mod base^W, ok).
+
+    ``a`` has shape (W, ...); ``b_planes`` is broadcastable to it.
+    ``ok`` is True where no final borrow occurred (i.e. a >= b).
+    """
+    W = a.shape[0]
+    out = _np.empty_like(a)
+    borrow = _np.zeros(a.shape[1:], dtype=_np.int64)
+    for i in range(W):
+        t = a[i] - b_planes[i] - borrow
+        borrow = (t < 0).astype(_np.int64)
+        out[i] = t + (borrow << LIMB_BITS)
+    return out, borrow == 0
+
+
+def _cond_sub(a, mod_planes, times: int = 1):
+    """Subtract ``mod`` wherever ``a >= mod``, up to ``times`` times."""
+    for _ in range(times):
+        d, ok = _borrow_sub(a, mod_planes.reshape(
+            (-1,) + (1,) * (a.ndim - 1)))
+        a = _np.where(ok, d, a)
+    return a
+
+
+def _conv(a, b):
+    """Limb convolution of normalized planes; result is lazy (no carry).
+
+    ``a``: (la, *s1), ``b``: (lb, *s2) with broadcastable tails.
+    Safe while ``min(la, lb) < 2^15`` (48-bit products, int64 lanes).
+    """
+    la, lb = a.shape[0], b.shape[0]
+    tail = _np.broadcast_shapes(a.shape[1:], b.shape[1:])
+    out = _np.zeros((la + lb - 1,) + tail, dtype=_np.int64)
+    for i in range(la):
+        ai = a[i]
+        for j in range(lb):
+            out[i + j] += ai * b[j]
+    return out
+
+
+def _barrett(ctx: _LimbContext, planes):
+    """Barrett-reduce normalized planes (value < base^(2L)) mod p.
+
+    HAC Algorithm 14.42 in radix 2^24, vectorized over the element
+    axes; returns canonical (L, ...) planes.
+    """
+    L = ctx.n_limbs
+    x = planes
+    if x.shape[0] < 2 * L:
+        padded = _np.zeros((2 * L,) + x.shape[1:], dtype=_np.int64)
+        padded[: x.shape[0]] = x
+        x = padded
+    q1 = x[L - 1:]                                   # floor(x / b^(L-1))
+    q2 = _carry(_conv(q1, ctx.mu_planes.reshape(
+        (L + 1,) + (1,) * (x.ndim - 1))), 2 * L + 3)
+    q3 = q2[L + 1:]                                  # floor(q2 / b^(L+1))
+    # r2 = q3 * p mod b^(L+1): truncated convolution, carries kept
+    # inside the window (the carry out of limb L is dropped).
+    tail = x.shape[1:]
+    r2 = _np.zeros((L + 1,) + tail, dtype=_np.int64)
+    for i in range(min(L + 1, q3.shape[0])):
+        qi = q3[i]
+        for j in range(L + 1 - i):
+            if j < L:
+                r2[i + j] += qi * int(ctx.p_planes[j])
+    for i in range(L):
+        c = r2[i] >> LIMB_BITS
+        r2[i] &= LIMB_MASK
+        r2[i + 1] += c
+    r2[L] &= LIMB_MASK
+    r1 = x[: L + 1]
+    r, _ok = _borrow_sub(r1, r2)                     # mod b^(L+1)
+    r = _cond_sub(r, ctx.p_ext_planes, times=2)
+    return r[:L]
+
+
+def _np_add(ctx, a, b):
+    s = _carry(a + b, ctx.n_limbs + 1)
+    return _cond_sub(s, ctx.p_ext_planes)[: ctx.n_limbs]
+
+
+def _np_sub(ctx, a, b):
+    # a - b + p, limbwise (entries may be transiently negative).
+    t = a - b + ctx.p_planes.reshape((ctx.n_limbs,) + (1,) * (a.ndim - 1))
+    out = _np.empty((ctx.n_limbs + 1,) + a.shape[1:], dtype=_np.int64)
+    carry = _np.zeros(a.shape[1:], dtype=_np.int64)
+    for i in range(ctx.n_limbs):
+        v = t[i] + carry
+        carry = v >> LIMB_BITS           # arithmetic shift: floor division
+        out[i] = v & LIMB_MASK
+    out[ctx.n_limbs] = carry
+    return _cond_sub(out, ctx.p_ext_planes)[: ctx.n_limbs]
+
+
+def _np_neg(ctx, a):
+    zero = _np.zeros_like(a)
+    return _np_sub(ctx, zero, a)
+
+
+def _np_mul(ctx, a, b):
+    return _barrett(ctx, _carry(_conv(a, b), 2 * ctx.n_limbs))
+
+
+def _np_scale(ctx, c: int, a):
+    c_planes = _np.array(
+        _int_limbs(c % ctx.modulus, ctx.n_limbs), dtype=_np.int64
+    ).reshape((ctx.n_limbs,) + (1,) * (a.ndim - 1))
+    return _np_mul(ctx, a, c_planes)
+
+
+def _np_sum_axis(ctx, planes, axis: int):
+    """Sum canonical planes along an element axis, reduced mod p."""
+    n_terms = planes.shape[axis]
+    limit = min(ctx.max_dot_terms, 1 << (63 - LIMB_BITS))
+    total = None
+    for start in range(0, n_terms, limit):
+        idx = [slice(None)] * planes.ndim
+        idx[axis] = slice(start, start + limit)
+        lazy = planes[tuple(idx)].sum(axis=axis)
+        part = _barrett(ctx, _carry(lazy, 2 * ctx.n_limbs))
+        total = part if total is None else _np_add(ctx, total, part)
+    return total
+
+
+def _np_matvec(ctx, w_planes, m_planes):
+    """Batched inner products: weights (L, K, D) x rows (L, B, D).
+
+    Returns canonical planes (L, K, B) — ``out[k, b] = sum_d
+    w[k, d] * m[b, d] mod p`` — computed as one int64 matrix product
+    per limb pair with lazy (carry-free) accumulation.
+    """
+    L = ctx.n_limbs
+    K, D = w_planes.shape[1], w_planes.shape[2]
+    B = m_planes.shape[1]
+    total = None
+    for start in range(0, D, ctx.max_dot_terms):
+        sl = slice(start, start + ctx.max_dot_terms)
+        acc = _np.zeros((2 * L - 1, K, B), dtype=_np.int64)
+        for i in range(L):
+            wi = w_planes[i, :, sl]                  # (K, d)
+            for j in range(L):
+                acc[i + j] += wi @ m_planes[j, :, sl].T
+        part = _barrett(ctx, _carry(acc, 2 * L))
+        total = part if total is None else _np_add(ctx, total, part)
+    return total
+
+
+def _np_ntt(ctx, planes, root: int):
+    """In-place radix-2 NTT over the last axis of (L, B, n) planes."""
+    n = planes.shape[-1]
+    if n == 1:
+        return planes
+    perm = _bit_reverse_permutation(n)
+    out = planes[..., perm].copy()
+    p = ctx.modulus
+    length = 2
+    while length <= n:
+        half = length >> 1
+        w_len = pow(root, n // length, p)
+        tw = ctx.twiddle_planes(w_len, half)         # (L, half)
+        shaped = out.reshape(out.shape[:-1] + (n // length, length))
+        lo = shaped[..., :half]
+        hi = shaped[..., half:]
+        t = _np_mul(ctx, hi, tw.reshape(
+            (ctx.n_limbs,) + (1,) * (shaped.ndim - 2) + (half,)))
+        new_lo = _np_add(ctx, lo, t)
+        new_hi = _np_sub(ctx, lo, t)
+        shaped[..., :half] = new_lo
+        shaped[..., half:] = new_hi
+        length <<= 1
+    return out
+
+
+def _bit_reverse_permutation(n: int) -> list[int]:
+    bits = n.bit_length() - 1
+    perm = [0] * n
+    for i in range(n):
+        perm[i] = int(format(i, f"0{bits}b")[::-1], 2) if bits else 0
+    return perm
+
+
+# ----------------------------------------------------------------------
+# BatchVector: the public batch abstraction
+# ----------------------------------------------------------------------
+
+
+class BatchVector:
+    """A vector — or a batch of equal-length vectors — of field elements.
+
+    Elements are always canonical representatives in ``[0, p)``;
+    every operation is exact field arithmetic, bit-for-bit equal to
+    the scalar :class:`PrimeField` ops.  Shapes are 1-D ``(n,)`` or
+    2-D ``(rows, n)``; elementwise operators require matching shapes.
+
+    Construction converts from Python ints once; chains of batch ops
+    stay inside the backend representation until :meth:`to_ints`.
+    """
+
+    __slots__ = ("field", "shape", "_data", "_numpy")
+
+    def __init__(self, field, shape, data, is_numpy):
+        self.field = field
+        self.shape = shape
+        self._data = data
+        self._numpy = is_numpy
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_ints(
+        cls,
+        field: PrimeField,
+        values,
+        force_pure: bool | None = None,
+    ) -> "BatchVector":
+        """Build from a flat sequence or a sequence of equal-length rows."""
+        rows = list(values)
+        p = field.modulus
+        if rows and isinstance(rows[0], (list, tuple)):
+            width = len(rows[0])
+            flat: list[int] = []
+            for row in rows:
+                if len(row) != width:
+                    raise FieldError("ragged batch rows")
+                flat.extend(row)
+            shape = (len(rows), width)
+        else:
+            flat = list(rows)
+            shape = (len(flat),)
+        if use_numpy(force_pure):
+            ctx = _ctx(field)
+            planes = _encode_checked(ctx, flat).reshape((ctx.n_limbs,) + shape)
+            return cls(field, shape, planes, True)
+        flat = [v % p for v in flat]
+        if len(shape) == 2:
+            w = shape[1]
+            data = [flat[i * w:(i + 1) * w] for i in range(shape[0])]
+        else:
+            data = flat
+        return cls(field, shape, data, False)
+
+    @classmethod
+    def zeros(
+        cls, field: PrimeField, shape, force_pure: bool | None = None
+    ) -> "BatchVector":
+        shape = tuple(shape) if isinstance(shape, (tuple, list)) else (shape,)
+        if use_numpy(force_pure):
+            ctx = _ctx(field)
+            return cls(
+                field, shape,
+                _np.zeros((ctx.n_limbs,) + shape, dtype=_np.int64), True,
+            )
+        if len(shape) == 2:
+            return cls(
+                field, shape, [[0] * shape[1] for _ in range(shape[0])], False
+            )
+        return cls(field, shape, [0] * shape[0], False)
+
+    # -- extraction -----------------------------------------------------
+
+    def to_ints(self):
+        """Back to plain Python ints (nested lists mirroring shape)."""
+        if not self._numpy:
+            if len(self.shape) == 2:
+                return [list(r) for r in self._data]
+            return list(self._data)
+        flat = _decode(_ctx(self.field), self._data)
+        if len(self.shape) == 2:
+            w = self.shape[1]
+            return [flat[i * w:(i + 1) * w] for i in range(self.shape[0])]
+        return flat
+
+    @property
+    def backend(self) -> str:
+        return "numpy" if self._numpy else "pure"
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchVector({self.field.name}, shape={self.shape}, "
+            f"backend={self.backend})"
+        )
+
+    # -- internals ------------------------------------------------------
+
+    def _like(self, data) -> "BatchVector":
+        return BatchVector(self.field, self.shape, data, self._numpy)
+
+    def _check(self, other: "BatchVector") -> None:
+        if not isinstance(other, BatchVector):
+            raise FieldError("expected a BatchVector operand")
+        if other.field.modulus != self.field.modulus:
+            raise FieldError("field mismatch")
+        if other.shape != self.shape:
+            raise FieldError(f"shape mismatch: {self.shape} vs {other.shape}")
+        if other._numpy != self._numpy:
+            raise FieldError("backend mismatch between operands")
+
+    def _zip_pure(self, other, op):
+        f = self.field
+        if len(self.shape) == 2:
+            return [
+                [op(f, x, y) for x, y in zip(r1, r2)]
+                for r1, r2 in zip(self._data, other._data)
+            ]
+        return [op(f, x, y) for x, y in zip(self._data, other._data)]
+
+    # -- elementwise ops ------------------------------------------------
+
+    def __add__(self, other: "BatchVector") -> "BatchVector":
+        self._check(other)
+        if self._numpy:
+            return self._like(_np_add(_ctx(self.field), self._data, other._data))
+        return self._like(self._zip_pure(other, PrimeField.add))
+
+    def __sub__(self, other: "BatchVector") -> "BatchVector":
+        self._check(other)
+        if self._numpy:
+            return self._like(_np_sub(_ctx(self.field), self._data, other._data))
+        return self._like(self._zip_pure(other, PrimeField.sub))
+
+    def __mul__(self, other: "BatchVector") -> "BatchVector":
+        self._check(other)
+        if self._numpy:
+            return self._like(_np_mul(_ctx(self.field), self._data, other._data))
+        return self._like(self._zip_pure(other, PrimeField.mul))
+
+    def __neg__(self) -> "BatchVector":
+        if self._numpy:
+            return self._like(_np_neg(_ctx(self.field), self._data))
+        f = self.field
+        if len(self.shape) == 2:
+            return self._like([f.vec_neg(r) for r in self._data])
+        return self._like(f.vec_neg(self._data))
+
+    def scale(self, c: int) -> "BatchVector":
+        """Multiply every element by the scalar ``c``."""
+        if self._numpy:
+            return self._like(_np_scale(_ctx(self.field), c, self._data))
+        f = self.field
+        if len(self.shape) == 2:
+            return self._like([f.vec_scale(c, r) for r in self._data])
+        return self._like(f.vec_scale(c, self._data))
+
+    # -- reductions -----------------------------------------------------
+
+    def dot(self, weights: Sequence[int]):
+        """Inner product of each row with ``weights``.
+
+        2-D batches return ``list[int]`` (one per row); 1-D vectors
+        return a single ``int``.
+        """
+        if len(self.shape) == 2:
+            if self._numpy:
+                ctx = _ctx(self.field)
+                w = _encode_checked(ctx, list(weights))
+                out = _np_matvec(ctx, w[:, None, :], self._data)  # (L,1,B)
+                return _decode(ctx, out[:, 0, :])
+            return [
+                self.field.inner_product(weights, row) for row in self._data
+            ]
+        if self._numpy:
+            ctx = _ctx(self.field)
+            w = _encode_checked(ctx, list(weights))
+            out = _np_matvec(ctx, w[:, None, :], self._data[:, None, :])
+            return _decode(ctx, out[:, 0, :])[0]
+        return self.field.inner_product(weights, self._data)
+
+    def sum_rows(self) -> "BatchVector":
+        """Column-wise sum of a 2-D batch (the Aggregate step)."""
+        if len(self.shape) != 2:
+            raise FieldError("sum_rows needs a 2-D batch")
+        if self._numpy:
+            data = _np_sum_axis(_ctx(self.field), self._data, axis=1)
+            return BatchVector(self.field, (self.shape[1],), data, True)
+        return BatchVector(
+            self.field, (self.shape[1],),
+            self.field.vec_sum(self._data), False,
+        )
+
+    # -- structure ------------------------------------------------------
+
+    def pad_rows(self, width: int) -> "BatchVector":
+        """Zero-pad the last axis out to ``width`` columns."""
+        old = self.shape[-1]
+        if width < old:
+            raise FieldError("pad width smaller than current width")
+        if width == old:
+            return self
+        shape = self.shape[:-1] + (width,)
+        if self._numpy:
+            data = _np.zeros(
+                (self._data.shape[0],) + shape, dtype=_np.int64
+            )
+            data[..., :old] = self._data
+            return BatchVector(self.field, shape, data, True)
+        if len(self.shape) == 2:
+            data = [row + [0] * (width - old) for row in self._data]
+        else:
+            data = self._data + [0] * (width - old)
+        return BatchVector(self.field, shape, data, False)
+
+    # -- NTT ------------------------------------------------------------
+
+    def ntt(self, root: int) -> "BatchVector":
+        """Forward NTT along the last axis (length must be a power of 2)."""
+        n = self.shape[-1]
+        if n & (n - 1) != 0:
+            raise FieldError(f"NTT size must be a power of two, got {n}")
+        if self._numpy:
+            planes = self._data if len(self.shape) == 2 else \
+                self._data[:, None, :]
+            out = _np_ntt(_ctx(self.field), planes, root)
+            if len(self.shape) == 1:
+                out = out[:, 0, :]
+            return self._like(out)
+        from repro.field.ntt import ntt as _scalar_ntt
+
+        if len(self.shape) == 2:
+            return self._like(
+                [_scalar_ntt(self.field, row, root) for row in self._data]
+            )
+        return self._like(_scalar_ntt(self.field, self._data, root))
+
+    def intt(self, root: int) -> "BatchVector":
+        """Inverse NTT along the last axis."""
+        n = self.shape[-1]
+        p = self.field.modulus
+        out = self.ntt(pow(root, -1, p))
+        return out.scale(pow(n, -1, p))
+
+
+def butterfly(
+    lo: BatchVector, hi: BatchVector, twiddle: int
+) -> tuple[BatchVector, BatchVector]:
+    """One radix-2 NTT butterfly over whole vectors:
+    ``(lo + w*hi, lo - w*hi)`` elementwise."""
+    t = hi.scale(twiddle)
+    return lo + t, lo - t
+
+
+# ----------------------------------------------------------------------
+# Row-oriented helpers (list[int] in, list[int] out) — what the SNIP
+# and protocol layers call.
+# ----------------------------------------------------------------------
+
+
+class PreparedWeights:
+    """Weight vectors pre-validated (and pre-encoded) for reuse.
+
+    The verifier applies the same challenge functionals to every batch
+    under a context; preparing them once skips the per-call list->limb
+    conversion.  Transparent to the pure backend (the original rows
+    are kept).
+    """
+
+    __slots__ = ("field", "n_weights", "width", "weights_list", "_planes")
+
+    def __init__(
+        self, field: PrimeField, weights_list: Sequence[Sequence[int]]
+    ) -> None:
+        self.field = field
+        self.weights_list = [list(w) for w in weights_list]
+        self.n_weights = len(self.weights_list)
+        self.width = len(self.weights_list[0]) if self.weights_list else 0
+        for w in self.weights_list:
+            if len(w) != self.width:
+                raise FieldError("ragged weight vectors")
+        self._planes = None
+
+    def planes(self, ctx: "_LimbContext"):
+        if self._planes is None:
+            flat: list[int] = []
+            for w in self.weights_list:
+                flat.extend(w)
+            self._planes = _encode_checked(ctx, flat).reshape(
+                ctx.n_limbs, self.n_weights, self.width
+            )
+        return self._planes
+
+
+def prepare_weights(
+    field: PrimeField, weights_list: Sequence[Sequence[int]]
+) -> PreparedWeights:
+    """Pre-validate weight vectors for repeated :func:`dot_rows_multi`."""
+    return PreparedWeights(field, weights_list)
+
+
+def dot_rows(
+    field: PrimeField,
+    weights: Sequence[int],
+    rows: Sequence[Sequence[int]],
+    force_pure: bool | None = None,
+) -> list[int]:
+    """``[inner_product(weights, row) for row in rows]``, vectorized."""
+    return dot_rows_multi(field, [weights], rows, force_pure)[0]
+
+
+def dot_rows_multi(
+    field: PrimeField,
+    weights_list: "Sequence[Sequence[int]] | PreparedWeights",
+    rows: Sequence[Sequence[int]],
+    force_pure: bool | None = None,
+) -> list[list[int]]:
+    """Inner products of every row against several weight vectors.
+
+    Returns ``out[k][b] = inner_product(weights_list[k], rows[b])``.
+    This is the batched-verification workhorse: one fused limb matmul
+    covers every (weights, submission) pair.  ``weights_list`` may be
+    a :class:`PreparedWeights` to amortize its conversion across calls.
+    """
+    if not isinstance(weights_list, PreparedWeights):
+        weights_list = PreparedWeights(field, weights_list)
+    if not rows:
+        return [[] for _ in range(weights_list.n_weights)]
+    D = weights_list.width
+    if use_numpy(force_pure):
+        ctx = _ctx(field)
+        flat_m: list[int] = []
+        for row in rows:
+            if len(row) != D:
+                raise FieldError("ragged rows")
+            flat_m.extend(row)
+        K, B = weights_list.n_weights, len(rows)
+        w_planes = weights_list.planes(ctx)
+        m_planes = _encode_checked(ctx, flat_m).reshape(ctx.n_limbs, B, D)
+        out = _np_matvec(ctx, w_planes, m_planes)        # (L, K, B)
+        flat = _decode(ctx, out)
+        return [flat[k * B:(k + 1) * B] for k in range(K)]
+    for row in rows:
+        if len(row) != D:
+            raise FieldError("ragged rows")
+    return [
+        [field.inner_product(w, row) for row in rows]
+        for w in weights_list.weights_list
+    ]
+
+
+def elementwise_mul_rows(
+    field: PrimeField,
+    a_rows: Sequence[Sequence[int]],
+    b_rows: Sequence[Sequence[int]],
+    force_pure: bool | None = None,
+) -> list[list[int]]:
+    """Rowwise Hadamard products (the prover's ``h = f * g`` sweep)."""
+    a = BatchVector.from_ints(field, a_rows, force_pure)
+    b = BatchVector.from_ints(field, b_rows, force_pure)
+    return (a * b).to_ints()
+
+
+def accumulate_rows(
+    field: PrimeField,
+    rows: Sequence[Sequence[int]],
+    force_pure: bool | None = None,
+) -> list[int]:
+    """Column-wise sum of many equal-length vectors (vec_sum, batched)."""
+    if not rows:
+        raise FieldError("accumulate_rows of no rows")
+    return BatchVector.from_ints(field, rows, force_pure).sum_rows().to_ints()
+
+
+def ntt_rows(
+    field: PrimeField,
+    rows: Sequence[Sequence[int]],
+    root: int,
+    force_pure: bool | None = None,
+) -> list[list[int]]:
+    """Forward NTT of every row (shared root/domain)."""
+    return BatchVector.from_ints(field, rows, force_pure).ntt(root).to_ints()
+
+
+def intt_rows(
+    field: PrimeField,
+    rows: Sequence[Sequence[int]],
+    root: int,
+    force_pure: bool | None = None,
+) -> list[list[int]]:
+    """Inverse NTT of every row (shared root/domain)."""
+    return BatchVector.from_ints(field, rows, force_pure).intt(root).to_ints()
+
+
+def poly_eval_rows(
+    field: PrimeField,
+    coeff_rows: Sequence[Sequence[int]],
+    x: int,
+    force_pure: bool | None = None,
+) -> list[int]:
+    """Evaluate many coefficient-form polynomials at one point ``x``.
+
+    Evaluation at a fixed point is an inner product against the power
+    basis ``[1, x, x^2, ...]`` — one batched dot, not B Horner loops.
+    """
+    if not coeff_rows:
+        return []
+    width = max(len(r) for r in coeff_rows)
+    if width == 0:
+        return [0] * len(coeff_rows)
+    p = field.modulus
+    powers = [1] * width
+    for i in range(1, width):
+        powers[i] = powers[i - 1] * x % p
+    rows = [list(r) + [0] * (width - len(r)) for r in coeff_rows]
+    return dot_rows(field, powers, rows, force_pure)

@@ -26,7 +26,7 @@ from repro.crypto.box import seal
 from repro.ec.p256 import Point
 from repro.sharing.additive import share_vector
 from repro.sharing.prg import prg_share_vector
-from repro.snip.prover import build_proof
+from repro.snip.prover import build_proof, prove_many
 from repro.protocol.wire import (
     ClientPacket,
     new_submission_id,
@@ -78,7 +78,31 @@ class PrioClient:
             vector = encoding + proof.flatten()
         else:
             vector = list(encoding)
+        return self._frame_vector(vector)
 
+    def prepare_submissions(self, values) -> list[ClientSubmission]:
+        """Encode, prove, share, and frame many values at once.
+
+        The SNIP proof polynomials for all values are computed in one
+        vectorized sweep (:func:`repro.snip.prover.prove_many`);
+        encoding, sharing, and framing stay per submission.  Produces
+        the same wire format as repeated :meth:`prepare_submission`
+        calls.
+        """
+        values = list(values)
+        encodings = [self.afe.encode(v, self.rng) for v in values]
+        if self.circuit is not None:
+            proofs = prove_many(self.field, self.circuit, encodings, self.rng)
+            vectors = [
+                enc + proof.flatten()
+                for enc, proof in zip(encodings, proofs)
+            ]
+        else:
+            vectors = [list(enc) for enc in encodings]
+        return [self._frame_vector(vector) for vector in vectors]
+
+    def _frame_vector(self, vector: list[int]) -> ClientSubmission:
+        """Share and frame one already-proved submission vector."""
         submission_id = new_submission_id(self.rng)
         if self.use_prg_compression and self.n_servers > 1:
             seeds, explicit = prg_share_vector(
@@ -92,7 +116,6 @@ class PrioClient:
             packets = packets_for_explicit_shares(
                 self.field, submission_id, shares
             )
-
         sealed = None
         if self.server_box_keys is not None:
             if len(self.server_box_keys) != self.n_servers:

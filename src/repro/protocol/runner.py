@@ -11,6 +11,14 @@ It executes the full Appendix H protocol — upload (optionally sealed),
 two-round SNIP verification, accumulate, publish, decode — with every
 server as a real :class:`~repro.protocol.server.PrioServer` instance,
 and keeps the bandwidth/acceptance statistics the benchmarks report.
+
+With ``batch_size > 1`` the deployment proves and verifies
+submissions in chunks of that size through the vectorized batch
+backend (:mod:`repro.field.batch`): one fused sweep per server per
+batch instead of per-submission work.  Acceptance decisions, replay
+protection, and every statistic remain per submission — a bad upload
+rejects alone, and ``n_rejected``/``upload_bytes_total`` count
+submissions, never batches.
 """
 
 from __future__ import annotations
@@ -45,11 +53,13 @@ class PrioDeployment:
         servers: list[PrioServer],
         client: PrioClient,
         encrypt: bool,
+        batch_size: int = 1,
     ) -> None:
         self.afe = afe
         self.servers = servers
         self.client = client
         self.encrypt = encrypt
+        self.batch_size = batch_size
         self.stats = DeploymentStats()
 
     @classmethod
@@ -61,10 +71,17 @@ class PrioDeployment:
         use_prg_compression: bool = True,
         encrypt: bool = False,
         epoch_size: int = 1024,
+        batch_size: int = 1,
+        force_pure_backend: bool | None = None,
         rng=None,
     ) -> "PrioDeployment":
+        """``batch_size`` makes servers accumulate and verify submissions
+        in batches of that size (``submit_many`` chunks accordingly);
+        decisions and statistics remain per submission."""
         if n_servers < 2:
             raise ProtocolError("Prio needs at least two servers")
+        if batch_size < 1:
+            raise ProtocolError("batch_size must be >= 1")
         if rng is None:
             rng = _random.Random(os.urandom(16))
         randomness = ServerRandomness(seed or rng.randbytes(16))
@@ -77,6 +94,7 @@ class PrioDeployment:
             PrioServer(
                 afe, i, n_servers, randomness,
                 epoch_size=epoch_size, box_keypair=box_keypairs[i],
+                force_pure_backend=force_pure_backend,
             )
             for i in range(n_servers)
         ]
@@ -86,7 +104,10 @@ class PrioDeployment:
             server_box_keys=box_keys,
             rng=rng,
         )
-        return cls(afe=afe, servers=servers, client=client, encrypt=encrypt)
+        return cls(
+            afe=afe, servers=servers, client=client, encrypt=encrypt,
+            batch_size=batch_size,
+        )
 
     # ------------------------------------------------------------------
 
@@ -103,53 +124,122 @@ class PrioDeployment:
         return self.deliver(submission)
 
     def deliver(self, submission: ClientSubmission) -> bool:
-        self.stats.n_submitted += 1
-        self.stats.upload_bytes_total += submission.upload_bytes
+        """Run one prepared submission through the pipeline (a batch
+        of one — the batched path is bit-identical at every size)."""
+        return self.deliver_batch([submission])[0]
 
-        pendings: list[PendingSubmission] = []
-        try:
-            for i, server in enumerate(self.servers):
-                if self.encrypt:
-                    pendings.append(
-                        server.receive_sealed(submission.sealed_packets[i])
+    def deliver_batch(self, submissions) -> list[bool]:
+        """Run a batch of prepared submissions through the pipeline.
+
+        Framing errors (wrong length, replay, bad seal) reject the
+        offending submission alone; the rest of the batch proceeds to
+        one vectorized SNIP verification sweep per server, after which
+        every submission is accepted or rejected — and counted in the
+        statistics — individually.
+        """
+        submissions = list(submissions)
+        results: list[bool | None] = [None] * len(submissions)
+        received: list[tuple[int, list[PendingSubmission]]] = []
+        for idx, submission in enumerate(submissions):
+            self.stats.n_submitted += 1
+            self.stats.upload_bytes_total += submission.upload_bytes
+            pendings: list[PendingSubmission] = []
+            try:
+                for i, server in enumerate(self.servers):
+                    if self.encrypt:
+                        pendings.append(
+                            server.receive_sealed(submission.sealed_packets[i])
+                        )
+                    else:
+                        pendings.append(server.receive(submission.packets[i]))
+            except (ProtocolError, ValueError):
+                # Servers that did receive must release the id: no
+                # decision was made, and an honest retry must not be
+                # mistaken for a replay.
+                for server, pending in zip(self.servers, pendings):
+                    server.abandon(pending)
+                self.stats.n_rejected += 1
+                results[idx] = False
+                continue
+            received.append((idx, pendings))
+
+        if received:
+            try:
+                parties = []
+                round1_by_server = []
+                for s, server in enumerate(self.servers):
+                    party, msgs = server.begin_verification_batch(
+                        [pendings[s] for _, pendings in received]
                     )
+                    parties.append(party)
+                    round1_by_server.append(msgs)
+                round1_by_submission = [
+                    [round1_by_server[s][j] for s in range(len(self.servers))]
+                    for j in range(len(received))
+                ]
+                round2_by_server = [
+                    server.finish_verification_batch(
+                        party, round1_by_submission
+                    )
+                    for server, party in zip(self.servers, parties)
+                ]
+                round2_by_submission = [
+                    [round2_by_server[s][j] for s in range(len(self.servers))]
+                    for j in range(len(received))
+                ]
+                decisions = self.servers[0].decide_batch(round2_by_submission)
+            except (ProtocolError, ValueError):
+                # Shapes were validated at receive time, so this is a
+                # defensive path: fail the whole batch, one submission
+                # at a time, rather than mis-credit any of it.
+                for idx, pendings in received:
+                    for server, pending in zip(self.servers, pendings):
+                        server.reject(pending)
+                    self.stats.n_rejected += 1
+                    results[idx] = False
+                return [bool(r) for r in results]
+
+            for (idx, pendings), accepted in zip(received, decisions):
+                for server, pending in zip(self.servers, pendings):
+                    if accepted:
+                        server.accumulate(pending)
+                    else:
+                        server.reject(pending)
+                if accepted:
+                    self.stats.n_accepted += 1
                 else:
-                    pendings.append(server.receive(submission.packets[i]))
-        except (ProtocolError, ValueError):
-            self.stats.n_rejected += 1
-            return False
+                    self.stats.n_rejected += 1
+                results[idx] = accepted
+        return [bool(r) for r in results]
 
-        parties = []
-        round1 = []
-        try:
-            for server, pending in zip(self.servers, pendings):
-                party, msg = server.begin_verification(pending)
-                parties.append(party)
-                round1.append(msg)
-            round2 = [
-                server.finish_verification(party, round1)
-                for server, party in zip(self.servers, parties)
-            ]
-        except (ProtocolError, ValueError):
-            for server, pending in zip(self.servers, pendings):
-                server.reject(pending)
-            self.stats.n_rejected += 1
-            return False
+    def submit_batch(self, values, mutate=None) -> list[bool]:
+        """Prepare and deliver ``values`` as one server-side batch.
 
-        accepted = self.servers[0].decide(round2)
-        for server, pending in zip(self.servers, pendings):
-            if accepted:
-                server.accumulate(pending)
-            else:
-                server.reject(pending)
-        if accepted:
-            self.stats.n_accepted += 1
-        else:
-            self.stats.n_rejected += 1
-        return accepted
+        Client proof generation is batched too
+        (:meth:`~repro.protocol.client.PrioClient.prepare_submissions`).
+        ``mutate``, if given, receives ``(index, submission)`` for each
+        prepared submission — the batched fault-injection hook.
+        """
+        submissions = self.client.prepare_submissions(values)
+        if mutate is not None:
+            for index, submission in enumerate(submissions):
+                mutate(index, submission)
+        return self.deliver_batch(submissions)
 
     def submit_many(self, values) -> int:
-        """Submit a batch; returns the number accepted."""
+        """Submit many values; returns the number accepted.
+
+        With ``batch_size > 1`` the values run through the batched
+        prove/verify pipeline in chunks of ``batch_size``; otherwise
+        one at a time (identical outcomes either way).
+        """
+        values = list(values)
+        if self.batch_size > 1:
+            accepted = 0
+            for start in range(0, len(values), self.batch_size):
+                chunk = values[start:start + self.batch_size]
+                accepted += sum(self.submit_batch(chunk))
+            return accepted
         return sum(1 for v in values if self.submit(v))
 
     # ------------------------------------------------------------------

@@ -8,7 +8,13 @@ shares — never an individual share.
 
 Replay protection: submission ids are cached per epoch and duplicates
 rejected before verification (the paper notes Prio packets "can be
-replay-protected at the servers").
+replay-protected at the servers"); ids received but not yet decided
+count too, so a replay *inside* a verification batch is caught.
+
+The ``begin_verification_batch``/``finish_verification_batch``/
+``decide_batch`` triple is the vectorized hot path: one
+:class:`~repro.snip.verifier.BatchedSnipVerifierParty` sweep covers a
+whole batch of submissions, with per-submission decisions.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from repro.crypto.box import BoxKeyPair, open_box
 from repro.protocol.wire import ClientPacket, WireError
 from repro.snip.proof import SnipProofShare, proof_num_elements
 from repro.snip.verifier import (
+    BatchedSnipVerifierParty,
     Round1Message,
     Round2Message,
     ServerRandomness,
@@ -52,6 +59,7 @@ class PrioServer:
         randomness: ServerRandomness,
         epoch_size: int = 1024,
         box_keypair: BoxKeyPair | None = None,
+        force_pure_backend: bool | None = None,
     ) -> None:
         self.afe = afe
         self.field = afe.field
@@ -61,6 +69,8 @@ class PrioServer:
         self.randomness = randomness
         self.epoch_size = epoch_size
         self.box_keypair = box_keypair
+        #: batch-backend override (None = auto-select numpy/pure)
+        self.force_pure_backend = force_pure_backend
         self.circuit = afe.valid_circuit()
 
         self.accumulator: list[int] = [0] * afe.k_prime
@@ -68,6 +78,10 @@ class PrioServer:
         self.n_rejected = 0
         self.n_replayed = 0
         self._seen_ids: set[bytes] = set()
+        #: ids received but not yet accumulated/rejected — closes the
+        #: replay window *inside* a verification batch, where the first
+        #: copy has not reached ``_seen_ids`` yet
+        self._pending_ids: set[bytes] = set()
         self._submissions_this_epoch = 0
         self._epoch = 0
         self._ctx: VerificationContext | None = None
@@ -109,7 +123,10 @@ class PrioServer:
                 f"packet for server {packet.server_index} delivered to "
                 f"server {self.server_index}"
             )
-        if packet.submission_id in self._seen_ids:
+        if (
+            packet.submission_id in self._seen_ids
+            or packet.submission_id in self._pending_ids
+        ):
             self.n_replayed += 1
             raise ProtocolError("replayed submission id")
         vector = packet.share_vector(self.field)
@@ -117,6 +134,7 @@ class PrioServer:
         if self.circuit is None:
             if len(vector) != k:
                 raise WireError("share vector has wrong length")
+            self._pending_ids.add(packet.submission_id)
             return PendingSubmission(packet.submission_id, vector, None)
         m = self.circuit.n_mul_gates
         expected = k + proof_num_elements(m)
@@ -126,6 +144,7 @@ class PrioServer:
             )
         x_share = vector[:k]
         proof_share = SnipProofShare.unflatten(self.field, vector[k:], m)
+        self._pending_ids.add(packet.submission_id)
         return PendingSubmission(packet.submission_id, x_share, proof_share)
 
     # ------------------------------------------------------------------
@@ -165,6 +184,51 @@ class PrioServer:
         return SnipVerifierParty.decide(self.field, round2_messages)
 
     # ------------------------------------------------------------------
+    # Batched verification rounds (the vectorized hot path)
+    # ------------------------------------------------------------------
+
+    def begin_verification_batch(
+        self, pendings: list[PendingSubmission]
+    ) -> tuple["BatchedSnipVerifierParty | None", list[Round1Message]]:
+        """Round 1 for a whole batch in one vectorized sweep.
+
+        The entire batch is verified under a single epoch context (the
+        context in force when the batch starts; epoch accounting still
+        advances per submission, so rotation happens between batches).
+        """
+        ctx = self._context()
+        if ctx is None:
+            return None, [Round1Message(d=0, e=0)] * len(pendings)
+        party = BatchedSnipVerifierParty(
+            ctx, self.server_index, self.n_servers,
+            [p.x_share for p in pendings],
+            [p.proof_share for p in pendings],
+            force_pure=self.force_pure_backend,
+        )
+        msgs = party.round1_all()
+        self.elements_broadcast += 2 * len(pendings)
+        return party, msgs
+
+    def finish_verification_batch(
+        self,
+        party: "BatchedSnipVerifierParty | None",
+        round1_by_submission: list[list[Round1Message]],
+    ) -> list[Round2Message]:
+        if party is None:
+            return [Round2Message(sigma=0, assertion=0)] * len(
+                round1_by_submission
+            )
+        msgs = party.round2_all(round1_by_submission)
+        self.elements_broadcast += 2 * len(msgs)
+        return msgs
+
+    def decide_batch(
+        self, round2_by_submission: list[list[Round2Message]]
+    ) -> list[bool]:
+        """One independent accept/reject decision per submission."""
+        return [self.decide(msgs) for msgs in round2_by_submission]
+
+    # ------------------------------------------------------------------
     # Aggregate / publish
     # ------------------------------------------------------------------
 
@@ -175,14 +239,25 @@ class PrioServer:
         acc = self.accumulator
         for i, v in enumerate(share):
             acc[i] = (acc[i] + v) % p
+        self._pending_ids.discard(pending.submission_id)
         self._seen_ids.add(pending.submission_id)
         self._submissions_this_epoch += 1
         self.n_accepted += 1
 
     def reject(self, pending: PendingSubmission) -> None:
+        self._pending_ids.discard(pending.submission_id)
         self._seen_ids.add(pending.submission_id)
         self._submissions_this_epoch += 1
         self.n_rejected += 1
+
+    def abandon(self, pending: PendingSubmission) -> None:
+        """Release a received submission without deciding it.
+
+        Used when a peer's receive failed mid-fan-out: this server's
+        copy is dropped, and the id must not stay pending (which would
+        make an honest retry look like a replay) nor enter
+        ``_seen_ids`` (no decision was made)."""
+        self._pending_ids.discard(pending.submission_id)
 
     def publish(self) -> list[int]:
         """Release the accumulator (step 4); safe by construction."""

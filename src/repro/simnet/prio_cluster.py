@@ -9,9 +9,19 @@ event queue with topology latencies, and servers make progress purely
 by reacting to messages — submissions interleave exactly as they would
 across a real WAN.
 
+Verification is *group-granular*: each server buffers arriving uploads
+into groups of ``batch_size`` (1 by default — one submission per
+group, the paper's baseline) and runs the vectorized
+``begin_verification_batch``/``finish_verification_batch`` path once
+per group, so one round-1/round-2 broadcast carries a whole group's
+messages.  Upload order is deterministic per link, so every server
+forms identical groups; group membership is carried in the broadcasts
+and cross-checked.  Decisions, accumulation, and replay protection
+remain per submission.
+
 Used by the integration tests (correctness must be independent of
-message timing) and by latency experiments (how long until a
-submission is fully verified across five regions?).
+message timing and of ``batch_size``) and by latency experiments (how
+long until a submission is fully verified across five regions?).
 """
 
 from __future__ import annotations
@@ -21,17 +31,21 @@ from dataclasses import dataclass, field as dc_field
 from repro.afe.base import Afe
 from repro.protocol.client import PrioClient
 from repro.protocol.server import PendingSubmission, PrioServer
-from repro.simnet.network import SimNetwork
+from repro.simnet.network import SimError, SimNetwork
 from repro.simnet.regions import Topology
 from repro.snip.verifier import Round1Message, Round2Message, ServerRandomness
 
 
 @dataclass
-class _SubmissionState:
-    pending: PendingSubmission | None
+class _GroupState:
+    """One verification group (a batch of submissions) at one server."""
+
+    sids: tuple[bytes, ...] | None
+    pendings: list[PendingSubmission] | None = None
     party: object = None
-    round1: dict[int, Round1Message] = dc_field(default_factory=dict)
-    round2: dict[int, Round2Message] = dc_field(default_factory=dict)
+    round1: dict[int, list[Round1Message]] = dc_field(default_factory=dict)
+    round2: dict[int, list[Round2Message]] = dc_field(default_factory=dict)
+    round2_sent: bool = False
     done: bool = False
 
 
@@ -53,12 +67,23 @@ class ClusterReport:
 class _ServerNode:
     """Adapter: a PrioServer reacting to simulated network messages."""
 
-    def __init__(self, server: PrioServer, element_bytes: int) -> None:
+    def __init__(
+        self,
+        server: PrioServer,
+        element_bytes: int,
+        batch_size: int,
+        expected_uploads: int,
+    ) -> None:
         self.server = server
         self.index = server.server_index
         self.n_servers = server.n_servers
         self.element_bytes = element_bytes
-        self.states: dict[bytes, _SubmissionState] = {}
+        self.batch_size = batch_size
+        self.expected_uploads = expected_uploads
+        self.uploads_received = 0
+        self._buffer: list[PendingSubmission] = []
+        self._next_group = 0
+        self.groups: dict[int, _GroupState] = {}
         self.decisions: dict[bytes, bool] = {}
         self.decision_times: list[float] = []
 
@@ -67,85 +92,121 @@ class _ServerNode:
         if kind == "upload":
             self._on_upload(net, message[1])
         elif kind == "r1":
-            self._on_round1(net, message[1], message[2], message[3])
+            self._on_round1(net, *message[1:])
         elif kind == "r2":
-            self._on_round2(net, message[1], message[2], message[3])
+            self._on_round2(net, *message[1:])
 
     # ------------------------------------------------------------------
 
     def _on_upload(self, net: SimNetwork, packet) -> None:
         pending = self.server.receive(packet)
-        sid = pending.submission_id
-        # Round messages may have raced ahead of the upload over the
-        # WAN; merge into the stashed state if one exists.
-        state = self.states.get(sid)
+        self.uploads_received += 1
+        self._buffer.append(pending)
+        # Close the group when full — or when no further uploads can
+        # arrive (the final, possibly partial, group).
+        if (
+            len(self._buffer) >= self.batch_size
+            or self.uploads_received == self.expected_uploads
+        ):
+            self._form_group(net)
+
+    def _form_group(self, net: SimNetwork) -> None:
+        pendings = list(self._buffer)
+        self._buffer.clear()
+        gid = self._next_group
+        self._next_group += 1
+        sids = tuple(p.submission_id for p in pendings)
+        state = self.groups.get(gid)
         if state is None:
-            state = _SubmissionState(pending=pending)
-            self.states[sid] = state
+            state = self.groups[gid] = _GroupState(sids=sids)
         else:
-            state.pending = pending
-        party, msg = self.server.begin_verification(pending)
+            # Peer broadcasts raced ahead of our uploads; the group
+            # they announced must match the one we just formed.
+            if state.sids is not None and state.sids != sids:
+                raise SimError(f"group {gid} membership disagreement")
+            state.sids = sids
+        state.pendings = pendings
+        party, msgs = self.server.begin_verification_batch(pendings)
         state.party = party
-        state.round1[self.index] = msg
+        state.round1[self.index] = msgs
         net.broadcast(
-            self.index, ("r1", sid, self.index, msg), 2 * self.element_bytes
+            self.index,
+            ("r1", gid, sids, self.index, msgs),
+            2 * self.element_bytes * len(pendings),
         )
-        self._maybe_round2(net, state, sid)
+        self._maybe_round2(net, gid, state)
+
+    def _require_group(
+        self, gid: int, sids: tuple[bytes, ...]
+    ) -> _GroupState:
+        state = self.groups.get(gid)
+        if state is None:
+            # Upload(s) not here yet (WAN reordering): stash under the
+            # announced group id until our own group forms.
+            state = self.groups[gid] = _GroupState(sids=sids)
+        elif state.sids is not None and state.sids != sids:
+            raise SimError(f"group {gid} membership disagreement")
+        return state
 
     def _on_round1(
-        self, net: SimNetwork, sid: bytes, src_index: int, msg: Round1Message
+        self, net: SimNetwork, gid: int, sids, src_index: int, msgs
     ) -> None:
-        state = self.states.get(sid)
-        if state is None:
-            # Upload not here yet (WAN reordering): requeue locally by
-            # re-sending to self after the upload arrives is complex;
-            # instead buffer in a stash keyed by sid.
-            self.states[sid] = state = _SubmissionState(pending=None)
-        state.round1[src_index] = msg
-        self._maybe_round2(net, state, sid)
+        state = self._require_group(gid, sids)
+        state.round1[src_index] = msgs
+        self._maybe_round2(net, gid, state)
 
     def _maybe_round2(
-        self, net: SimNetwork, state: _SubmissionState, sid: bytes
-    ) -> None:
-        if state.pending is None or len(state.round1) < self.n_servers:
-            return
-        if self.index in state.round2:
-            return
-        ordered = [state.round1[i] for i in range(self.n_servers)]
-        msg = self.server.finish_verification(state.party, ordered)
-        state.round2[self.index] = msg
-        net.broadcast(
-            self.index, ("r2", sid, self.index, msg), 2 * self.element_bytes
-        )
-        self._maybe_decide(net, state, sid)
-
-    def _on_round2(
-        self, net: SimNetwork, sid: bytes, src_index: int, msg: Round2Message
-    ) -> None:
-        state = self.states.get(sid)
-        if state is None:
-            self.states[sid] = state = _SubmissionState(pending=None)
-        state.round2[src_index] = msg
-        self._maybe_decide(net, state, sid)
-
-    def _maybe_decide(
-        self, net: SimNetwork, state: _SubmissionState, sid: bytes
+        self, net: SimNetwork, gid: int, state: _GroupState
     ) -> None:
         if (
+            state.pendings is None
+            or len(state.round1) < self.n_servers
+            or state.round2_sent
+        ):
+            return
+        round1_by_submission = [
+            [state.round1[s][j] for s in range(self.n_servers)]
+            for j in range(len(state.pendings))
+        ]
+        msgs = self.server.finish_verification_batch(
+            state.party, round1_by_submission
+        )
+        state.round2_sent = True
+        state.round2[self.index] = msgs
+        net.broadcast(
+            self.index,
+            ("r2", gid, state.sids, self.index, msgs),
+            2 * self.element_bytes * len(state.pendings),
+        )
+        self._maybe_decide(net, state)
+
+    def _on_round2(
+        self, net: SimNetwork, gid: int, sids, src_index: int, msgs
+    ) -> None:
+        state = self._require_group(gid, sids)
+        state.round2[src_index] = msgs
+        self._maybe_decide(net, state)
+
+    def _maybe_decide(self, net: SimNetwork, state: _GroupState) -> None:
+        if (
             state.done
-            or state.pending is None
+            or state.pendings is None
             or len(state.round2) < self.n_servers
         ):
             return
-        ordered = [state.round2[i] for i in range(self.n_servers)]
-        accepted = self.server.decide(ordered)
-        if accepted:
-            self.server.accumulate(state.pending)
-        else:
-            self.server.reject(state.pending)
+        round2_by_submission = [
+            [state.round2[s][j] for s in range(self.n_servers)]
+            for j in range(len(state.pendings))
+        ]
+        decisions = self.server.decide_batch(round2_by_submission)
+        for pending, accepted in zip(state.pendings, decisions):
+            if accepted:
+                self.server.accumulate(pending)
+            else:
+                self.server.reject(pending)
+            self.decisions[pending.submission_id] = accepted
+            self.decision_times.append(net.clock)
         state.done = True
-        self.decisions[sid] = accepted
-        self.decision_times.append(net.clock)
 
 
 def run_cluster(
@@ -155,15 +216,28 @@ def run_cluster(
     rng,
     seed: bytes = b"cluster-seed",
     mutate=None,
+    batch_size: int = 1,
 ) -> ClusterReport:
-    """Submit ``values`` through a simulated cluster; fully verify all."""
+    """Submit ``values`` through a simulated cluster; fully verify all.
+
+    ``batch_size > 1`` makes every server verify uploads in groups of
+    that size via the vectorized batch path; outcomes are identical to
+    ``batch_size=1`` (asserted by the integration tests), only the
+    message schedule changes.
+    """
+    if batch_size < 1:
+        raise SimError("batch_size must be >= 1")
     n_servers = topology.n_sites
     randomness = ServerRandomness(seed)
     servers = [
         PrioServer(afe, i, n_servers, randomness) for i in range(n_servers)
     ]
     element_bytes = afe.field.encoded_size
-    nodes = [_ServerNode(server, element_bytes) for server in servers]
+    values = list(values)
+    nodes = [
+        _ServerNode(server, element_bytes, batch_size, len(values))
+        for server in servers
+    ]
     net = SimNetwork(topology)
     for node in nodes:
         net.register(node.index, node.handle)

@@ -7,7 +7,13 @@ from repro.snip.proof import (
     proof_num_elements,
     snip_domain_sizes,
 )
-from repro.snip.prover import build_proof, prove_and_share, share_proof
+from repro.snip.prover import (
+    build_proof,
+    prove_and_share,
+    prove_and_share_many,
+    prove_many,
+    share_proof,
+)
 from repro.snip.reference import (
     ReferenceProof,
     ReferenceProofShare,
@@ -26,6 +32,7 @@ from repro.snip.mpc_variant import (
 from repro.snip.simulator import AdversaryView, SnipSimulator, real_adversary_view
 from repro.snip.soundness import SoundnessReport, run_soundness_experiment
 from repro.snip.verifier import (
+    BatchedSnipVerifierParty,
     Round1Message,
     Round2Message,
     ServerRandomness,
@@ -34,6 +41,7 @@ from repro.snip.verifier import (
     VerificationContext,
     VerificationOutcome,
     verify_snip,
+    verify_snip_batch,
 )
 
 __all__ = [
@@ -44,6 +52,8 @@ __all__ = [
     "snip_domain_sizes",
     "build_proof",
     "prove_and_share",
+    "prove_and_share_many",
+    "prove_many",
     "share_proof",
     "ReferenceProof",
     "ReferenceProofShare",
@@ -61,6 +71,7 @@ __all__ = [
     "AdversaryView",
     "SnipSimulator",
     "real_adversary_view",
+    "BatchedSnipVerifierParty",
     "Round1Message",
     "Round2Message",
     "ServerRandomness",
@@ -69,4 +80,5 @@ __all__ = [
     "VerificationContext",
     "VerificationOutcome",
     "verify_snip",
+    "verify_snip_batch",
 ]

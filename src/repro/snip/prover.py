@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.circuit.circuit import Circuit
+from repro.field.batch import elementwise_mul_rows
 from repro.field.ntt import EvaluationDomain
 from repro.field.prime_field import PrimeField
 from repro.mpc.beaver import BeaverTriple, generate_triple, share_triple
@@ -73,6 +74,70 @@ def build_proof(
     )
 
 
+def prove_many(
+    field: PrimeField,
+    circuit: Circuit,
+    xs: Sequence[Sequence[int]],
+    rng,
+    check_valid: bool = True,
+    force_pure: bool | None = None,
+) -> list[SnipProof]:
+    """Construct SNIP proofs for many inputs in one vectorized sweep.
+
+    The per-submission randomness (f(0), g(0), the Beaver triple) is
+    drawn in exactly the order sequential :func:`build_proof` calls
+    would draw it, so ``prove_many(field, c, xs, rng)`` produces
+    bit-identical proofs to ``[build_proof(field, c, x, rng) for x in
+    xs]`` — the deterministic polynomial work (interpolate f and g,
+    evaluate on the double domain, h = f * g) is then batched across
+    all submissions via :mod:`repro.field.batch`.
+    """
+    traces = []
+    randoms: list[tuple[int, int, BeaverTriple]] = []
+    for x in xs:
+        trace = circuit.evaluate(field, x)
+        if check_valid and not trace.is_valid:
+            raise SnipError(
+                f"input does not satisfy {circuit.name}; refusing to prove"
+            )
+        traces.append(trace)
+        if circuit.n_mul_gates:
+            u0 = field.rand(rng)
+            v0 = field.rand(rng)
+            randoms.append((u0, v0, generate_triple(field, rng)))
+
+    m = circuit.n_mul_gates
+    if m == 0:
+        return [
+            SnipProof(f0=0, g0=0, h_evals=[], triple=BeaverTriple(0, 0, 0))
+            for _ in traces
+        ]
+    if not traces:
+        return []
+
+    size_n, size_2n = snip_domain_sizes(m)
+    domain_n = EvaluationDomain(field, size_n)
+    domain_2n = EvaluationDomain(field, size_2n)
+    pad = [0] * (size_n - m - 1)
+    f_rows = [
+        [u0] + trace.mul_inputs_left + pad
+        for (u0, _, _), trace in zip(randoms, traces)
+    ]
+    g_rows = [
+        [v0] + trace.mul_inputs_right + pad
+        for (_, v0, _), trace in zip(randoms, traces)
+    ]
+    f_coeffs = domain_n.interpolate_batch(f_rows, force_pure)
+    g_coeffs = domain_n.interpolate_batch(g_rows, force_pure)
+    f_on_2n = domain_2n.evaluate_batch(f_coeffs, force_pure)
+    g_on_2n = domain_2n.evaluate_batch(g_coeffs, force_pure)
+    h_rows = elementwise_mul_rows(field, f_on_2n, g_on_2n, force_pure)
+    return [
+        SnipProof(f0=u0, g0=v0, h_evals=h, triple=triple)
+        for (u0, v0, triple), h in zip(randoms, h_rows)
+    ]
+
+
 def share_proof(
     field: PrimeField,
     proof: SnipProof,
@@ -117,3 +182,30 @@ def prove_and_share(
     proof = build_proof(field, circuit, x, rng)
     proof_shares = share_proof(field, proof, n_servers, rng)
     return x_shares, proof_shares
+
+
+def prove_and_share_many(
+    field: PrimeField,
+    circuit: Circuit,
+    xs: Sequence[Sequence[int]],
+    n_servers: int,
+    rng,
+    force_pure: bool | None = None,
+) -> list[tuple[list[list[int]], list[SnipProofShare]]]:
+    """Batched client uploads: one ``(x_shares, proof_shares)`` per input.
+
+    Proof polynomials for all inputs are computed in one vectorized
+    sweep (:func:`prove_many`); sharing stays per submission.  The rng
+    draw order differs from sequential :func:`prove_and_share` calls
+    (all input sharings are drawn before the proofs), so the two are
+    equivalent in distribution but not bit-identical under a fixed
+    seed.
+    """
+    x_shares_list = [
+        share_vector(field, list(x), n_servers, rng) for x in xs
+    ]
+    proofs = prove_many(field, circuit, xs, rng, force_pure=force_pure)
+    return [
+        (x_shares, share_proof(field, proof, n_servers, rng))
+        for x_shares, proof in zip(x_shares_list, proofs)
+    ]

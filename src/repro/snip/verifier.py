@@ -34,10 +34,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.circuit.circuit import Circuit, batched_assertion_share
+from repro.circuit.circuit import Circuit, Op, batched_assertion_share
+from repro.field.batch import PreparedWeights, dot_rows_multi
 from repro.field.ntt import EvaluationDomain
 from repro.field.prime_field import PrimeField
-from repro.snip.proof import SnipError, SnipProofShare, snip_domain_sizes
+from repro.snip.proof import (
+    SnipError,
+    SnipProofShare,
+    proof_num_elements,
+    snip_domain_sizes,
+)
 
 
 @dataclass(frozen=True)
@@ -131,6 +137,27 @@ class VerificationContext:
         else:
             self.weights_n = []
             self.weights_2n = []
+        self._functionals: "_BatchFunctionals | None" = None
+
+    def batch_functionals(self) -> "_BatchFunctionals":
+        """Per-context linear functionals for batched verification.
+
+        Every quantity a server derives from one submission's share
+        vector — [f(r)], r*[g(r)], r*[h(r)], and the batched assertion
+        share — is an *affine* function of the flattened upload
+        ``z = x_share || proof_share.flatten()`` (multiplication-gate
+        outputs are read from h's point-value form, and every other
+        wire is affine in inputs and mul outputs).  A single backward
+        pass over the circuit per quantity collapses it to one weight
+        vector over ``z`` plus a leader-only constant; batch
+        verification of B submissions is then four fused inner-product
+        sweeps over the (B, len(z)) share matrix.  Built lazily and
+        cached: like the Lagrange weights, the functionals are shared
+        by every submission verified under this context.
+        """
+        if self._functionals is None:
+            self._functionals = _build_batch_functionals(self)
+        return self._functionals
 
 
 @dataclass
@@ -279,3 +306,312 @@ def verify_snip(
         sigma_total=sigma_total,
         assertion_total=assertion_total,
     )
+
+
+# ----------------------------------------------------------------------
+# Batched verification (the vectorized server hot path)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _BatchFunctionals:
+    """Linear functionals over ``z = x_share || proof_share.flatten()``.
+
+    ``u_rg``/``u_rh`` already include the factor ``r`` (the verifier
+    only ever needs ``r*g(r)`` and ``r*h(r)``).  The ``c_*`` constants
+    come from CONST gates and are added by the leader only, following
+    the share-of-constant convention.  ``u_f``/``u_rg``/``u_rh`` are
+    ``None`` for circuits with no multiplication gates (no polynomial
+    identity test).
+    """
+
+    z_len: int
+    u_f: list[int] | None
+    u_rg: list[int] | None
+    u_rh: list[int] | None
+    u_assert: list[int]
+    c_f: int
+    c_rg: int
+    c_assert: int
+    _prepared: "PreparedWeights | None" = None
+
+    def prepared(self, field: PrimeField) -> PreparedWeights:
+        """The functionals as reusable batch weights (encoded once)."""
+        if self._prepared is None:
+            if self.u_f is None:
+                stack = [self.u_assert]
+            else:
+                stack = [self.u_f, self.u_rg, self.u_rh, self.u_assert]
+            self._prepared = PreparedWeights(field, stack)
+        return self._prepared
+
+
+def _wire_functional(
+    field: PrimeField,
+    circuit: Circuit,
+    selectors: Sequence[tuple[int, int]],
+) -> tuple[list[int], list[int], int]:
+    """Collapse ``sum coeff_w * wire_w`` to weights on inputs/mul outputs.
+
+    One reverse topological sweep (cost O(gates)) pushes each wire's
+    coefficient back through the affine gates; MUL gates stop the
+    recursion because their outputs are supplied externally (read out
+    of h's point-value form).  Returns ``(u_x, u_mul, const)`` with
+    ``sum_w coeff_w * wire_w = u_x . x + u_mul . mul_outputs + const``.
+    """
+    p = field.modulus
+    adjoint = [0] * len(circuit.gates)
+    for wire, coeff in selectors:
+        adjoint[wire] = (adjoint[wire] + coeff) % p
+    u_x = [0] * circuit.n_inputs
+    u_mul = [0] * circuit.n_mul_gates
+    const = 0
+    mul_index = {gate: t for t, gate in enumerate(circuit.mul_gates)}
+    for i in range(len(circuit.gates) - 1, -1, -1):
+        a = adjoint[i]
+        if a == 0:
+            continue
+        gate = circuit.gates[i]
+        if gate.op is Op.INPUT:
+            u_x[gate.payload] = (u_x[gate.payload] + a) % p
+        elif gate.op is Op.CONST:
+            const = (const + gate.payload * a) % p
+        elif gate.op is Op.ADD:
+            adjoint[gate.left] = (adjoint[gate.left] + a) % p
+            adjoint[gate.right] = (adjoint[gate.right] + a) % p
+        elif gate.op is Op.SUB:
+            adjoint[gate.left] = (adjoint[gate.left] + a) % p
+            adjoint[gate.right] = (adjoint[gate.right] - a) % p
+        elif gate.op is Op.MUL_CONST:
+            adjoint[gate.left] = (adjoint[gate.left] + gate.payload * a) % p
+        else:  # MUL: output share supplied externally — stop here
+            u_mul[mul_index[i]] = a
+    return u_x, u_mul, const
+
+
+def _build_batch_functionals(ctx: VerificationContext) -> _BatchFunctionals:
+    field = ctx.field
+    circuit = ctx.circuit
+    p = field.modulus
+    k = circuit.n_inputs
+    m = ctx.n_mul_gates
+    z_len = k + proof_num_elements(m)
+    # z layout: [x_0..x_{k-1} | f0 | g0 | h_0..h_{2N-1} | a | b | c]
+    f0_pos, g0_pos, h_pos = k, k + 1, k + 2
+
+    def assemble(u_x, u_mul, extra=()):
+        u = [0] * z_len
+        u[:k] = u_x
+        for t, coeff in enumerate(u_mul):
+            # mul gate t (0-based) has its output at h_evals[2*(t+1)]
+            u[h_pos + 2 * (t + 1)] = coeff
+        for pos, coeff in extra:
+            u[pos] = (u[pos] + coeff) % p
+        return u
+
+    assert_sel = list(
+        zip(circuit.assertions, ctx.challenge.assertion_coefficients)
+    )
+    a_x, a_mul, c_assert = _wire_functional(field, circuit, assert_sel)
+    u_assert = assemble(a_x, a_mul)
+
+    if m == 0:
+        return _BatchFunctionals(
+            z_len=z_len, u_f=None, u_rg=None, u_rh=None,
+            u_assert=u_assert, c_f=0, c_rg=0, c_assert=c_assert,
+        )
+
+    r = ctx.challenge.r
+    w_n, w_2n = ctx.weights_n, ctx.weights_2n
+    gates = circuit.gates
+    f_sel = [
+        (gates[gate].left, w_n[1 + t])
+        for t, gate in enumerate(circuit.mul_gates)
+    ]
+    g_sel = [
+        (gates[gate].right, w_n[1 + t])
+        for t, gate in enumerate(circuit.mul_gates)
+    ]
+    f_x, f_mul, c_f = _wire_functional(field, circuit, f_sel)
+    g_x, g_mul, c_g = _wire_functional(field, circuit, g_sel)
+    u_f = assemble(f_x, f_mul, extra=[(f0_pos, w_n[0])])
+    u_g = assemble(g_x, g_mul, extra=[(g0_pos, w_n[0])])
+    u_rg = [v * r % p for v in u_g]
+    u_rh = [0] * z_len
+    for j, w in enumerate(w_2n):
+        u_rh[h_pos + j] = w * r % p
+    return _BatchFunctionals(
+        z_len=z_len, u_f=u_f, u_rg=u_rg, u_rh=u_rh, u_assert=u_assert,
+        c_f=c_f, c_rg=c_g * r % p, c_assert=c_assert,
+    )
+
+
+class BatchedSnipVerifierParty:
+    """One server's verification state for a whole batch of submissions.
+
+    Semantically equivalent to ``B`` scalar :class:`SnipVerifierParty`
+    instances — bit-for-bit, which the adversarial batch tests assert —
+    but the per-submission work collapses to four inner products of
+    the flattened share vector against the context's precomputed
+    functionals, evaluated for the whole batch in one fused sweep over
+    the (B, len(z)) share matrix (:func:`repro.field.batch.dot_rows_multi`).
+    """
+
+    def __init__(
+        self,
+        ctx: VerificationContext,
+        server_index: int,
+        n_servers: int,
+        x_shares: Sequence[Sequence[int]],
+        proof_shares: Sequence[SnipProofShare],
+        force_pure: bool | None = None,
+    ) -> None:
+        if n_servers < 2:
+            raise SnipError("a SNIP needs at least two verifiers")
+        if len(x_shares) != len(proof_shares):
+            raise SnipError("share count mismatch")
+        self.ctx = ctx
+        self.field = ctx.field
+        self.server_index = server_index
+        self.n_servers = n_servers
+        self.is_leader = server_index == 0
+        self.batch_size = len(x_shares)
+        self.proof_shares = list(proof_shares)
+
+        field = ctx.field
+        p = field.modulus
+        circuit = ctx.circuit
+        m = ctx.n_mul_gates
+        fns = ctx.batch_functionals()
+        rows = []
+        for x_share, proof_share in zip(x_shares, proof_shares):
+            if len(x_share) != circuit.n_inputs:
+                raise SnipError(
+                    f"x share has {len(x_share)} elements, expected "
+                    f"{circuit.n_inputs}"
+                )
+            if m and len(proof_share.h_evals) != ctx.size_2n:
+                raise SnipError(
+                    f"h share has {len(proof_share.h_evals)} evaluations, "
+                    f"expected {ctx.size_2n}"
+                )
+            rows.append(list(x_share) + proof_share.flatten())
+
+        if m:
+            f_r, rg_r, rh_r, asserts = dot_rows_multi(
+                field, fns.prepared(field), rows, force_pure,
+            )
+            if self.is_leader:
+                f_r = [(v + fns.c_f) % p for v in f_r]
+                rg_r = [(v + fns.c_rg) % p for v in rg_r]
+        else:
+            (asserts,) = dot_rows_multi(
+                field, fns.prepared(field), rows, force_pure,
+            )
+            f_r = rg_r = rh_r = [0] * self.batch_size
+        if self.is_leader:
+            asserts = [(v + fns.c_assert) % p for v in asserts]
+        self._f_r = f_r
+        self._rg_r = rg_r
+        self._rh_r = rh_r
+        self._assertion_shares = asserts
+
+    # ------------------------------------------------------------------
+
+    def round1_all(self) -> list[Round1Message]:
+        """Round-1 messages for every submission in the batch."""
+        if self.ctx.n_mul_gates == 0:
+            return [Round1Message(d=0, e=0)] * self.batch_size
+        f = self.field
+        return [
+            Round1Message(
+                d=f.sub(self._f_r[i], self.proof_shares[i].a),
+                e=f.sub(self._rg_r[i], self.proof_shares[i].b),
+            )
+            for i in range(self.batch_size)
+        ]
+
+    def round2_all(
+        self, round1_by_submission: Sequence[Sequence[Round1Message]]
+    ) -> list[Round2Message]:
+        """Round-2 messages, given each submission's round-1 broadcasts."""
+        if len(round1_by_submission) != self.batch_size:
+            raise SnipError("need round-1 messages for every submission")
+        f = self.field
+        p = f.modulus
+        s_inv = (
+            pow(self.n_servers % p, -1, p) if self.ctx.n_mul_gates else 0
+        )
+        out = []
+        for i, msgs in enumerate(round1_by_submission):
+            if len(msgs) != self.n_servers:
+                raise SnipError("need a round-1 message from every server")
+            if self.ctx.n_mul_gates == 0:
+                sigma = 0
+            else:
+                d = sum(m.d for m in msgs) % p
+                e = sum(m.e for m in msgs) % p
+                share = self.proof_shares[i]
+                sigma = (
+                    d * e % p * s_inv
+                    + d * share.b
+                    + e * share.a
+                    + share.c
+                    - self._rh_r[i]
+                ) % p
+            out.append(
+                Round2Message(sigma=sigma, assertion=self._assertion_shares[i])
+            )
+        return out
+
+
+def verify_snip_batch(
+    ctx: VerificationContext,
+    submissions: Sequence[
+        tuple[Sequence[Sequence[int]], Sequence[SnipProofShare]]
+    ],
+    force_pure: bool | None = None,
+) -> list[VerificationOutcome]:
+    """Verify many submissions lock-step, one vectorized sweep per server.
+
+    ``submissions`` holds one ``(x_shares, proof_shares)`` pair per
+    client (as produced by :func:`repro.snip.prover.prove_and_share` /
+    ``prove_and_share_many``).  Each outcome is decided independently:
+    a bad submission in the batch rejects alone.
+    """
+    if not submissions:
+        return []
+    n_servers = len(submissions[0][0])
+    for x_shares, proof_shares in submissions:
+        if len(x_shares) != n_servers or len(proof_shares) != n_servers:
+            raise SnipError("inconsistent server count across the batch")
+    parties = [
+        BatchedSnipVerifierParty(
+            ctx, i, n_servers,
+            [sub[0][i] for sub in submissions],
+            [sub[1][i] for sub in submissions],
+            force_pure,
+        )
+        for i in range(n_servers)
+    ]
+    round1_by_server = [party.round1_all() for party in parties]
+    round1_by_submission = [
+        [round1_by_server[s][i] for s in range(n_servers)]
+        for i in range(len(submissions))
+    ]
+    round2_by_server = [
+        party.round2_all(round1_by_submission) for party in parties
+    ]
+    p = ctx.field.modulus
+    outcomes = []
+    for i in range(len(submissions)):
+        sigma_total = sum(round2_by_server[s][i].sigma
+                          for s in range(n_servers)) % p
+        assertion_total = sum(round2_by_server[s][i].assertion
+                              for s in range(n_servers)) % p
+        outcomes.append(VerificationOutcome(
+            accepted=(sigma_total == 0 and assertion_total == 0),
+            sigma_total=sigma_total,
+            assertion_total=assertion_total,
+        ))
+    return outcomes

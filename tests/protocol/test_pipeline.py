@@ -141,6 +141,124 @@ def test_deterministic_with_seeded_rng():
 
 
 # ----------------------------------------------------------------------
+# Batched pipeline (batch_size knob)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("batch_size", [1, 3, 8])
+def test_batched_pipeline_matches_unbatched(batch_size, rng):
+    afe = IntegerSumAfe(FIELD87, 8)
+    deployment = PrioDeployment.create(
+        afe, 3, batch_size=batch_size, rng=rng
+    )
+    values = [rng.randrange(256) for _ in range(20)]
+    assert deployment.submit_many(values) == 20
+    assert deployment.publish() == sum(values)
+    assert deployment.stats.n_accepted == 20
+
+
+def test_batched_stats_counted_per_submission(rng):
+    """Regression: under batched accept/reject, ``n_rejected`` and
+    ``upload_bytes_total`` must be counted per submission, never per
+    batch."""
+    from dataclasses import replace
+
+    afe = IntegerSumAfe(FIELD87, 8)
+    deployment = PrioDeployment.create(afe, 2, batch_size=5, rng=rng)
+    values = [rng.randrange(256) for _ in range(10)]
+    submissions = deployment.client.prepare_submissions(values)
+    per_upload = submissions[0].upload_bytes
+    assert all(s.upload_bytes == per_upload for s in submissions)
+
+    # corrupt two submissions inside the first batch: one at the SNIP
+    # layer (bad share values), one at the framing layer (bad length)
+    bad_share = submissions[1]
+    packet = bad_share.packets[0]
+    body = bytearray(packet.body)
+    body[0] ^= 1
+    bad_share.packets[0] = replace(packet, body=bytes(body))
+
+    bad_frame = submissions[3]
+    packet = bad_frame.packets[1]
+    bad_frame.packets[1] = replace(
+        packet, n_elements=packet.n_elements - 1,
+        body=packet.body[: -FIELD87.encoded_size],
+    )
+
+    results = deployment.deliver_batch(submissions[:5])
+    results += deployment.deliver_batch(submissions[5:])
+    assert results == [True, False, True, False] + [True] * 6
+
+    stats = deployment.stats
+    assert stats.n_submitted == 10
+    assert stats.n_accepted == 8
+    assert stats.n_rejected == 2          # per submission, not per batch
+    # every submission's upload counted exactly once, including both
+    # rejected ones
+    expected_bytes = sum(s.upload_bytes for s in submissions)
+    assert stats.upload_bytes_total == expected_bytes
+    honest = sum(v for i, v in enumerate(values) if i not in (1, 3))
+    assert deployment.publish() == honest
+    # server-side counters agree with deployment-level ones
+    assert deployment.servers[0].n_accepted == 8
+    assert deployment.servers[0].n_rejected >= 1
+
+
+def test_retry_after_partial_receive_failure(rng):
+    """A submission whose frame is malformed for one server only must
+    not poison its id at the servers that did receive it: a corrected
+    retry with the same id succeeds."""
+    from dataclasses import replace
+
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 2, rng=rng)
+    submission = deployment.client.prepare_submission(9)
+    good_packet = submission.packets[1]
+    submission.packets[1] = replace(
+        good_packet, n_elements=good_packet.n_elements - 1,
+        body=good_packet.body[: -FIELD87.encoded_size],
+    )
+    assert not deployment.deliver(submission)    # server 1 rejects frame
+    submission.packets[1] = good_packet          # honest retry, same id
+    assert deployment.deliver(submission)
+    assert deployment.publish() == 9
+    assert deployment.servers[0].n_replayed == 0
+
+
+def test_batched_replay_within_batch_rejected(rng):
+    """A submission id replayed inside one batch burns exactly one
+    accept; the replica is rejected at framing time."""
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 2, batch_size=4, rng=rng)
+    subs = deployment.client.prepare_submissions([5, 9])
+    results = deployment.deliver_batch([subs[0], subs[1], subs[0]])
+    assert results == [True, True, False]
+    assert deployment.publish() == 14
+    assert deployment.stats.n_rejected == 1
+    assert deployment.servers[0].n_replayed == 1
+
+
+def test_batched_epoch_rotation(rng):
+    """Batches spanning epoch boundaries still verify (the whole batch
+    runs under the context in force when it starts)."""
+    afe = IntegerSumAfe(FIELD87, 2)
+    deployment = PrioDeployment.create(
+        afe, 2, epoch_size=3, batch_size=4, rng=rng
+    )
+    values = [rng.randrange(4) for _ in range(10)]
+    assert deployment.submit_many(values) == 10
+    assert deployment.publish() == sum(values)
+    assert deployment.servers[0]._epoch >= 1
+
+
+def test_batch_size_validation(rng):
+    with pytest.raises(ProtocolError):
+        PrioDeployment.create(
+            IntegerSumAfe(FIELD87, 4), 2, batch_size=0, rng=rng
+        )
+
+
+# ----------------------------------------------------------------------
 # Baselines
 # ----------------------------------------------------------------------
 

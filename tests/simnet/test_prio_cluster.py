@@ -94,6 +94,52 @@ def test_servers_agree_under_interleaving(rng):
     assert report.n_accepted == 30
 
 
+@pytest.mark.parametrize("batch_size", [2, 5, 32])
+def test_batched_cluster_matches_unbatched(batch_size):
+    """Group-granular verification: outcomes and per-peer byte totals
+    must be identical to one-at-a-time verification."""
+    afe = IntegerSumAfe(FIELD87, 6)
+    values = [random.Random(4).randrange(64) for _ in range(12)]
+    base = run_cluster(
+        afe, paper_wan_topology(), values, random.Random(999)
+    )
+    batched = run_cluster(
+        afe, paper_wan_topology(), values, random.Random(999),
+        batch_size=batch_size,
+    )
+    assert batched.n_accepted == base.n_accepted == 12
+    assert batched.aggregate == base.aggregate == sum(values)
+    assert batched.server_tx_bytes == base.server_tx_bytes
+
+
+def test_batched_cluster_rejects_corruption(rng):
+    from repro.protocol.wire import ClientPacket, PacketKind
+
+    afe = IntegerSumAfe(FIELD87, 4)
+
+    def corrupt_third(index, submission):
+        if index != 2:
+            return
+        packet = submission.packets[-1]
+        vec = FIELD87.decode_vector(packet.body)
+        vec[0] = (vec[0] + 7) % FIELD87.modulus
+        submission.packets[-1] = ClientPacket(
+            submission_id=packet.submission_id,
+            server_index=packet.server_index,
+            kind=PacketKind.EXPLICIT,
+            n_elements=packet.n_elements,
+            body=FIELD87.encode_vector(vec),
+        )
+
+    report = run_cluster(
+        afe, same_datacenter(3), [5, 9, 2, 7], rng,
+        mutate=corrupt_third, batch_size=4,
+    )
+    assert report.n_accepted == 3
+    assert report.n_rejected == 1
+    assert report.aggregate == 5 + 9 + 7
+
+
 def test_byte_accounting_over_wan(rng):
     """Per-peer verification traffic: 4 elements across 2 rounds."""
     afe = IntegerSumAfe(FIELD87, 4)
