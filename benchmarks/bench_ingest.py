@@ -1,0 +1,265 @@
+"""End-to-end ingest + batched-verify throughput: scalar vs zero-copy.
+
+Not a paper figure — this tracks the repo's zero-copy ingest pipeline
+(PR 2) against the PR-1 path it replaces.  Both pipelines do the same
+end-to-end job on the same wire packets (batch of submissions, F87,
+the Figure 4/5 one-bit vector-sum workload):
+
+PR-1 path (``scalar`` columns)
+    one ``ClientPacket.share_vector`` per packet — scalar PRG
+    expansion per seed, per-element ``int.from_bytes`` decode — then
+    ``BatchedSnipVerifierParty`` over rows of Python ints.
+
+zero-copy path (``planes`` columns)
+    ``share_vectors_batch`` per server — vectorized PRG expansion,
+    wire bytes straight to limb planes — then
+    ``BatchedSnipVerifierParty.from_share_matrix`` on the
+    plane-resident share matrix.
+
+Decisions are asserted identical.  Emits the usual
+``benchmarks/results/ingest.json`` table plus a ``BENCH_ingest.json``
+record at the repo root; the acceptance gate is >= 2x end-to-end
+(ingest + verify) at batch 64 on the numpy backend.
+
+Runs under pytest (like the other benches) *and* as a plain script —
+``python benchmarks/bench_ingest.py [--smoke]`` — which is what the CI
+benchmark smoke job executes on both backends.
+"""
+
+import json
+import pathlib
+import random
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from common import FULL, emit_table, fmt_rate, fmt_seconds, time_call
+
+from repro.afe import VectorSumAfe
+from repro.field import FIELD87, backend_name
+from repro.protocol import PrioClient, share_vectors_batch
+from repro.snip import (
+    BatchedSnipVerifierParty,
+    ServerRandomness,
+    SnipProofShare,
+    VerificationContext,
+    proof_num_elements,
+)
+from repro.sharing import expand_seed, expand_seed_batch, new_seed
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+N_SERVERS = 3  # two SEED packets + one EXPLICIT packet per submission
+
+
+def _workload(length, batch, rng):
+    afe = VectorSumAfe(FIELD87, length=length, n_bits=1)
+    circuit = afe.valid_circuit()
+    client = PrioClient(afe, N_SERVERS, rng=rng)
+    submissions = client.prepare_submissions(
+        [[rng.randrange(2) for _ in range(length)] for _ in range(batch)]
+    )
+    packets_by_server = [
+        [sub.packets[s] for sub in submissions] for s in range(N_SERVERS)
+    ]
+    challenge = ServerRandomness(b"bench-ingest").challenge(
+        FIELD87, circuit, 0
+    )
+    ctx = VerificationContext(FIELD87, circuit, challenge)
+    k = afe.k
+    m = circuit.n_mul_gates
+    return ctx, packets_by_server, k, m
+
+
+def _decide(ctx, parties):
+    round1_by_server = [party.round1_all() for party in parties]
+    batch = parties[0].batch_size
+    round1_by_submission = [
+        [round1_by_server[s][i] for s in range(N_SERVERS)]
+        for i in range(batch)
+    ]
+    round2_by_server = [
+        party.round2_all(round1_by_submission) for party in parties
+    ]
+    p = ctx.field.modulus
+    decisions = []
+    for i in range(batch):
+        sigma = sum(r[i].sigma for r in round2_by_server) % p
+        assertion = sum(r[i].assertion for r in round2_by_server) % p
+        decisions.append(sigma == 0 and assertion == 0)
+    return decisions
+
+
+def run_scalar_pipeline(ctx, packets_by_server, k, m):
+    """PR-1: scalar per-packet ingest, then rows-of-ints verification."""
+    parties = []
+    for s in range(N_SERVERS):
+        vectors = [
+            packet.share_vector(FIELD87) for packet in packets_by_server[s]
+        ]
+        x_shares = [v[:k] for v in vectors]
+        proof_shares = [
+            SnipProofShare.unflatten(FIELD87, v[k:], m) for v in vectors
+        ]
+        parties.append(
+            BatchedSnipVerifierParty(
+                ctx, s, N_SERVERS, x_shares, proof_shares
+            )
+        )
+    return _decide(ctx, parties)
+
+
+def run_plane_pipeline(ctx, packets_by_server, k, m):
+    """Zero-copy: wire bytes / PRG planes straight into the verifier."""
+    del k, m
+    parties = [
+        BatchedSnipVerifierParty.from_share_matrix(
+            ctx, s, N_SERVERS,
+            share_vectors_batch(FIELD87, packets_by_server[s]),
+        )
+        for s in range(N_SERVERS)
+    ]
+    return _decide(ctx, parties)
+
+
+def run_benchmark(smoke=False):
+    length = 256 if (smoke or not FULL) else 1024
+    batch_sizes = (16, 64) if not FULL else (16, 64, 256)
+    repeat = 2 if smoke else 3
+    rng = random.Random(1207)
+    rows = []
+    record = {
+        "field": "F87",
+        "afe": f"vector-sum-{length}x1bit",
+        "n_servers": N_SERVERS,
+        "backend": backend_name(),
+        "smoke": smoke,
+        "full_scale": FULL,
+        "points": [],
+    }
+
+    # Micro: the two ingest kernels in isolation.
+    n_elements = length + proof_num_elements(
+        VectorSumAfe(FIELD87, length=length, n_bits=1)
+        .valid_circuit().n_mul_gates
+    )
+    seeds = [new_seed(rng) for _ in range(64)]
+    expand_scalar_s = time_call(
+        lambda: [expand_seed(FIELD87, s, n_elements) for s in seeds],
+        repeat=repeat,
+    )
+    expand_batch_s = time_call(
+        lambda: expand_seed_batch(FIELD87, seeds, n_elements), repeat=repeat
+    )
+    record["expand_seed"] = {
+        "n_seeds": len(seeds),
+        "n_elements": n_elements,
+        "scalar_s": expand_scalar_s,
+        "batch_s": expand_batch_s,
+        "speedup": expand_scalar_s / expand_batch_s,
+    }
+
+    for batch in batch_sizes:
+        ctx, packets_by_server, k, m = _workload(length, batch, rng)
+        scalar_decisions = run_scalar_pipeline(ctx, packets_by_server, k, m)
+        plane_decisions = run_plane_pipeline(ctx, packets_by_server, k, m)
+        assert scalar_decisions == plane_decisions, "pipelines disagree"
+        assert all(plane_decisions), "honest batch must verify"
+
+        scalar_s = time_call(
+            lambda: run_scalar_pipeline(ctx, packets_by_server, k, m),
+            repeat=repeat,
+        )
+        plane_s = time_call(
+            lambda: run_plane_pipeline(ctx, packets_by_server, k, m),
+            repeat=repeat,
+        )
+        speedup = scalar_s / plane_s
+        rows.append([
+            batch,
+            fmt_seconds(scalar_s),
+            fmt_seconds(plane_s),
+            f"{speedup:.2f}x",
+            fmt_rate(batch / plane_s),
+        ])
+        record["points"].append({
+            "batch_size": batch,
+            "scalar_ingest_verify_s": scalar_s,
+            "plane_ingest_verify_s": plane_s,
+            "speedup": speedup,
+            "plane_subs_per_s": batch / plane_s,
+        })
+
+    emit_table(
+        "ingest",
+        f"Zero-copy ingest + batched verify — scalar vs plane pipeline "
+        f"(F87, L = {length} one-bit integers, {N_SERVERS} servers, "
+        f"backend: {record['backend']})",
+        ["batch", "scalar", "planes", "speedup", "subs/s planes"],
+        rows,
+        notes=[
+            "both columns are end-to-end: wire packets -> accept/reject",
+            "scalar = per-packet share_vector + rows-of-ints verify (PR 1)",
+            "planes = share_vectors_batch + from_share_matrix (PR 2)",
+            f"expand_seed 64x{n_elements}: "
+            f"{fmt_seconds(expand_scalar_s)} scalar vs "
+            f"{fmt_seconds(expand_batch_s)} batched "
+            f"({record['expand_seed']['speedup']:.1f}x)",
+        ],
+    )
+    (REPO_ROOT / "BENCH_ingest.json").write_text(
+        json.dumps(record, indent=2)
+    )
+    return record
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def ingest_data():
+        return run_benchmark()
+
+    def test_plane_pipeline_beats_scalar(ingest_data):
+        """The acceptance gate: >= 2x end-to-end at batch 64 (numpy)."""
+        point = next(
+            p for p in ingest_data["points"] if p["batch_size"] >= 64
+        )
+        if ingest_data["backend"] == "numpy":
+            assert point["speedup"] > 2.0
+        else:
+            # The pure fallback shares the scalar kernels; it must just
+            # not be pathologically slower.
+            assert point["speedup"] > 0.5
+
+    def test_pipelines_agree_spot_check(ingest_data):
+        del ingest_data
+        rng = random.Random(555)
+        ctx, packets_by_server, k, m = _workload(64, 8, rng)
+        assert run_scalar_pipeline(
+            ctx, packets_by_server, k, m
+        ) == run_plane_pipeline(ctx, packets_by_server, k, m)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    result = run_benchmark(smoke=smoke)
+    for point in result["points"]:
+        print(
+            f"batch {point['batch_size']:4d}: "
+            f"scalar {point['scalar_ingest_verify_s'] * 1e3:8.1f}ms  "
+            f"planes {point['plane_ingest_verify_s'] * 1e3:8.1f}ms  "
+            f"{point['speedup']:.2f}x"
+        )
+    print(
+        f"backend={result['backend']} "
+        f"expand_seed speedup={result['expand_seed']['speedup']:.1f}x "
+        f"-> BENCH_ingest.json"
+    )

@@ -73,14 +73,19 @@ from repro.field.batch import (
     BatchVector,
     PreparedWeights,
     accumulate_rows,
+    assemble_rows,
     backend_name,
     butterfly,
+    decode_bytes_batch,
+    dot_batch_multi,
     dot_rows,
     dot_rows_multi,
     elementwise_mul_rows,
+    encode_bytes_batch,
     numpy_available,
     poly_eval_rows,
     prepare_weights,
+    rejection_sample_batch,
     use_numpy,
 )
 
@@ -115,13 +120,18 @@ __all__ = [
     "BatchVector",
     "PreparedWeights",
     "accumulate_rows",
+    "assemble_rows",
     "backend_name",
     "butterfly",
+    "decode_bytes_batch",
+    "dot_batch_multi",
     "dot_rows",
     "dot_rows_multi",
     "elementwise_mul_rows",
+    "encode_bytes_batch",
     "numpy_available",
     "poly_eval_rows",
     "prepare_weights",
+    "rejection_sample_batch",
     "use_numpy",
 ]

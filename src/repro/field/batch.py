@@ -38,6 +38,35 @@ add/sub/mul/scale, dot products, NTT butterflies over whole vectors);
 the SNIP/protocol layers use the row-oriented helpers
 (:func:`dot_rows`, :func:`dot_rows_multi`, :func:`ntt_rows`, ...)
 that take and return plain ``list[int]`` rows.
+
+Plane-resident ingest
+---------------------
+
+Profiling the batched verifier showed that the remaining majority of
+server time was not field math but the *crossing*: wire bytes ->
+``int.from_bytes`` -> Python bigints -> limb planes, plus one scalar
+PRG expansion per seed packet.  The byte codecs here close that gap —
+the 24-bit limb radix was chosen so each limb is exactly three wire
+bytes, which lets both directions run as pure numpy reshapes:
+
+* :func:`decode_bytes_batch` maps concatenated big-endian wire bodies
+  straight to ``(L, B, n)`` int64 planes (checked variant rejects
+  out-of-range elements; ``check=False`` Barrett-canonicalizes),
+* :func:`encode_bytes_batch` is the inverse,
+* :func:`rejection_sample_batch` is the vectorized core of the PRG:
+  fixed-width XOF windows -> masked candidates -> ``< p`` acceptance
+  flags -> first-``n`` survivors per row, bit-exact with the scalar
+  sampler in :mod:`repro.sharing.prg`,
+* :func:`assemble_rows` stacks rows of existing batches (plane copies,
+  no re-encode) into the per-server ``(B, z_len)`` share matrix, and
+* :func:`dot_batch_multi` applies prepared weight functionals to an
+  already-ingested batch.
+
+Together these keep a verification batch in limb-plane form from the
+socket to the accept/reject verdict.  The remaining Python-int
+boundaries are deliberate and tiny: per-submission round-1/round-2
+scalars (four elements each), the Beaver-triple columns (three ints
+per submission), and the final published aggregate.
 """
 
 from __future__ import annotations
@@ -522,6 +551,66 @@ class BatchVector:
             return [flat[i * w:(i + 1) * w] for i in range(self.shape[0])]
         return flat
 
+    def row_ints(self, i: int) -> list[int]:
+        """One row of a 2-D batch as plain Python ints."""
+        if len(self.shape) != 2:
+            raise FieldError("row_ints needs a 2-D batch")
+        if self._numpy:
+            return _decode(_ctx(self.field), self._data[:, i, :])
+        return list(self._data[i])
+
+    def column_ints(self, j: int) -> list[int]:
+        """One column of a 2-D batch as plain Python ints.
+
+        This is the batched verifier's escape hatch for per-submission
+        scalars (e.g. the Beaver-triple columns): B ints decoded from
+        one plane slice instead of materializing whole rows.
+        """
+        if len(self.shape) != 2:
+            raise FieldError("column_ints needs a 2-D batch")
+        if self._numpy:
+            return _decode(_ctx(self.field), self._data[:, :, j])
+        return [row[j] for row in self._data]
+
+    def set_row_ints(self, i: int, values: Sequence[int]) -> None:
+        """Overwrite row ``i`` of a 2-D batch with canonical ints."""
+        if len(self.shape) != 2:
+            raise FieldError("set_row_ints needs a 2-D batch")
+        values = list(values)
+        if len(values) != self.shape[1]:
+            raise FieldError("row width mismatch")
+        if self._numpy:
+            self._data[:, i, :] = _encode_checked(_ctx(self.field), values)
+        else:
+            self._data[i] = [v % self.field.modulus for v in values]
+
+    def take_rows(self, indices: Sequence[int]) -> "BatchVector":
+        """A new batch holding the selected rows (in the given order)."""
+        if len(self.shape) != 2:
+            raise FieldError("take_rows needs a 2-D batch")
+        indices = list(indices)
+        shape = (len(indices), self.shape[1])
+        if self._numpy:
+            return BatchVector(
+                self.field, shape, self._data[:, indices, :], True
+            )
+        return BatchVector(
+            self.field, shape, [list(self._data[i]) for i in indices], False
+        )
+
+    def slice_columns(self, width: int) -> "BatchVector":
+        """The first ``width`` columns (the Aggregate step's truncation)."""
+        if width > self.shape[-1]:
+            raise FieldError("slice width larger than batch width")
+        shape = self.shape[:-1] + (width,)
+        if self._numpy:
+            return BatchVector(self.field, shape, self._data[..., :width], True)
+        if len(self.shape) == 2:
+            return BatchVector(
+                self.field, shape, [row[:width] for row in self._data], False
+            )
+        return BatchVector(self.field, shape, self._data[:width], False)
+
     @property
     def backend(self) -> str:
         return "numpy" if self._numpy else "pure"
@@ -691,6 +780,270 @@ def butterfly(
     ``(lo + w*hi, lo - w*hi)`` elementwise."""
     t = hi.scale(twiddle)
     return lo + t, lo - t
+
+
+# ----------------------------------------------------------------------
+# Wire-byte codecs and ingest kernels: big-endian wire bodies <-> limb
+# planes with pure numpy (3 wire bytes per 24-bit limb), plus the
+# vectorized PRG rejection sampler and batch assembly.
+# ----------------------------------------------------------------------
+
+
+def _bytes_to_planes(ctx: _LimbContext, arr):
+    """uint8 array ``(..., width)`` of big-endian elements -> planes.
+
+    ``width`` is the per-element byte width (``field.encoded_size`` or
+    the PRG candidate width); always <= 3L because any multiple of 24
+    covering ``bits`` also covers the byte-rounded width.  Returns
+    ``(L, ...)`` int64 planes; each group of three bytes is one limb.
+    """
+    L = ctx.n_limbs
+    width = arr.shape[-1]
+    full = _np.zeros(arr.shape[:-1] + (3 * L,), dtype=_np.uint8)
+    full[..., 3 * L - width:] = arr
+    grouped = full.reshape(arr.shape[:-1] + (L, 3)).astype(_np.int64)
+    planes = _np.empty((L,) + arr.shape[:-1], dtype=_np.int64)
+    for g in range(L):
+        planes[L - 1 - g] = (
+            (grouped[..., g, 0] << 16)
+            | (grouped[..., g, 1] << 8)
+            | grouped[..., g, 2]
+        )
+    return planes
+
+
+def _planes_to_bytes(ctx: _LimbContext, planes, width: int):
+    """Canonical ``(L, ...)`` planes -> uint8 array ``(..., width)``.
+
+    Inverse of :func:`_bytes_to_planes`; canonical values never carry
+    bits above ``width`` bytes, so the high pad is provably zero.
+    """
+    L = ctx.n_limbs
+    grouped = _np.empty(planes.shape[1:] + (L, 3), dtype=_np.uint8)
+    for g in range(L):
+        limb = planes[L - 1 - g]
+        grouped[..., g, 0] = (limb >> 16) & 0xFF
+        grouped[..., g, 1] = (limb >> 8) & 0xFF
+        grouped[..., g, 2] = limb & 0xFF
+    flat = grouped.reshape(planes.shape[1:] + (3 * L,))
+    return flat[..., 3 * L - width:]
+
+
+def _out_of_range_error(row: int, element: int) -> FieldError:
+    """A :class:`FieldError` carrying the offending batch position.
+
+    ``batch_row``/``batch_element`` let callers that decoded a *subset*
+    of a larger batch (e.g. the EXPLICIT packets of a mixed upload
+    batch) remap the position to their own indexing before reporting.
+    """
+    exc = FieldError(
+        f"encoded value out of range at batch row {row}, element {element}"
+    )
+    exc.batch_row = row
+    exc.batch_element = element
+    return exc
+
+
+def decode_bytes_batch(
+    field: PrimeField,
+    bodies: Sequence[bytes],
+    force_pure: bool | None = None,
+    check: bool = True,
+) -> BatchVector:
+    """Decode equal-length wire bodies straight into a ``(B, n)`` batch.
+
+    Each body is the fixed-width big-endian element vector the wire
+    format ships (``field.encode_vector`` layout).  On the numpy
+    backend the bytes land in limb planes without any per-element
+    ``int.from_bytes`` — one reshape plus L shift-or passes.
+
+    ``check=True`` (the default, matching ``field.decode_vector``)
+    rejects elements >= p with a :class:`FieldError` naming the batch
+    position; ``check=False`` Barrett-reduces them instead, which is
+    what the unchecked PRG candidate path wants.
+    """
+    bodies = list(bodies)
+    size = field.encoded_size
+    if not bodies:
+        return BatchVector.zeros(field, (0, 0), force_pure)
+    if len(bodies[0]) % size != 0:
+        raise FieldError("vector encoding is not a whole number of elements")
+    n = len(bodies[0]) // size
+    for body in bodies:
+        if len(body) != n * size:
+            raise FieldError("ragged bodies in byte batch")
+    if not use_numpy(force_pure):
+        p = field.modulus
+        rows = []
+        for r, body in enumerate(bodies):
+            row = []
+            for i in range(0, len(body), size):
+                value = int.from_bytes(body[i : i + size], "big")
+                if value >= p:
+                    if check:
+                        raise _out_of_range_error(r, i // size)
+                    value %= p
+                row.append(value)
+            rows.append(row)
+        return BatchVector(field, (len(bodies), n), rows, False)
+    ctx = _ctx(field)
+    arr = _np.frombuffer(b"".join(bodies), dtype=_np.uint8)
+    planes = _bytes_to_planes(ctx, arr.reshape(len(bodies), n, size))
+    _, ge_p = _borrow_sub(
+        planes, ctx.p_planes.reshape(ctx.n_limbs, 1, 1)
+    )
+    if bool(ge_p.any()):
+        if check:
+            r, c = (int(v) for v in _np.argwhere(ge_p)[0])
+            raise _out_of_range_error(r, c)
+        planes = _barrett(ctx, planes)
+    return BatchVector(field, (len(bodies), n), planes, True)
+
+
+def encode_bytes_batch(
+    field: PrimeField,
+    batch: "BatchVector | Sequence[Sequence[int]]",
+    force_pure: bool | None = None,
+) -> list[bytes]:
+    """Encode a 2-D batch back to one wire body per row.
+
+    Inverse of :func:`decode_bytes_batch`: each returned ``bytes`` is
+    bit-identical to ``field.encode_vector`` of that row.
+    """
+    if not isinstance(batch, BatchVector):
+        batch = BatchVector.from_ints(field, list(batch), force_pure)
+    if len(batch.shape) != 2:
+        raise FieldError("encode_bytes_batch needs a 2-D batch")
+    if not batch._numpy:
+        return [field.encode_vector(row) for row in batch._data]
+    ctx = _ctx(field)
+    size = field.encoded_size
+    flat = _planes_to_bytes(ctx, batch._data, size)
+    B = batch.shape[0]
+    blob = _np.ascontiguousarray(flat).reshape(B, -1)
+    return [blob[b].tobytes() for b in range(B)]
+
+
+def rejection_sample_batch(
+    field: PrimeField,
+    byte_rows: Sequence[bytes],
+    length: int,
+) -> tuple[BatchVector, list[int]]:
+    """Vectorized PRG rejection sampling (numpy backend only).
+
+    Each row of ``byte_rows`` is a run of fixed-width big-endian
+    candidate windows from one XOF stream.  Candidates are masked to
+    the modulus bit width and accepted where ``< p`` — exactly the
+    scalar sampler's rule, so survivors are bit-identical to
+    :func:`repro.sharing.prg.expand_seed` on the same stream.  Returns
+    the ``(B, length)`` batch plus the indices of rows whose byte run
+    held fewer than ``length`` survivors (left zero-filled; the caller
+    retries those through the scalar sampler).
+    """
+    if _np is None:
+        raise FieldError("rejection_sample_batch needs the numpy backend")
+    ctx = _ctx(field)
+    size = field.encoded_size
+    B = len(byte_rows)
+    out = _np.zeros((ctx.n_limbs, B, length), dtype=_np.int64)
+    if B == 0 or length == 0:
+        return BatchVector(field, (B, length), out, True), []
+    n_cand = len(byte_rows[0]) // size
+    arr = _np.frombuffer(b"".join(byte_rows), dtype=_np.uint8)
+    planes = _bytes_to_planes(ctx, arr.reshape(B, n_cand, size))
+    for i, mask_limb in enumerate(
+        _int_limbs((1 << field.bits) - 1, ctx.n_limbs)
+    ):
+        planes[i] &= mask_limb
+    _, ge_p = _borrow_sub(planes, ctx.p_planes.reshape(ctx.n_limbs, 1, 1))
+    accept = ~ge_p
+    short_rows: list[int] = []
+    for b in range(B):
+        idx = _np.flatnonzero(accept[b])
+        if idx.size < length:
+            short_rows.append(b)
+            continue
+        out[:, b, :] = planes[:, b, idx[:length]]
+    return BatchVector(field, (B, length), out, True), short_rows
+
+
+def assemble_rows(
+    field: PrimeField,
+    sources: Sequence["tuple[BatchVector, int] | Sequence[int]"],
+    force_pure: bool | None = None,
+) -> BatchVector:
+    """Stack heterogeneous row sources into one ``(B, n)`` batch.
+
+    Each source is either a ``(BatchVector, row_index)`` pair — the row
+    planes are copied, never re-encoded through Python ints — or a
+    plain ``Sequence[int]`` row (the scalar-fallback seam).  This is
+    how a server merges SEED-expanded and EXPLICIT-decoded packets
+    into the single share matrix that batched verification consumes.
+    """
+    B = len(sources)
+    if B == 0:
+        return BatchVector.zeros(field, (0, 0), force_pure)
+    first = sources[0]
+    width = first[0].shape[-1] if isinstance(first, tuple) else len(first)
+    if use_numpy(force_pure):
+        ctx = _ctx(field)
+        out = _np.empty((ctx.n_limbs, B, width), dtype=_np.int64)
+        for j, src in enumerate(sources):
+            if isinstance(src, tuple):
+                bv, r = src
+                if bv.shape[-1] != width:
+                    raise FieldError("row width mismatch in assemble_rows")
+                if bv._numpy:
+                    out[:, j, :] = bv._data[:, r, :]
+                else:
+                    out[:, j, :] = _encode_checked(ctx, list(bv._data[r]))
+            else:
+                row = list(src)
+                if len(row) != width:
+                    raise FieldError("row width mismatch in assemble_rows")
+                out[:, j, :] = _encode_checked(ctx, row)
+        return BatchVector(field, (B, width), out, True)
+    rows = []
+    for src in sources:
+        row = src[0].row_ints(src[1]) if isinstance(src, tuple) else list(src)
+        if len(row) != width:
+            raise FieldError("row width mismatch in assemble_rows")
+        rows.append(row)
+    return BatchVector.from_ints(field, rows, force_pure)
+
+
+def dot_batch_multi(
+    field: PrimeField,
+    weights_list: "Sequence[Sequence[int]] | PreparedWeights",
+    batch: BatchVector,
+) -> list[list[int]]:
+    """:func:`dot_rows_multi` over an already-ingested ``(B, D)`` batch.
+
+    The zero-copy verification path: the share matrix arrives as limb
+    planes (from :func:`assemble_rows`) and goes straight into the
+    fused limb matmul — no list-of-ints crossing at all.
+    """
+    if not isinstance(weights_list, PreparedWeights):
+        weights_list = PreparedWeights(field, weights_list)
+    if len(batch.shape) != 2:
+        raise FieldError("dot_batch_multi needs a 2-D batch")
+    B, D = batch.shape
+    if D != weights_list.width:
+        raise FieldError(
+            f"weight width {weights_list.width} vs batch width {D}"
+        )
+    K = weights_list.n_weights
+    if B == 0:
+        return [[] for _ in range(K)]
+    if batch._numpy:
+        ctx = _ctx(field)
+        out = _np_matvec(ctx, weights_list.planes(ctx), batch._data)
+        flat = _decode(ctx, out)
+        return [flat[k * B:(k + 1) * B] for k in range(K)]
+    return [
+        [field.inner_product(w, row) for row in batch._data]
+        for w in weights_list.weights_list
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -244,19 +244,41 @@ def batch_inverse(field: PrimeField, values: Sequence[int]) -> list[int]:
 
 
 def poly_mul_ntt(
-    field: PrimeField, a: Sequence[int], b: Sequence[int]
+    field: PrimeField,
+    a: Sequence[int],
+    b: Sequence[int],
+    force_pure: bool | None = None,
 ) -> list[int]:
-    """Product of two coefficient-form polynomials via NTT, O(n log n)."""
+    """Product of two coefficient-form polynomials via NTT, O(n log n).
+
+    When the numpy batch backend is live, the two forward transforms
+    run as one two-row batch NTT and the pointwise product and inverse
+    transform stay in limb planes; the pure path is the scalar
+    transform pair.  Both produce identical canonical coefficients.
+    """
     if not a or not b:
         return []
     out_len = len(a) + len(b) - 1
     size = next_power_of_two(out_len)
     domain = EvaluationDomain(field, size)
-    ea = domain.evaluate(a)
-    eb = domain.evaluate(b)
-    p = field.modulus
-    product = [(x * y) % p for x, y in zip(ea, eb)]
-    coeffs = domain.interpolate(product)[:out_len]
+    from repro.field.batch import BatchVector, use_numpy
+
+    if use_numpy(force_pure):
+        padded = [
+            list(a) + [0] * (size - len(a)),
+            list(b) + [0] * (size - len(b)),
+        ]
+        evals = BatchVector.from_ints(field, padded, force_pure).ntt(
+            domain.root
+        )
+        product = evals.take_rows([0]) * evals.take_rows([1])
+        coeffs = product.intt(domain.root).row_ints(0)[:out_len]
+    else:
+        ea = domain.evaluate(a)
+        eb = domain.evaluate(b)
+        p = field.modulus
+        product = [(x * y) % p for x, y in zip(ea, eb)]
+        coeffs = domain.interpolate(product)[:out_len]
     # Canonical form: strip trailing zeros so results match poly_mul.
     while coeffs and coeffs[-1] == 0:
         coeffs.pop()

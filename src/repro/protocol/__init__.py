@@ -19,12 +19,14 @@ from repro.protocol.registration import (
 from repro.protocol.runner import DeploymentStats, PrioDeployment
 from repro.protocol.server import PendingSubmission, PrioServer, ProtocolError
 from repro.protocol.wire import (
+    MAX_N_ELEMENTS,
     ClientPacket,
     PacketKind,
     WireError,
     new_submission_id,
     packets_for_explicit_shares,
     packets_for_shares,
+    share_vectors_batch,
     total_upload_bytes,
 )
 
@@ -48,11 +50,13 @@ __all__ = [
     "PendingSubmission",
     "PrioServer",
     "ProtocolError",
+    "MAX_N_ELEMENTS",
     "ClientPacket",
     "PacketKind",
     "WireError",
     "new_submission_id",
     "packets_for_explicit_shares",
     "packets_for_shares",
+    "share_vectors_batch",
     "total_upload_bytes",
 ]

@@ -138,8 +138,10 @@ class GatedServer(PrioServer):
         pending.contributor_id = signed.client_id  # type: ignore[attr-defined]
         return pending
 
-    def accumulate(self, pending: PendingSubmission) -> None:
-        super().accumulate(pending)
+    def _note_accepted(self, pending: PendingSubmission) -> None:
+        # Hooks both Aggregate paths (scalar accumulate and the
+        # vectorized accumulate_batch).
+        super()._note_accepted(pending)
         contributor = getattr(pending, "contributor_id", None)
         if contributor is not None:
             self._contributors.add(contributor)

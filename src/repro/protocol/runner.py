@@ -199,12 +199,13 @@ class PrioDeployment:
                     results[idx] = False
                 return [bool(r) for r in results]
 
-            for (idx, pendings), accepted in zip(received, decisions):
-                for server, pending in zip(self.servers, pendings):
-                    if accepted:
-                        server.accumulate(pending)
-                    else:
-                        server.reject(pending)
+            # Aggregate consumes the ingested planes: one vectorized
+            # fold per server for the whole batch's accepted rows.
+            for s, server in enumerate(self.servers):
+                server.accumulate_batch(
+                    [pendings[s] for _, pendings in received], decisions
+                )
+            for (idx, _), accepted in zip(received, decisions):
                 if accepted:
                     self.stats.n_accepted += 1
                 else:

@@ -19,11 +19,11 @@ whole batch of submissions, with per-submission decisions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.afe.base import Afe
 from repro.crypto.box import BoxKeyPair, open_box
-from repro.protocol.wire import ClientPacket, WireError
+from repro.field.batch import BatchVector, assemble_rows, decode_bytes_batch, use_numpy
+from repro.protocol.wire import ClientPacket, PacketKind, WireError
+from repro.sharing.prg import SEED_SIZE, expand_seed, expand_seed_batch
 from repro.snip.proof import SnipProofShare, proof_num_elements
 from repro.snip.verifier import (
     BatchedSnipVerifierParty,
@@ -39,13 +39,60 @@ class ProtocolError(ValueError):
     """Raised on protocol violations (wrong server, replayed id, ...)."""
 
 
-@dataclass
 class PendingSubmission:
-    """A received, de-framed share awaiting verification."""
+    """A received, de-framed share awaiting verification.
 
-    submission_id: bytes
-    x_share: list[int]
-    proof_share: SnipProofShare | None
+    The share vector may be *latent*: a SEED packet stores just its
+    16-byte PRG seed (expanded in one vectorized sweep when the batch
+    is verified) and a plane-ingested EXPLICIT packet stores a row of
+    limb planes.  ``x_share`` / ``proof_share`` materialize Python
+    ints on first access — the scalar-verification fallback; the
+    batched pipeline never touches them.
+    """
+
+    def __init__(
+        self,
+        submission_id: bytes,
+        x_share: "list[int] | None" = None,
+        proof_share: "SnipProofShare | None" = None,
+    ) -> None:
+        self.submission_id = submission_id
+        self._x_share = x_share
+        self._proof_share = proof_share
+        #: latent sources (at most one is set before materialization)
+        self._seed: bytes | None = None
+        self._source: "tuple[BatchVector, int] | None" = None
+        #: framing metadata needed to materialize and split lazily
+        self._field = None
+        self._n_inputs = len(x_share) if x_share is not None else None
+        self._n_mul_gates: int | None = None
+        self._n_elements: int | None = None
+
+    @property
+    def x_share(self) -> list[int]:
+        self._materialize()
+        return self._x_share
+
+    @property
+    def proof_share(self) -> "SnipProofShare | None":
+        self._materialize()
+        return self._proof_share
+
+    def _materialize(self) -> None:
+        if self._x_share is not None:
+            return
+        if self._source is not None:
+            vector = self._source[0].row_ints(self._source[1])
+        elif self._seed is not None:
+            vector = expand_seed(self._field, self._seed, self._n_elements)
+        else:
+            raise ProtocolError("pending submission has no share source")
+        k = self._n_inputs
+        self._x_share = vector[:k]
+        if self._n_mul_gates is not None:
+            self._proof_share = SnipProofShare.unflatten(
+                self._field, vector[k:], self._n_mul_gates
+            )
 
 
 class PrioServer:
@@ -117,7 +164,17 @@ class PrioServer:
         )
 
     def receive(self, packet: ClientPacket) -> PendingSubmission:
-        """De-frame a packet into x and proof shares."""
+        """De-frame a packet into a (possibly latent) pending submission.
+
+        Framing is validated eagerly — wrong server, replay, body-size
+        inconsistency, wrong share-vector length, and (for EXPLICIT
+        bodies) out-of-range elements all raise here, so a bad upload
+        rejects alone.  The share *values* stay zero-copy: EXPLICIT
+        bodies are decoded wire-bytes -> limb planes (one numpy pass,
+        no per-element ``int.from_bytes``), SEED bodies are kept as
+        seeds and expanded in one vectorized sweep per verification
+        batch.
+        """
         if packet.server_index != self.server_index:
             raise ProtocolError(
                 f"packet for server {packet.server_index} delivered to "
@@ -129,23 +186,49 @@ class PrioServer:
         ):
             self.n_replayed += 1
             raise ProtocolError("replayed submission id")
-        vector = packet.share_vector(self.field)
         k = self.afe.k
-        if self.circuit is None:
-            if len(vector) != k:
+        m = self.circuit.n_mul_gates if self.circuit is not None else None
+        expected = k if m is None else k + proof_num_elements(m)
+        if packet.kind is PacketKind.SEED:
+            if len(packet.body) != SEED_SIZE:
+                raise WireError("seed packet has wrong body size")
+            n = packet.n_elements
+        else:
+            size = self.field.encoded_size
+            if len(packet.body) != packet.n_elements * size:
+                raise WireError("explicit packet has wrong body size")
+            n = packet.n_elements
+        if n != expected:
+            if m is None:
                 raise WireError("share vector has wrong length")
-            self._pending_ids.add(packet.submission_id)
-            return PendingSubmission(packet.submission_id, vector, None)
-        m = self.circuit.n_mul_gates
-        expected = k + proof_num_elements(m)
-        if len(vector) != expected:
             raise WireError(
-                f"share vector has {len(vector)} elements, expected {expected}"
+                f"share vector has {n} elements, expected {expected}"
             )
-        x_share = vector[:k]
-        proof_share = SnipProofShare.unflatten(self.field, vector[k:], m)
+        pending = PendingSubmission(packet.submission_id)
+        pending._field = self.field
+        pending._n_inputs = k
+        pending._n_mul_gates = m
+        pending._n_elements = n
+        if packet.kind is PacketKind.SEED:
+            pending._seed = packet.body
+        elif use_numpy(self.force_pure_backend):
+            # Checked decode: rejects out-of-range elements, exactly
+            # like the scalar ``field.decode_vector`` used to.
+            pending._source = (
+                decode_bytes_batch(
+                    self.field, [packet.body], self.force_pure_backend
+                ),
+                0,
+            )
+        else:
+            vector = self.field.decode_vector(packet.body)
+            pending._x_share = vector[:k]
+            if m is not None:
+                pending._proof_share = SnipProofShare.unflatten(
+                    self.field, vector[k:], m
+                )
         self._pending_ids.add(packet.submission_id)
-        return PendingSubmission(packet.submission_id, x_share, proof_share)
+        return pending
 
     # ------------------------------------------------------------------
     # Verification rounds (lock-step with peers)
@@ -187,6 +270,46 @@ class PrioServer:
     # Batched verification rounds (the vectorized hot path)
     # ------------------------------------------------------------------
 
+    def _ingest_batch(self, pendings: list[PendingSubmission]) -> BatchVector:
+        """Assemble the batch's ``(B, n)`` share matrix, plane-resident.
+
+        All latent SEED packets expand through one vectorized PRG
+        sweep; plane-decoded EXPLICIT rows are copied limb-for-limb;
+        already-materialized submissions (the scalar fallback) are
+        re-encoded.  Each pending is re-pointed at its row of the
+        assembled matrix, so later per-submission access (scalar
+        verification, lazy ``x_share``, batched accumulation) shares
+        the same planes.
+        """
+        force = self.force_pure_backend
+        seed_pendings = [
+            p for p in pendings
+            if p._seed is not None and p._source is None and p._x_share is None
+        ]
+        if seed_pendings:
+            expanded = expand_seed_batch(
+                self.field,
+                [p._seed for p in seed_pendings],
+                seed_pendings[0]._n_elements,
+                force,
+            )
+            for row, pending in enumerate(seed_pendings):
+                pending._source = (expanded, row)
+        sources: list = []
+        for pending in pendings:
+            if pending._source is not None:
+                sources.append(pending._source)
+            else:
+                row = list(pending.x_share)
+                if pending.proof_share is not None:
+                    row += pending.proof_share.flatten()
+                sources.append(row)
+        matrix = assemble_rows(self.field, sources, force)
+        for row, pending in enumerate(pendings):
+            if pending._x_share is None:
+                pending._source = (matrix, row)
+        return matrix
+
     def begin_verification_batch(
         self, pendings: list[PendingSubmission]
     ) -> tuple["BatchedSnipVerifierParty | None", list[Round1Message]]:
@@ -195,15 +318,18 @@ class PrioServer:
         The entire batch is verified under a single epoch context (the
         context in force when the batch starts; epoch accounting still
         advances per submission, so rotation happens between batches).
+        The batch goes wire-planes -> verdict: seeds expand vectorized,
+        the share matrix is assembled from limb planes, and the party
+        consumes it via
+        :meth:`~repro.snip.verifier.BatchedSnipVerifierParty.from_share_matrix`
+        with no per-element Python-int crossing.
         """
         ctx = self._context()
-        if ctx is None:
+        if ctx is None or not pendings:
             return None, [Round1Message(d=0, e=0)] * len(pendings)
-        party = BatchedSnipVerifierParty(
+        party = BatchedSnipVerifierParty.from_share_matrix(
             ctx, self.server_index, self.n_servers,
-            [p.x_share for p in pendings],
-            [p.proof_share for p in pendings],
-            force_pure=self.force_pure_backend,
+            self._ingest_batch(pendings),
         )
         msgs = party.round1_all()
         self.elements_broadcast += 2 * len(pendings)
@@ -239,6 +365,63 @@ class PrioServer:
         acc = self.accumulator
         for i, v in enumerate(share):
             acc[i] = (acc[i] + v) % p
+        self._note_accepted(pending)
+
+    def accumulate_batch(
+        self,
+        pendings: list[PendingSubmission],
+        decisions: list[bool],
+    ) -> None:
+        """Apply a batch's decisions: one vectorized Aggregate sweep.
+
+        Equivalent to per-submission :meth:`accumulate` /
+        :meth:`reject` calls, but accepted rows that share an ingested
+        plane matrix are truncated, column-summed, and folded into the
+        accumulator in a single batch operation — the Aggregate step
+        consumes planes, and only the k'-element batch total crosses
+        back to Python ints.
+        """
+        if len(pendings) != len(decisions):
+            raise ProtocolError("need one decision per pending submission")
+        for pending, accepted in zip(pendings, decisions):
+            if not accepted:
+                self.reject(pending)
+        accepted_pendings = [
+            p for p, accepted in zip(pendings, decisions) if accepted
+        ]
+        if not accepted_pendings:
+            return
+        # Proof-free AFEs skip begin_verification_batch's ingest; give
+        # their latent seeds the same one-sweep expansion here.
+        if any(
+            p._x_share is None and p._source is None
+            for p in accepted_pendings
+        ):
+            self._ingest_batch(accepted_pendings)
+        shared = (
+            accepted_pendings[0]._source[0]
+            if accepted_pendings[0]._source is not None
+            else None
+        )
+        if shared is not None and all(
+            p._source is not None and p._source[0] is shared
+            for p in accepted_pendings
+        ):
+            batch_sum = (
+                shared.take_rows([p._source[1] for p in accepted_pendings])
+                .slice_columns(self.afe.k_prime)
+                .sum_rows()
+                .to_ints()
+            )
+            self.accumulator = self.field.vec_add(self.accumulator, batch_sum)
+            for pending in accepted_pendings:
+                self._note_accepted(pending)
+        else:
+            for pending in accepted_pendings:
+                self.accumulate(pending)
+
+    def _note_accepted(self, pending: PendingSubmission) -> None:
+        """Post-accumulation bookkeeping (shared by both Aggregate paths)."""
         self._pending_ids.discard(pending.submission_id)
         self._seen_ids.add(pending.submission_id)
         self._submissions_this_epoch += 1

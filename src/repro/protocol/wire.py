@@ -23,13 +23,20 @@ import enum
 import os
 from dataclasses import dataclass
 
-from repro.field.prime_field import PrimeField
+from repro.field.prime_field import FieldError, PrimeField
 from repro.sharing.prg import SEED_SIZE
 
 MAGIC = b"PR"
 VERSION = 1
 SUBMISSION_ID_SIZE = 16
 _HEADER_SIZE = 2 + 1 + 1 + SUBMISSION_ID_SIZE + 2 + 4
+
+#: Upper bound on the ``n_elements`` a packet header may claim.  The
+#: header field is attacker-controlled and feeds body-size arithmetic,
+#: so it is sanity-bounded before being trusted; 2^22 elements is
+#: ~44 MiB of body at the 87-bit field — far beyond any real
+#: submission (the largest benchmark circuit ships ~2^19 elements).
+MAX_N_ELEMENTS = 1 << 22
 
 
 class WireError(ValueError):
@@ -80,9 +87,17 @@ class ClientPacket:
         submission_id = data[4:20]
         server_index = int.from_bytes(data[20:22], "big")
         n_elements = int.from_bytes(data[22:26], "big")
+        if n_elements > MAX_N_ELEMENTS:
+            raise WireError(
+                f"n_elements {n_elements} exceeds the maximum "
+                f"{MAX_N_ELEMENTS}"
+            )
         body = data[26:]
-        if kind is PacketKind.SEED and len(body) != SEED_SIZE:
-            raise WireError("seed packet has wrong body size")
+        if kind is PacketKind.SEED:
+            if len(body) < SEED_SIZE:
+                raise WireError("seed packet body too short")
+            if len(body) > SEED_SIZE:
+                raise WireError("seed packet has trailing bytes")
         if kind is PacketKind.EXPLICIT and (
             len(body) != n_elements * field.encoded_size
         ):
@@ -105,6 +120,86 @@ class ClientPacket:
 
     def encoded_size(self) -> int:
         return _HEADER_SIZE + len(self.body)
+
+
+def share_vectors_batch(field: PrimeField, packets, force_pure=None):
+    """Materialize many packets' share vectors as one ``(B, n)`` batch.
+
+    The zero-copy ingest entry point: SEED bodies expand through the
+    vectorized PRG (:func:`repro.sharing.prg.expand_seed_batch`) and
+    EXPLICIT bodies decode straight from wire bytes to limb planes
+    (:func:`repro.field.batch.decode_bytes_batch`), then both merge —
+    plane copies, no per-element Python ints — into a single
+    :class:`~repro.field.batch.BatchVector` whose row order matches
+    ``packets``.  Row ``i`` is bit-identical to
+    ``packets[i].share_vector(field)``.
+
+    All packets must agree on ``n_elements`` (one verification batch
+    shares one AFE).  Malformed bodies raise :class:`WireError`;
+    out-of-range explicit elements raise
+    :class:`~repro.field.prime_field.FieldError` naming the batch
+    position.
+
+    This is the one-call entry point for callers that hold a whole
+    batch of packets at once (benchmarks, offline re-verification,
+    custom transports).  :class:`~repro.protocol.server.PrioServer`
+    builds its share matrix from the same three kernels but splits the
+    dispatch across its receive/verify phases — EXPLICIT bodies decode
+    (checked) per packet at ``receive`` time so an out-of-range upload
+    rejects *alone*, while SEED expansion and row assembly happen in
+    the per-batch ``_ingest_batch`` sweep; a whole-batch raise here
+    could not express that isolation.
+    """
+    from repro.field.batch import (
+        _out_of_range_error,
+        assemble_rows,
+        decode_bytes_batch,
+    )
+    from repro.sharing.prg import expand_seed_batch
+
+    packets = list(packets)
+    if not packets:
+        raise WireError("share_vectors_batch needs at least one packet")
+    n = packets[0].n_elements
+    for packet in packets:
+        if packet.n_elements != n:
+            raise WireError("mixed share-vector lengths in batch")
+        if packet.kind is PacketKind.SEED and len(packet.body) != SEED_SIZE:
+            raise WireError("seed packet has wrong body size")
+        if packet.kind is PacketKind.EXPLICIT and (
+            len(packet.body) != n * field.encoded_size
+        ):
+            raise WireError("explicit packet has wrong body size")
+    seed_idx = [
+        i for i, p in enumerate(packets) if p.kind is PacketKind.SEED
+    ]
+    expl_idx = [
+        i for i, p in enumerate(packets) if p.kind is PacketKind.EXPLICIT
+    ]
+    sources: list = [None] * len(packets)
+    if seed_idx:
+        expanded = expand_seed_batch(
+            field, [packets[i].body for i in seed_idx], n, force_pure
+        )
+        for t, i in enumerate(seed_idx):
+            sources[i] = (expanded, t)
+    if expl_idx:
+        try:
+            decoded = decode_bytes_batch(
+                field, [packets[i].body for i in expl_idx], force_pure
+            )
+        except FieldError as exc:
+            # Remap the EXPLICIT-subset position to the caller's
+            # packet order before reporting.
+            row = getattr(exc, "batch_row", None)
+            if row is None:
+                raise
+            raise _out_of_range_error(
+                expl_idx[row], exc.batch_element
+            ) from exc
+        for t, i in enumerate(expl_idx):
+            sources[i] = (decoded, t)
+    return assemble_rows(field, sources, force_pure)
 
 
 def new_submission_id(rng=None) -> bytes:

@@ -12,6 +12,7 @@ from repro.sharing.prg import (
     PrgStream,
     compressed_upload_elements,
     expand_seed,
+    expand_seed_batch,
     new_seed,
     prg_reconstruct_vector,
     prg_share_vector,
@@ -33,6 +34,7 @@ __all__ = [
     "PrgStream",
     "compressed_upload_elements",
     "expand_seed",
+    "expand_seed_batch",
     "new_seed",
     "prg_reconstruct_vector",
     "prg_share_vector",

@@ -30,54 +30,83 @@ from repro.field.prime_field import FieldError, PrimeField
 #: Seed length in bytes (128-bit security, matching the paper's lambda).
 SEED_SIZE = 16
 
-# Rejection sampling still needs a stream long enough for the unlucky
-# case; expanding in blocks of this many candidate elements at a time
-# keeps the expected number of XOF calls at ~1.
-_BLOCK_ELEMENTS = 64
-
-
 class PrgStream:
     """An incremental SHAKE-256 output stream with a byte cursor.
 
-    ``hashlib``'s SHAKE objects only expose one-shot ``digest(n)``; this
-    wrapper re-digests geometrically so that streaming ``read`` calls
-    stay amortized-linear.
+    ``hashlib``'s SHAKE objects only expose one-shot ``digest(n)``, so
+    every buffer growth re-digests the stream prefix from scratch.  The
+    produced bytes are memoized in ``_buffer`` (repeated small reads
+    just slice it), growth is geometric (total digest work stays linear
+    in bytes read), and callers that know their total demand up front
+    pass ``reserve`` so the first read digests once for the whole
+    expansion instead of growing through it.
     """
 
-    def __init__(self, seed: bytes, domain: bytes = b"prio-prg") -> None:
+    def __init__(
+        self, seed: bytes, domain: bytes = b"prio-prg", reserve: int = 0
+    ) -> None:
         if len(seed) != SEED_SIZE:
             raise FieldError(f"seed must be {SEED_SIZE} bytes, got {len(seed)}")
         self._xof = hashlib.shake_256(domain + b"\x00" + seed)
         self._buffer = b""
         self._cursor = 0
+        self._reserve = max(0, reserve)
 
     def read(self, n: int) -> bytes:
         needed = self._cursor + n
         if needed > len(self._buffer):
-            # Geometric growth keeps total digest work linear in bytes read.
-            new_size = max(needed, 2 * len(self._buffer), 256)
+            new_size = max(needed, 2 * len(self._buffer), self._reserve, 256)
             self._buffer = self._xof.digest(new_size)
         out = self._buffer[self._cursor : self._cursor + n]
         self._cursor += n
         return out
 
 
+def _acceptance_rate(field: PrimeField) -> float:
+    """Probability that a masked candidate lands in ``[0, p)``.
+
+    Candidates are uniform ``field.bits``-bit integers, so this is
+    ``p / 2^bits`` — about 0.5 for the near-power-of-two F87/F265
+    moduli (the lone top bit buys almost no range), and ~1 for
+    Goldilocks-shaped moduli just below a power of two.
+    """
+    return field.modulus / (1 << field.bits)
+
+
+def _candidates_for(field: PrimeField, n_elements: int) -> int:
+    """Candidates to draw so ``n_elements`` survive rejection w.h.p.
+
+    Expected draws plus five-sigma binomial slack — derived from the
+    field's actual rejection probability rather than a flat "+8
+    elements" guess (which under-read by ~2x on F87, where half of all
+    candidates are rejected, and over-read on Goldilocks).
+    """
+    if n_elements <= 0:
+        return 0
+    accept = _acceptance_rate(field)
+    expected = n_elements / accept
+    sigma = (expected * (1.0 - accept)) ** 0.5
+    return int(expected + 5.0 * sigma) + 1
+
+
 def expand_seed(field: PrimeField, seed: bytes, length: int) -> list[int]:
     """Expand a seed into ``length`` uniform field elements.
 
     Rejection sampling: draw ``encoded_size`` bytes, mask to the modulus
-    bit width, retry on >= p.  For the shipped near-power-of-two moduli
-    the rejection rate is far below 1%.
+    bit width, retry on >= p.  Acceptance is purely positional in the
+    XOF stream (candidate ``j`` occupies bytes ``[j*size, (j+1)*size)``
+    regardless of read chunking), which is what lets the vectorized
+    :func:`expand_seed_batch` reproduce this function bit for bit.
     """
-    stream = PrgStream(seed)
     p = field.modulus
     bits = field.bits
     size = field.encoded_size
     excess_bits = size * 8 - bits
     mask = (1 << bits) - 1
+    stream = PrgStream(seed, reserve=size * _candidates_for(field, length))
     out: list[int] = []
     while len(out) < length:
-        chunk = stream.read(size * min(_BLOCK_ELEMENTS, length - len(out) + 8))
+        chunk = stream.read(size * _candidates_for(field, length - len(out)))
         for offset in range(0, len(chunk) - size + 1, size):
             candidate = int.from_bytes(chunk[offset : offset + size], "big")
             if excess_bits:
@@ -87,6 +116,47 @@ def expand_seed(field: PrimeField, seed: bytes, length: int) -> list[int]:
                 if len(out) == length:
                     break
     return out
+
+
+def expand_seed_batch(
+    field: PrimeField,
+    seeds: Sequence[bytes],
+    length: int,
+    force_pure: bool | None = None,
+):
+    """Expand many seeds in one vectorized sweep.
+
+    Row ``i`` of the returned ``(len(seeds), length)``
+    :class:`~repro.field.batch.BatchVector` is bit-identical to
+    ``expand_seed(field, seeds[i], length)``: the XOF streams are
+    digested per seed (C-speed hashing), but candidate decoding,
+    masking, and rejection run across the whole batch as limb planes
+    (:func:`repro.field.batch.rejection_sample_batch`).  The rare row
+    whose five-sigma candidate budget still falls short is retried
+    through the scalar sampler — same stream, same survivors.
+    """
+    from repro.field.batch import BatchVector, rejection_sample_batch, use_numpy
+
+    seeds = list(seeds)
+    if not use_numpy(force_pure):
+        if not seeds:
+            return BatchVector.zeros(field, (0, max(0, length)), force_pure)
+        return BatchVector.from_ints(
+            field,
+            [expand_seed(field, seed, length) for seed in seeds],
+            force_pure,
+        )
+    if not seeds or length <= 0:
+        return BatchVector.zeros(field, (len(seeds), max(0, length)), False)
+    size = field.encoded_size
+    n_bytes = size * _candidates_for(field, length)
+    byte_rows = [
+        PrgStream(seed, reserve=n_bytes).read(n_bytes) for seed in seeds
+    ]
+    batch, short_rows = rejection_sample_batch(field, byte_rows, length)
+    for row in short_rows:  # pragma: no cover - ~5-sigma-rare retry
+        batch.set_row_ints(row, expand_seed(field, seeds[row], length))
+    return batch
 
 
 def new_seed(rng=None) -> bytes:

@@ -199,11 +199,8 @@ class _ServerNode:
             for j in range(len(state.pendings))
         ]
         decisions = self.server.decide_batch(round2_by_submission)
+        self.server.accumulate_batch(state.pendings, decisions)
         for pending, accepted in zip(state.pendings, decisions):
-            if accepted:
-                self.server.accumulate(pending)
-            else:
-                self.server.reject(pending)
             self.decisions[pending.submission_id] = accepted
             self.decision_times.append(net.clock)
         state.done = True

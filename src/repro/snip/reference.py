@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.circuit.circuit import Circuit, batched_assertion_share
+from repro.field.batch import use_numpy
+from repro.field.ntt import next_power_of_two, poly_mul_ntt
 from repro.field.poly import (
     lagrange_coefficients_at,
     poly_eval,
@@ -54,6 +56,21 @@ class ReferenceProofShare:
     c: int
 
 
+def _poly_product(field: PrimeField, a, b) -> list[int]:
+    """``h = f * g`` for the reference prover.
+
+    Uses the batch NTT when the numpy backend is live and the field's
+    2-adicity covers the product degree (all production fields);
+    schoolbook otherwise (the tiny soundness-test fields with small
+    domains, and GF(2)).  Identical coefficients either way.
+    """
+    if a and b and use_numpy(None):
+        size = next_power_of_two(len(a) + len(b) - 1)
+        if field.two_adicity >= size.bit_length() - 1:
+            return poly_mul_ntt(field, a, b)
+    return poly_mul(field, a, b)
+
+
 def build_reference_proof(
     field: PrimeField,
     circuit: Circuit,
@@ -73,7 +90,7 @@ def build_reference_proof(
     v0 = field.rand(rng)
     f_coeffs = lagrange_interpolate(field, points, [u0] + trace.mul_inputs_left)
     g_coeffs = lagrange_interpolate(field, points, [v0] + trace.mul_inputs_right)
-    h_coeffs = poly_mul(field, f_coeffs, g_coeffs)
+    h_coeffs = _poly_product(field, f_coeffs, g_coeffs)
     h_coeffs += [0] * (2 * m + 1 - len(h_coeffs))
     return ReferenceProof(
         f0=u0, g0=v0, h_coeffs=h_coeffs, triple=generate_triple(field, rng)

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.circuit.circuit import Circuit, Op, batched_assertion_share
-from repro.field.batch import PreparedWeights, dot_rows_multi
+from repro.field.batch import BatchVector, PreparedWeights, dot_batch_multi
 from repro.field.ntt import EvaluationDomain
 from repro.field.prime_field import PrimeField
 from repro.snip.proof import (
@@ -455,6 +455,13 @@ class BatchedSnipVerifierParty:
     the flattened share vector against the context's precomputed
     functionals, evaluated for the whole batch in one fused sweep over
     the (B, len(z)) share matrix (:func:`repro.field.batch.dot_rows_multi`).
+
+    The zero-copy ingest path constructs parties via
+    :meth:`from_share_matrix` instead: the share matrix arrives as an
+    already-ingested :class:`~repro.field.batch.BatchVector` (wire
+    bytes / PRG planes, never Python-int rows) and the only decoded
+    scalars are the three Beaver-triple columns the round messages
+    need.
     """
 
     def __init__(
@@ -466,23 +473,10 @@ class BatchedSnipVerifierParty:
         proof_shares: Sequence[SnipProofShare],
         force_pure: bool | None = None,
     ) -> None:
-        if n_servers < 2:
-            raise SnipError("a SNIP needs at least two verifiers")
         if len(x_shares) != len(proof_shares):
             raise SnipError("share count mismatch")
-        self.ctx = ctx
-        self.field = ctx.field
-        self.server_index = server_index
-        self.n_servers = n_servers
-        self.is_leader = server_index == 0
-        self.batch_size = len(x_shares)
-        self.proof_shares = list(proof_shares)
-
-        field = ctx.field
-        p = field.modulus
         circuit = ctx.circuit
         m = ctx.n_mul_gates
-        fns = ctx.batch_functionals()
         rows = []
         for x_share, proof_share in zip(x_shares, proof_shares):
             if len(x_share) != circuit.n_inputs:
@@ -496,18 +490,89 @@ class BatchedSnipVerifierParty:
                     f"expected {ctx.size_2n}"
                 )
             rows.append(list(x_share) + proof_share.flatten())
+        self.proof_shares = list(proof_shares)
+        self._setup(
+            ctx, server_index, n_servers,
+            BatchVector.from_ints(ctx.field, rows, force_pure)
+            if rows else None,
+            batch_size=len(rows),
+            triples=[(s.a, s.b, s.c) for s in proof_shares],
+        )
 
-        if m:
-            f_r, rg_r, rh_r, asserts = dot_rows_multi(
-                field, fns.prepared(field), rows, force_pure,
+    @classmethod
+    def from_share_matrix(
+        cls,
+        ctx: VerificationContext,
+        server_index: int,
+        n_servers: int,
+        matrix: BatchVector,
+    ) -> "BatchedSnipVerifierParty":
+        """Build a party straight from an ingested ``(B, z_len)`` batch.
+
+        ``matrix`` rows are the flattened uploads ``z = x_share ||
+        proof_share.flatten()`` exactly as they crossed the wire
+        (:func:`repro.protocol.wire.share_vectors_batch`).  No
+        per-element Python ints are materialized; the Beaver-triple
+        scalars are decoded from the last three plane columns.
+        """
+        if len(matrix.shape) != 2:
+            raise SnipError("share matrix must be 2-D")
+        B, width = matrix.shape
+        z_len = ctx.circuit.n_inputs + proof_num_elements(ctx.n_mul_gates)
+        if width != z_len:
+            raise SnipError(
+                f"share matrix has width {width}, expected {z_len}"
             )
+        self = cls.__new__(cls)
+        self.proof_shares = None
+        if ctx.n_mul_gates and B:
+            triples = list(zip(
+                matrix.column_ints(width - 3),
+                matrix.column_ints(width - 2),
+                matrix.column_ints(width - 1),
+            ))
+        else:
+            triples = [(0, 0, 0)] * B
+        self._setup(
+            ctx, server_index, n_servers, matrix if B else None,
+            batch_size=B, triples=triples,
+        )
+        return self
+
+    def _setup(
+        self,
+        ctx: VerificationContext,
+        server_index: int,
+        n_servers: int,
+        matrix: "BatchVector | None",
+        batch_size: int,
+        triples: "list[tuple[int, int, int]]",
+    ) -> None:
+        if n_servers < 2:
+            raise SnipError("a SNIP needs at least two verifiers")
+        self.ctx = ctx
+        self.field = ctx.field
+        self.server_index = server_index
+        self.n_servers = n_servers
+        self.is_leader = server_index == 0
+        self.batch_size = batch_size
+        self._triples = triples
+
+        field = ctx.field
+        p = field.modulus
+        m = ctx.n_mul_gates
+        fns = ctx.batch_functionals()
+        if matrix is None:
+            dots = [[] for _ in range(4 if m else 1)]
+        else:
+            dots = dot_batch_multi(field, fns.prepared(field), matrix)
+        if m:
+            f_r, rg_r, rh_r, asserts = dots
             if self.is_leader:
                 f_r = [(v + fns.c_f) % p for v in f_r]
                 rg_r = [(v + fns.c_rg) % p for v in rg_r]
         else:
-            (asserts,) = dot_rows_multi(
-                field, fns.prepared(field), rows, force_pure,
-            )
+            (asserts,) = dots
             f_r = rg_r = rh_r = [0] * self.batch_size
         if self.is_leader:
             asserts = [(v + fns.c_assert) % p for v in asserts]
@@ -525,8 +590,8 @@ class BatchedSnipVerifierParty:
         f = self.field
         return [
             Round1Message(
-                d=f.sub(self._f_r[i], self.proof_shares[i].a),
-                e=f.sub(self._rg_r[i], self.proof_shares[i].b),
+                d=f.sub(self._f_r[i], self._triples[i][0]),
+                e=f.sub(self._rg_r[i], self._triples[i][1]),
             )
             for i in range(self.batch_size)
         ]
@@ -551,12 +616,12 @@ class BatchedSnipVerifierParty:
             else:
                 d = sum(m.d for m in msgs) % p
                 e = sum(m.e for m in msgs) % p
-                share = self.proof_shares[i]
+                a, b, c = self._triples[i]
                 sigma = (
                     d * e % p * s_inv
-                    + d * share.b
-                    + e * share.a
-                    + share.c
+                    + d * b
+                    + e * a
+                    + c
                     - self._rh_r[i]
                 ) % p
             out.append(
