@@ -40,6 +40,7 @@ from repro.field import FIELD87, backend_name
 from repro.protocol import PrioClient, share_vectors_batch
 from repro.snip import (
     BatchedSnipVerifierParty,
+    Round2Batch,
     ServerRandomness,
     SnipProofShare,
     VerificationContext,
@@ -71,22 +72,12 @@ def _workload(length, batch, rng):
 
 
 def _decide(ctx, parties):
+    del ctx
     round1_by_server = [party.round1_all() for party in parties]
-    batch = parties[0].batch_size
-    round1_by_submission = [
-        [round1_by_server[s][i] for s in range(N_SERVERS)]
-        for i in range(batch)
-    ]
     round2_by_server = [
-        party.round2_all(round1_by_submission) for party in parties
+        party.round2_all(round1_by_server) for party in parties
     ]
-    p = ctx.field.modulus
-    decisions = []
-    for i in range(batch):
-        sigma = sum(r[i].sigma for r in round2_by_server) % p
-        assertion = sum(r[i].assertion for r in round2_by_server) % p
-        decisions.append(sigma == 0 and assertion == 0)
-    return decisions
+    return Round2Batch.decide_all(round2_by_server)
 
 
 def run_scalar_pipeline(ctx, packets_by_server, k, m):

@@ -116,6 +116,25 @@ def backend_name(force_pure: bool | None = None) -> str:
     return "numpy" if use_numpy(force_pure) else "pure"
 
 
+#: below this many total elements (rows x row width) a batch operation
+#: pays more in numpy dispatch than the limb planes save
+TINY_BATCH_ELEMENTS = 512
+
+
+def tiny_batch_force_pure(
+    total_elements: int, force_pure: bool | None = None
+) -> bool | None:
+    """Resolve ``force_pure``, preferring pure Python for tiny batches.
+
+    Both backends are bit-exact, so auto-selection (``None``) may pick
+    by work size: a batch of one over a few gates runs faster as plain
+    bigint loops.  Explicit ``True``/``False`` is passed through.
+    """
+    if force_pure is None and total_elements < TINY_BATCH_ELEMENTS:
+        return True
+    return force_pure
+
+
 # ----------------------------------------------------------------------
 # Per-field limb context (numpy backend)
 # ----------------------------------------------------------------------
@@ -584,6 +603,31 @@ class BatchVector:
         else:
             self._data[i] = [v % self.field.modulus for v in values]
 
+    def row(self, i: int) -> "BatchVector":
+        """Row ``i`` of a 2-D batch as a 1-D batch (plane view, no copy)."""
+        if len(self.shape) != 2:
+            raise FieldError("row needs a 2-D batch")
+        shape = (self.shape[1],)
+        if self._numpy:
+            return BatchVector(self.field, shape, self._data[:, i, :], True)
+        return BatchVector(self.field, shape, list(self._data[i]), False)
+
+    def column(self, j: int) -> "BatchVector":
+        """Column ``j`` of a 2-D batch as a 1-D batch (plane view).
+
+        The plane-resident replacement for :meth:`column_ints`: the
+        batched verifier reads its per-submission Beaver-triple columns
+        this way without ever decoding them to Python ints.
+        """
+        if len(self.shape) != 2:
+            raise FieldError("column needs a 2-D batch")
+        shape = (self.shape[0],)
+        if self._numpy:
+            return BatchVector(self.field, shape, self._data[:, :, j], True)
+        return BatchVector(
+            self.field, shape, [row[j] for row in self._data], False
+        )
+
     def take_rows(self, indices: Sequence[int]) -> "BatchVector":
         """A new batch holding the selected rows (in the given order)."""
         if len(self.shape) != 2:
@@ -614,6 +658,11 @@ class BatchVector:
     @property
     def backend(self) -> str:
         return "numpy" if self._numpy else "pure"
+
+    @property
+    def force_pure(self) -> "bool | None":
+        """A ``force_pure`` argument that reproduces this batch's backend."""
+        return False if self._numpy else True
 
     def __len__(self) -> int:
         return self.shape[0]
@@ -684,6 +733,44 @@ class BatchVector:
         if len(self.shape) == 2:
             return self._like([f.vec_scale(c, r) for r in self._data])
         return self._like(f.vec_scale(c, self._data))
+
+    def add_scalar(self, c: int) -> "BatchVector":
+        """Add the scalar ``c`` to every element.
+
+        The leader-only affine constants of the batched verification
+        functionals fold in through this — one broadcast limb add, no
+        per-submission Python loop.
+        """
+        c %= self.field.modulus
+        if c == 0:
+            return self
+        if self._numpy:
+            ctx = _ctx(self.field)
+            c_planes = _np.array(
+                _int_limbs(c, ctx.n_limbs), dtype=_np.int64
+            ).reshape((ctx.n_limbs,) + (1,) * len(self.shape))
+            return self._like(_np_add(ctx, self._data, c_planes))
+        f = self.field
+        if len(self.shape) == 2:
+            return self._like(
+                [[f.add(v, c) for v in row] for row in self._data]
+            )
+        return self._like([f.add(v, c) for v in self._data])
+
+    def is_zero(self) -> "list[bool]":
+        """Per-element zero test of a 1-D batch.
+
+        Canonical representatives make this a pure limb comparison —
+        the batched accept/reject decision never decodes the combined
+        round-2 planes to ints.
+        """
+        if len(self.shape) != 1:
+            raise FieldError("is_zero needs a 1-D batch")
+        if self._numpy:
+            return [
+                not nz for nz in (self._data != 0).any(axis=0).tolist()
+            ]
+        return [v == 0 for v in self._data]
 
     # -- reductions -----------------------------------------------------
 
@@ -789,27 +876,80 @@ def butterfly(
 # ----------------------------------------------------------------------
 
 
-def _bytes_to_planes(ctx: _LimbContext, arr):
-    """uint8 array ``(..., width)`` of big-endian elements -> planes.
+def _bytes_to_words(ctx: _LimbContext, arr):
+    """uint8 array ``(..., width)`` of big-endian elements -> u32 limbs.
 
     ``width`` is the per-element byte width (``field.encoded_size`` or
     the PRG candidate width); always <= 3L because any multiple of 24
-    covering ``bits`` also covers the byte-rounded width.  Returns
-    ``(L, ...)`` int64 planes; each group of three bytes is one limb.
+    covering ``bits`` also covers the byte-rounded width.  Returns a
+    ``(..., L)`` uint32 array with the *least-significant limb first*
+    (matching the plane order of :func:`_words_to_planes`).
+
+    Each three-byte limb is embedded in the low bytes of a big-endian
+    four-byte word and reinterpreted via an ndarray view — two byte
+    copies, no per-byte integer arithmetic (the shift-or formulation
+    this replaces spent most of ingest widening every wire byte to
+    int64 before combining).
     """
     L = ctx.n_limbs
     width = arr.shape[-1]
-    full = _np.zeros(arr.shape[:-1] + (3 * L,), dtype=_np.uint8)
-    full[..., 3 * L - width:] = arr
-    grouped = full.reshape(arr.shape[:-1] + (L, 3)).astype(_np.int64)
-    planes = _np.empty((L,) + arr.shape[:-1], dtype=_np.int64)
+    full = _np.zeros(arr.shape[:-1] + (L, 4), dtype=_np.uint8)
+    flat = full.reshape(arr.shape[:-1] + (4 * L,))
+    # big-endian groups: limb g (most-significant first) occupies word
+    # bytes [4g+1, 4g+4); the element's bytes right-align into them.
+    pad = 3 * L - width
     for g in range(L):
-        planes[L - 1 - g] = (
-            (grouped[..., g, 0] << 16)
-            | (grouped[..., g, 1] << 8)
-            | grouped[..., g, 2]
-        )
-    return planes
+        lo = max(0, 3 * g - pad)
+        hi = 3 * (g + 1) - pad
+        if hi <= 0:
+            continue
+        flat[..., 4 * g + 4 - (hi - lo): 4 * g + 4] = arr[..., lo:hi]
+    words = full.view(_np.dtype(">u4"))[..., 0]
+    return words[..., ::-1]
+
+
+def _words_to_planes(words):
+    """``(..., L)`` u32 limb words -> ``(L, ...)`` int64 planes.
+
+    ``order="C"`` matters: the moveaxis view is limb-innermost, and a
+    layout-preserving copy would leave every plane strided — downstream
+    matmuls run ~2x slower on such planes.
+    """
+    return _np.moveaxis(words, -1, 0).astype(_np.int64, order="C")
+
+
+def _words_ge_modulus(ctx: _LimbContext, words):
+    """Vectorized ``value >= p`` on ``(..., L)`` u32 limb words.
+
+    Lexicographic compare from the most-significant limb, with an
+    early exit once no candidate is still tied with ``p`` — for the
+    shipped moduli that is almost always after one or two limbs, so
+    the compare costs ~2 passes instead of ``2L``.
+    """
+    L = ctx.n_limbs
+    gt = None
+    eq = None
+    for i in range(L - 1, -1, -1):
+        limb = words[..., i]
+        pi = _np.uint32(ctx.p_planes[i])
+        if gt is None:
+            gt = limb > pi
+            eq = limb == pi
+        else:
+            gt |= eq & (limb > pi)
+            eq &= limb == pi
+        if not eq.any():
+            return gt
+    return gt | eq
+
+
+def _bytes_to_planes(ctx: _LimbContext, arr):
+    """uint8 array ``(..., width)`` of big-endian elements -> planes.
+
+    Returns ``(L, ...)`` int64 planes; each group of three bytes is one
+    limb (see :func:`_bytes_to_words`).
+    """
+    return _words_to_planes(_bytes_to_words(ctx, arr))
 
 
 def _planes_to_bytes(ctx: _LimbContext, planes, width: int):
@@ -888,16 +1028,17 @@ def decode_bytes_batch(
         return BatchVector(field, (len(bodies), n), rows, False)
     ctx = _ctx(field)
     arr = _np.frombuffer(b"".join(bodies), dtype=_np.uint8)
-    planes = _bytes_to_planes(ctx, arr.reshape(len(bodies), n, size))
-    _, ge_p = _borrow_sub(
-        planes, ctx.p_planes.reshape(ctx.n_limbs, 1, 1)
-    )
+    words = _bytes_to_words(ctx, arr.reshape(len(bodies), n, size))
+    ge_p = _words_ge_modulus(ctx, words)
     if bool(ge_p.any()):
         if check:
             r, c = (int(v) for v in _np.argwhere(ge_p)[0])
             raise _out_of_range_error(r, c)
-        planes = _barrett(ctx, planes)
-    return BatchVector(field, (len(bodies), n), planes, True)
+        return BatchVector(
+            field, (len(bodies), n),
+            _barrett(ctx, _words_to_planes(words)), True,
+        )
+    return BatchVector(field, (len(bodies), n), _words_to_planes(words), True)
 
 
 def encode_bytes_batch(
@@ -945,26 +1086,66 @@ def rejection_sample_batch(
     ctx = _ctx(field)
     size = field.encoded_size
     B = len(byte_rows)
-    out = _np.zeros((ctx.n_limbs, B, length), dtype=_np.int64)
     if B == 0 or length == 0:
+        out = _np.zeros((ctx.n_limbs, B, length), dtype=_np.int64)
         return BatchVector(field, (B, length), out, True), []
     n_cand = len(byte_rows[0]) // size
     arr = _np.frombuffer(b"".join(byte_rows), dtype=_np.uint8)
-    planes = _bytes_to_planes(ctx, arr.reshape(B, n_cand, size))
-    for i, mask_limb in enumerate(
-        _int_limbs((1 << field.bits) - 1, ctx.n_limbs)
-    ):
-        planes[i] &= mask_limb
-    _, ge_p = _borrow_sub(planes, ctx.p_planes.reshape(ctx.n_limbs, 1, 1))
-    accept = ~ge_p
-    short_rows: list[int] = []
-    for b in range(B):
-        idx = _np.flatnonzero(accept[b])
-        if idx.size < length:
-            short_rows.append(b)
-            continue
-        out[:, b, :] = planes[:, b, idx[:length]]
-    return BatchVector(field, (B, length), out, True), short_rows
+    arr = arr.reshape(B, n_cand, size)
+    mask_value = (1 << field.bits) - 1
+    if size <= 16:
+        # Fast acceptance: each candidate as two big-endian u64 words.
+        # Only survivors are widened to limb planes, so ~1/accept_rate
+        # of the limb-split work disappears.
+        wide = _np.empty((B, n_cand, 16), dtype=_np.uint8)
+        wide[..., : 16 - size] = 0
+        wide[..., 16 - size:] = arr
+        halves = wide.view(_np.dtype(">u8"))           # (B, n_cand, 2)
+        hi = halves[..., 0]
+        lo = halves[..., 1]
+        hi_mask = _np.uint64(mask_value >> 64)
+        lo_mask = _np.uint64(mask_value & ((1 << 64) - 1))
+        if int(hi_mask) != (1 << 64) - 1:
+            hi = hi & hi_mask
+        if int(lo_mask) != (1 << 64) - 1:
+            lo = lo & lo_mask
+        p_hi = _np.uint64(field.modulus >> 64)
+        p_lo = _np.uint64(field.modulus & ((1 << 64) - 1))
+        accept = (hi < p_hi) | ((hi == p_hi) & (lo < p_lo))
+    else:
+        words_all = _bytes_to_words(ctx, arr)
+        mask = _np.array(
+            _int_limbs(mask_value, ctx.n_limbs), dtype=_np.uint32
+        )
+        if int((mask != LIMB_MASK).sum()):
+            words_all = words_all & mask
+        accept = ~_words_ge_modulus(ctx, words_all)    # (B, n_cand)
+    short = accept.sum(axis=1) < length
+    short_rows = [int(b) for b in _np.flatnonzero(short)]
+    # Stable argsort on the reject flags gathers each row's accepted
+    # candidate indices, in stream order, into the first `length`
+    # positions — the whole batch's selection in one C-level pass.
+    order = _np.argsort(~accept, axis=1, kind="stable")[:, :length]
+    if size <= 16:
+        # Gather survivors as u64 halves (an order of magnitude fewer
+        # elements than a per-byte gather), re-view as bytes, and widen
+        # only them to limb words.
+        chosen = _np.take_along_axis(halves, order[:, :, None], axis=1)
+        chosen_bytes = _np.ascontiguousarray(chosen).view(_np.uint8)
+        chosen_bytes = chosen_bytes.reshape(B, length, 16)[..., 16 - size:]
+        words = _bytes_to_words(ctx, chosen_bytes)     # survivors only
+        limb_mask = _int_limbs(mask_value, ctx.n_limbs)
+        for i, mask_limb in enumerate(limb_mask):
+            if mask_limb != LIMB_MASK:
+                words[..., i] = words[..., i] & _np.uint32(mask_limb)
+    else:
+        words = _np.take_along_axis(
+            words_all, order[:, :, None], axis=1
+        )
+    planes = _words_to_planes(words)                   # (L, B, length)
+    if short_rows:
+        planes[:, short, :] = 0
+    return BatchVector(field, (B, length), planes, True), short_rows
 
 
 def assemble_rows(
@@ -984,6 +1165,18 @@ def assemble_rows(
     if B == 0:
         return BatchVector.zeros(field, (0, 0), force_pure)
     first = sources[0]
+    # Zero-copy fast path: every source is row i of the same batch, in
+    # order, covering it exactly — the batch *is* the share matrix.
+    if (
+        isinstance(first, tuple)
+        and first[0].shape[0] == B
+        and first[0].backend == backend_name(force_pure)
+        and all(
+            isinstance(src, tuple) and src[0] is first[0] and src[1] == j
+            for j, src in enumerate(sources)
+        )
+    ):
+        return first[0]
     width = first[0].shape[-1] if isinstance(first, tuple) else len(first)
     if use_numpy(force_pure):
         ctx = _ctx(field)
@@ -1012,21 +1205,23 @@ def assemble_rows(
     return BatchVector.from_ints(field, rows, force_pure)
 
 
-def dot_batch_multi(
+def dot_batch_planes(
     field: PrimeField,
     weights_list: "Sequence[Sequence[int]] | PreparedWeights",
     batch: BatchVector,
-) -> list[list[int]]:
-    """:func:`dot_rows_multi` over an already-ingested ``(B, D)`` batch.
+) -> BatchVector:
+    """Batched functionals, plane-resident: ``out[k, b] = w_k . row_b``.
 
-    The zero-copy verification path: the share matrix arrives as limb
-    planes (from :func:`assemble_rows`) and goes straight into the
-    fused limb matmul — no list-of-ints crossing at all.
+    The unified verification core: the share matrix arrives as limb
+    planes (from :func:`assemble_rows`) and the per-submission round
+    scalars come back as a ``(K, B)`` :class:`BatchVector` — no
+    list-of-ints crossing at all, so the round-1/round-2 message
+    algebra downstream can stay in plane form too.
     """
     if not isinstance(weights_list, PreparedWeights):
         weights_list = PreparedWeights(field, weights_list)
     if len(batch.shape) != 2:
-        raise FieldError("dot_batch_multi needs a 2-D batch")
+        raise FieldError("dot_batch_planes needs a 2-D batch")
     B, D = batch.shape
     if D != weights_list.width:
         raise FieldError(
@@ -1034,16 +1229,32 @@ def dot_batch_multi(
         )
     K = weights_list.n_weights
     if B == 0:
-        return [[] for _ in range(K)]
+        return BatchVector.zeros(field, (K, 0), force_pure=batch.force_pure)
     if batch._numpy:
         ctx = _ctx(field)
         out = _np_matvec(ctx, weights_list.planes(ctx), batch._data)
-        flat = _decode(ctx, out)
-        return [flat[k * B:(k + 1) * B] for k in range(K)]
-    return [
-        [field.inner_product(w, row) for row in batch._data]
-        for w in weights_list.weights_list
-    ]
+        return BatchVector(field, (K, B), out, True)
+    return BatchVector(
+        field, (K, B),
+        [
+            [field.inner_product(w, row) for row in batch._data]
+            for w in weights_list.weights_list
+        ],
+        False,
+    )
+
+
+def dot_batch_multi(
+    field: PrimeField,
+    weights_list: "Sequence[Sequence[int]] | PreparedWeights",
+    batch: BatchVector,
+) -> list[list[int]]:
+    """:func:`dot_rows_multi` over an already-ingested ``(B, D)`` batch.
+
+    Int-returning wrapper over :func:`dot_batch_planes` for callers
+    that want the per-submission scalars as Python ints.
+    """
+    return dot_batch_planes(field, weights_list, batch).to_ints()
 
 
 # ----------------------------------------------------------------------

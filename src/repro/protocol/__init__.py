@@ -8,6 +8,11 @@ from repro.protocol.dp import (
     discrete_laplace_scale,
     server_noise_share,
 )
+from repro.protocol.pipeline import (
+    AsyncPrioPipeline,
+    PipelineStats,
+    run_pipelined,
+)
 from repro.protocol.registration import (
     ClientRegistry,
     GatedDeployment,
@@ -45,6 +50,9 @@ __all__ = [
     "RegisteredClient",
     "RegistrationError",
     "SignedPacket",
+    "AsyncPrioPipeline",
+    "PipelineStats",
+    "run_pipelined",
     "DeploymentStats",
     "PrioDeployment",
     "PendingSubmission",

@@ -1,0 +1,333 @@
+"""Asyncio pipeline front end for the batched verification core.
+
+The synchronous :meth:`~repro.protocol.runner.PrioDeployment.deliver_batch`
+runs each verification batch start-to-finish before touching the next:
+receive/ingest, the two SNIP rounds, accumulate.  This module stages
+the same work over bounded :class:`asyncio.Queue` hops —
+
+    submissions -> [batcher] -> [ingest] -> [verify+accumulate]
+
+so expansion/decode of batch ``N+1`` overlaps verification of batch
+``N``, and the per-server CPU work inside each stage fans out over a
+thread pool (the hot kernels — SHAKE XOF digests and numpy limb
+matmuls — release the GIL, so multi-core hosts verify servers
+genuinely in parallel).  Queue bounds give backpressure: a slow verify
+stage stalls ingest instead of buffering unbounded plane matrices.
+
+Semantics are identical to the synchronous path — same per-submission
+accept/reject decisions, same replay protection, same statistics; the
+equivalence tests drive both and compare.  Every stage consumes and
+produces plane-resident forms (ingested share matrices,
+:class:`~repro.snip.verifier.Round1Batch`/``Round2Batch``); Python
+ints appear nowhere between the wire and :meth:`PrioServer.publish`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field as dc_field
+
+from repro.protocol.server import PendingSubmission, PrioServer
+
+#: sentinel closing each stage's input queue
+_DONE = object()
+
+
+class _InlineExecutor:
+    """Executor that runs work on the calling thread.
+
+    On a single-CPU host, thread hand-offs cost latency and buy no
+    parallelism (the GIL-releasing kernels have no second core to run
+    on), so the pipeline keeps its staged structure but executes stage
+    work inline.  Implements the two Executor methods asyncio uses.
+    """
+
+    def submit(self, fn, *args):
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 - mirror Executor
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait=True):  # noqa: ARG002 - Executor interface
+        return None
+
+
+def default_executor(n_servers: int):
+    """Thread pool sized to the host, or inline when threads cannot help."""
+    if (os.cpu_count() or 1) <= 1:
+        return _InlineExecutor()
+    return ThreadPoolExecutor(max_workers=max(2, n_servers))
+
+
+@dataclass
+class PipelineStats:
+    """Counters the pipeline keeps per run (all per submission)."""
+
+    n_batches: int = 0
+    n_receive_failures: int = 0
+    #: ingest batches that were in flight when verify started one —
+    #: a direct measure of stage overlap (0 on a fully serial run)
+    overlapped_batches: int = 0
+    batch_sizes: list[int] = dc_field(default_factory=list)
+
+
+@dataclass
+class _IngestedBatch:
+    """One verification batch, ingested and ready for the rounds."""
+
+    #: positions (into the submission stream) that survived receive
+    indices: list[int]
+    #: per-server pendings for the survivors, plane-ingested
+    pendings_by_server: "list[list[PendingSubmission]]"
+
+
+class AsyncPrioPipeline:
+    """Drives a server set through the staged verification pipeline.
+
+    ``queue_depth`` bounds how many ingested-but-unverified batches may
+    exist at once (the overlap window); ``executor`` is the thread pool
+    for per-server CPU work (created per run when not supplied).
+    """
+
+    def __init__(
+        self,
+        servers: "list[PrioServer]",
+        batch_size: int = 64,
+        queue_depth: int = 2,
+        executor: "ThreadPoolExecutor | None" = None,
+        encrypt: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.servers = servers
+        self.batch_size = batch_size
+        self.queue_depth = queue_depth
+        self.executor = executor
+        self.encrypt = encrypt
+        self.stats = PipelineStats()
+        #: True while the verify stage is mid-batch (stage-overlap probe)
+        self._verifying = False
+
+    # ------------------------------------------------------------------
+
+    def run(self, submissions) -> list[bool]:
+        """Synchronous entry point: pipeline every submission, return
+        one accept/reject decision per submission (stream order)."""
+        return asyncio.run(self.run_async(submissions))
+
+    async def run_async(self, submissions) -> list[bool]:
+        submissions = list(submissions)
+        results: "list[bool]" = [False] * len(submissions)
+        own_executor = self.executor is None
+        executor = self.executor or default_executor(len(self.servers))
+        try:
+            ingest_q: asyncio.Queue = asyncio.Queue(self.queue_depth)
+            verify_q: asyncio.Queue = asyncio.Queue(self.queue_depth)
+            tasks = [
+                asyncio.create_task(
+                    self._batcher(submissions, ingest_q)
+                ),
+                asyncio.create_task(
+                    self._ingest_stage(
+                        submissions, ingest_q, verify_q, results, executor
+                    )
+                ),
+                asyncio.create_task(
+                    self._verify_stage(verify_q, results, executor)
+                ),
+            ]
+            try:
+                await asyncio.gather(*tasks)
+            except BaseException:
+                for task in tasks:
+                    task.cancel()
+                raise
+        finally:
+            if own_executor:
+                executor.shutdown(wait=False)
+        return results
+
+    # ------------------------------------------------------------------
+    # Stage 1: group the stream into verification batches
+    # ------------------------------------------------------------------
+
+    async def _batcher(self, submissions, ingest_q: asyncio.Queue) -> None:
+        batch: list[int] = []
+        for index in range(len(submissions)):
+            batch.append(index)
+            if len(batch) >= self.batch_size:
+                await ingest_q.put(batch)
+                batch = []
+        if batch:
+            await ingest_q.put(batch)
+        await ingest_q.put(_DONE)
+
+    # ------------------------------------------------------------------
+    # Stage 2: receive (framing) + plane ingest, per server in threads
+    # ------------------------------------------------------------------
+
+    def _receive_one_server(self, server, submissions, indices):
+        """Frame-validate one server's packets for a batch.
+
+        Returns one ``PendingSubmission | Exception`` per index, via
+        the server's fused batch decoder.
+        """
+        if self.encrypt:
+            out = []
+            for i in indices:
+                try:
+                    out.append(
+                        server.receive_sealed(
+                            submissions[i].sealed_packets[server.server_index]
+                        )
+                    )
+                except ValueError as exc:
+                    out.append(exc)
+            return out
+        return server.receive_batch(
+            [submissions[i].packets[server.server_index] for i in indices]
+        )
+
+    async def _ingest_stage(
+        self, submissions, ingest_q, verify_q, results, executor
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await ingest_q.get()
+            if batch is _DONE:
+                await verify_q.put(_DONE)
+                return
+            # Receive mutates only per-server replay state, so the
+            # servers' fused frame-check+decode sweeps fan out safely;
+            # within one server the batch is processed in stream order.
+            received = await asyncio.gather(*[
+                loop.run_in_executor(
+                    executor,
+                    self._receive_one_server, server, submissions, batch,
+                )
+                for server in self.servers
+            ])
+            survivors: list[int] = []
+            pendings_by_server: "list[list[PendingSubmission]]" = [
+                [] for _ in self.servers
+            ]
+            for pos, index in enumerate(batch):
+                row = [received[s][pos] for s in range(len(self.servers))]
+                if any(isinstance(r, Exception) for r in row):
+                    # Mirror of the synchronous fan-out rule: servers
+                    # that did receive must release the id so an honest
+                    # retry is not mistaken for a replay.
+                    for server, r in zip(self.servers, row):
+                        if isinstance(r, PendingSubmission):
+                            server.abandon(r)
+                    self.stats.n_receive_failures += 1
+                    results[index] = False
+                    continue
+                survivors.append(index)
+                for s, r in enumerate(row):
+                    pendings_by_server[s].append(r)
+            if survivors:
+                # The heavy part — PRG expansion and byte decode into
+                # plane matrices — fans out per server on the pool.
+                await asyncio.gather(*[
+                    loop.run_in_executor(
+                        executor, server._ingest_batch, pendings
+                    )
+                    for server, pendings in zip(
+                        self.servers, pendings_by_server
+                    )
+                    if pendings
+                ])
+            self.stats.n_batches += 1
+            self.stats.batch_sizes.append(len(survivors))
+            if self._verifying:
+                self.stats.overlapped_batches += 1
+            await verify_q.put(
+                _IngestedBatch(
+                    indices=survivors,
+                    pendings_by_server=pendings_by_server,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Stage 3: the two SNIP rounds + decide + accumulate
+    # ------------------------------------------------------------------
+
+    async def _verify_stage(self, verify_q, results, executor) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await verify_q.get()
+            if item is _DONE:
+                return
+            if not item.indices:
+                continue
+            self._verifying = True
+            try:
+                begun = await asyncio.gather(*[
+                    loop.run_in_executor(
+                        executor,
+                        server.begin_verification_batch,
+                        pendings,
+                    )
+                    for server, pendings in zip(
+                        self.servers, item.pendings_by_server
+                    )
+                ])
+                parties = [party for party, _ in begun]
+                round1_batches = [round1 for _, round1 in begun]
+                round2_batches = [
+                    server.finish_verification_batch(party, round1_batches)
+                    for server, party in zip(self.servers, parties)
+                ]
+                decisions = self.servers[0].decide_batch(round2_batches)
+            except ValueError:
+                # Defensive mirror of the synchronous path: shapes were
+                # validated at receive time, so fail the whole batch
+                # rather than mis-credit any of it.
+                for server, pendings in zip(
+                    self.servers, item.pendings_by_server
+                ):
+                    for pending in pendings:
+                        server.reject(pending)
+                for index in item.indices:
+                    results[index] = False
+                continue
+            finally:
+                self._verifying = False
+            for server, pendings in zip(
+                self.servers, item.pendings_by_server
+            ):
+                server.accumulate_batch(pendings, decisions)
+            for index, accepted in zip(item.indices, decisions):
+                results[index] = accepted
+
+
+def run_pipelined(
+    servers: "list[PrioServer]",
+    submissions,
+    batch_size: int = 64,
+    queue_depth: int = 2,
+    encrypt: bool = False,
+    executor: "ThreadPoolExecutor | None" = None,
+) -> tuple[list[bool], PipelineStats]:
+    """One-call pipeline run over prepared submissions.
+
+    Returns ``(decisions, stats)`` with one decision per submission in
+    stream order — the async counterpart of calling
+    ``deliver_batch`` chunk by chunk.
+    """
+    pipeline = AsyncPrioPipeline(
+        servers,
+        batch_size=batch_size,
+        queue_depth=queue_depth,
+        executor=executor,
+        encrypt=encrypt,
+    )
+    decisions = pipeline.run(submissions)
+    return decisions, pipeline.stats

@@ -168,26 +168,18 @@ class PrioDeployment:
                 parties = []
                 round1_by_server = []
                 for s, server in enumerate(self.servers):
-                    party, msgs = server.begin_verification_batch(
+                    party, round1 = server.begin_verification_batch(
                         [pendings[s] for _, pendings in received]
                     )
                     parties.append(party)
-                    round1_by_server.append(msgs)
-                round1_by_submission = [
-                    [round1_by_server[s][j] for s in range(len(self.servers))]
-                    for j in range(len(received))
-                ]
+                    round1_by_server.append(round1)
+                # The round-1/round-2 broadcasts stay in plane form —
+                # every server consumes the same per-server batches.
                 round2_by_server = [
-                    server.finish_verification_batch(
-                        party, round1_by_submission
-                    )
+                    server.finish_verification_batch(party, round1_by_server)
                     for server, party in zip(self.servers, parties)
                 ]
-                round2_by_submission = [
-                    [round2_by_server[s][j] for s in range(len(self.servers))]
-                    for j in range(len(received))
-                ]
-                decisions = self.servers[0].decide_batch(round2_by_submission)
+                decisions = self.servers[0].decide_batch(round2_by_server)
             except (ProtocolError, ValueError):
                 # Shapes were validated at receive time, so this is a
                 # defensive path: fail the whole batch, one submission
@@ -212,6 +204,39 @@ class PrioDeployment:
                     self.stats.n_rejected += 1
                 results[idx] = accepted
         return [bool(r) for r in results]
+
+    def deliver_pipelined(
+        self, submissions, queue_depth: int = 2
+    ) -> list[bool]:
+        """Run prepared submissions through the asyncio staged pipeline.
+
+        Same decisions, replay protection, and statistics as chunked
+        :meth:`deliver_batch` calls, but ingest of batch ``N+1``
+        overlaps verification of batch ``N`` and per-server work fans
+        out over a thread pool
+        (:class:`~repro.protocol.pipeline.AsyncPrioPipeline`).
+        """
+        from repro.protocol.pipeline import run_pipelined
+
+        submissions = list(submissions)
+        for submission in submissions:
+            self.stats.n_submitted += 1
+            self.stats.upload_bytes_total += submission.upload_bytes
+        decisions, _ = run_pipelined(
+            self.servers,
+            submissions,
+            batch_size=self.batch_size,
+            queue_depth=queue_depth,
+            encrypt=self.encrypt,
+        )
+        self.stats.n_accepted += sum(decisions)
+        self.stats.n_rejected += len(decisions) - sum(decisions)
+        return decisions
+
+    def submit_many_pipelined(self, values, queue_depth: int = 2) -> int:
+        """Prepare and pipeline many values; returns the number accepted."""
+        submissions = self.client.prepare_submissions(list(values))
+        return sum(self.deliver_pipelined(submissions, queue_depth))
 
     def submit_batch(self, values, mutate=None) -> list[bool]:
         """Prepare and deliver ``values`` as one server-side batch.

@@ -21,13 +21,21 @@ from __future__ import annotations
 
 from repro.afe.base import Afe
 from repro.crypto.box import BoxKeyPair, open_box
-from repro.field.batch import BatchVector, assemble_rows, decode_bytes_batch, use_numpy
+from repro.field.batch import (
+    BatchVector,
+    assemble_rows,
+    decode_bytes_batch,
+    tiny_batch_force_pure,
+)
+from repro.field.prime_field import FieldError
 from repro.protocol.wire import ClientPacket, PacketKind, WireError
 from repro.sharing.prg import SEED_SIZE, expand_seed, expand_seed_batch
 from repro.snip.proof import SnipProofShare, proof_num_elements
 from repro.snip.verifier import (
     BatchedSnipVerifierParty,
+    Round1Batch,
     Round1Message,
+    Round2Batch,
     Round2Message,
     ServerRandomness,
     SnipVerifierParty,
@@ -94,6 +102,20 @@ class PendingSubmission:
                 self._field, vector[k:], self._n_mul_gates
             )
 
+    def release(self) -> None:
+        """Drop every share source after the submission is decided.
+
+        Long-running servers hold decided :class:`PendingSubmission`
+        objects only for their ids; without this, each one would pin
+        its materialized per-client bigints (``x_share`` /
+        ``proof_share``) — and, transitively, whole ingested plane
+        matrices — for as long as the caller keeps the handle.
+        """
+        self._x_share = None
+        self._proof_share = None
+        self._seed = None
+        self._source = None
+
 
 class PrioServer:
     """One aggregation server for a single collection task."""
@@ -120,7 +142,13 @@ class PrioServer:
         self.force_pure_backend = force_pure_backend
         self.circuit = afe.valid_circuit()
 
-        self.accumulator: list[int] = [0] * afe.k_prime
+        #: the Aggregate state, plane-resident: decoded to Python ints
+        #: only at :meth:`publish` (or through the compatibility
+        #: :attr:`accumulator` property)
+        self._accumulator = BatchVector.zeros(
+            self.field, (afe.k_prime,),
+            tiny_batch_force_pure(afe.k_prime, force_pure_backend),
+        )
         self.n_accepted = 0
         self.n_rejected = 0
         self.n_replayed = 0
@@ -134,6 +162,18 @@ class PrioServer:
         self._ctx: VerificationContext | None = None
         #: server-to-server field elements broadcast (Figure 6 metric)
         self.elements_broadcast = 0
+
+    @property
+    def accumulator(self) -> list[int]:
+        """The accumulator as Python ints (decodes the limb plane)."""
+        return self._accumulator.to_ints()
+
+    @accumulator.setter
+    def accumulator(self, values) -> None:
+        """Replace the accumulator (e.g. after DP noising)."""
+        self._accumulator = BatchVector.from_ints(
+            self.field, list(values), self.force_pure_backend
+        )
 
     # ------------------------------------------------------------------
     # Epoch / context management (the fixed-r optimization)
@@ -156,6 +196,20 @@ class PrioServer:
     # Receive
     # ------------------------------------------------------------------
 
+    def _batch_force(self, batch_size: int) -> "bool | None":
+        """Backend choice for one ingest batch of ``batch_size`` rows.
+
+        Explicit ``force_pure_backend`` wins; otherwise tiny batches
+        (a batch of one over a small circuit) drop to the pure backend,
+        which beats numpy dispatch overhead at that size.
+        """
+        k = self.afe.k
+        m = self.circuit.n_mul_gates if self.circuit is not None else None
+        n = k if m is None else k + proof_num_elements(m)
+        return tiny_batch_force_pure(
+            batch_size * n, self.force_pure_backend
+        )
+
     def receive_sealed(self, sealed: bytes) -> PendingSubmission:
         if self.box_keypair is None:
             raise ProtocolError("server has no box key configured")
@@ -163,17 +217,14 @@ class PrioServer:
             ClientPacket.decode(open_box(self.box_keypair, sealed), self.field)
         )
 
-    def receive(self, packet: ClientPacket) -> PendingSubmission:
-        """De-frame a packet into a (possibly latent) pending submission.
+    def _receive_framed(self, packet: ClientPacket) -> PendingSubmission:
+        """Frame-validate one packet; leaves EXPLICIT bodies undecoded.
 
-        Framing is validated eagerly — wrong server, replay, body-size
-        inconsistency, wrong share-vector length, and (for EXPLICIT
-        bodies) out-of-range elements all raise here, so a bad upload
-        rejects alone.  The share *values* stay zero-copy: EXPLICIT
-        bodies are decoded wire-bytes -> limb planes (one numpy pass,
-        no per-element ``int.from_bytes``), SEED bodies are kept as
-        seeds and expanded in one vectorized sweep per verification
-        batch.
+        Wrong server, replay, body-size inconsistency, and wrong
+        share-vector length all raise here.  On success the packet's id
+        is pending (replay-protected), and the caller owns the body
+        decode — per packet in :meth:`receive`, batched with offender
+        isolation in :meth:`receive_batch`.
         """
         if packet.server_index != self.server_index:
             raise ProtocolError(
@@ -211,63 +262,87 @@ class PrioServer:
         pending._n_elements = n
         if packet.kind is PacketKind.SEED:
             pending._seed = packet.body
-        elif use_numpy(self.force_pure_backend):
-            # Checked decode: rejects out-of-range elements, exactly
-            # like the scalar ``field.decode_vector`` used to.
-            pending._source = (
-                decode_bytes_batch(
-                    self.field, [packet.body], self.force_pure_backend
-                ),
-                0,
-            )
-        else:
-            vector = self.field.decode_vector(packet.body)
-            pending._x_share = vector[:k]
-            if m is not None:
-                pending._proof_share = SnipProofShare.unflatten(
-                    self.field, vector[k:], m
-                )
         self._pending_ids.add(packet.submission_id)
         return pending
 
+    def receive(self, packet: ClientPacket) -> PendingSubmission:
+        """De-frame a packet into a (possibly latent) pending submission.
+
+        Framing is validated eagerly — wrong server, replay, body-size
+        inconsistency, wrong share-vector length, and (for EXPLICIT
+        bodies) out-of-range elements all raise here, so a bad upload
+        rejects alone.  The share *values* stay zero-copy: EXPLICIT
+        bodies run through the checked batch byte decoder (a batch of
+        one — the same kernel, range rejection, and wire hardening as
+        every other batch size; no unchecked scalar decode remains),
+        SEED bodies are kept as seeds and expanded in one vectorized
+        sweep per verification batch.
+        """
+        pending = self._receive_framed(packet)
+        if packet.kind is PacketKind.EXPLICIT:
+            try:
+                # Decode on the configured backend, not the tiny-batch
+                # heuristic: a numpy-decoded row joins a later batched
+                # assembly by plane copy, where a pure row would be
+                # re-encoded element by element.
+                pending._source = (
+                    decode_bytes_batch(
+                        self.field, [packet.body], self.force_pure_backend
+                    ),
+                    0,
+                )
+            except FieldError:
+                self._pending_ids.discard(packet.submission_id)
+                raise
+        return pending
+
+    def receive_batch(
+        self, packets: "list[ClientPacket]"
+    ) -> "list[PendingSubmission | Exception]":
+        """Receive a whole batch; per-packet outcomes, one fused decode.
+
+        Semantically equivalent to :meth:`receive` per packet — the
+        result list holds a :class:`PendingSubmission` where that call
+        would have succeeded and the raised exception object where it
+        would have raised — but every EXPLICIT body in the batch
+        decodes through a single checked byte-batch sweep.  An
+        out-of-range element only evicts the offending packet: its row
+        is cut from the batch and the remainder re-decodes (honest
+        batches pay exactly one sweep).
+        """
+        out: "list[PendingSubmission | Exception]" = [None] * len(packets)
+        explicit: "list[tuple[int, PendingSubmission, bytes]]" = []
+        for i, packet in enumerate(packets):
+            try:
+                pending = self._receive_framed(packet)
+            except (ProtocolError, WireError) as exc:
+                out[i] = exc
+                continue
+            out[i] = pending
+            if packet.kind is PacketKind.EXPLICIT:
+                explicit.append((i, pending, packet.body))
+        while explicit:
+            try:
+                decoded = decode_bytes_batch(
+                    self.field,
+                    [body for _, _, body in explicit],
+                    self._batch_force(len(explicit)),
+                )
+            except FieldError as exc:
+                row = getattr(exc, "batch_row", 0)
+                i, pending, _ = explicit.pop(row)
+                self._pending_ids.discard(pending.submission_id)
+                out[i] = exc
+                continue
+            for t, (i, pending, _) in enumerate(explicit):
+                pending._source = (decoded, t)
+            break
+        return out
+
     # ------------------------------------------------------------------
-    # Verification rounds (lock-step with peers)
-    # ------------------------------------------------------------------
-
-    def begin_verification(
-        self, pending: PendingSubmission
-    ) -> tuple["SnipVerifierParty | None", Round1Message]:
-        ctx = self._context()
-        if ctx is None:
-            # All-valid AFE: accept without proof (but still burn the
-            # replay-protection slot).
-            return None, Round1Message(d=0, e=0)
-        party = SnipVerifierParty(
-            ctx, self.server_index, self.n_servers,
-            pending.x_share, pending.proof_share,
-        )
-        msg = party.round1()
-        self.elements_broadcast += 2
-        return party, msg
-
-    def finish_verification(
-        self,
-        party: "SnipVerifierParty | None",
-        round1_messages: list[Round1Message],
-    ) -> Round2Message:
-        if party is None:
-            return Round2Message(sigma=0, assertion=0)
-        msg = party.round2(round1_messages)
-        self.elements_broadcast += 2
-        return msg
-
-    def decide(self, round2_messages: list[Round2Message]) -> bool:
-        if self.circuit is None:
-            return True
-        return SnipVerifierParty.decide(self.field, round2_messages)
-
-    # ------------------------------------------------------------------
-    # Batched verification rounds (the vectorized hot path)
+    # Verification rounds (lock-step with peers).  The batched plane
+    # forms are the only implementation; the per-submission entry
+    # points below them are thin batch-of-one wrappers.
     # ------------------------------------------------------------------
 
     def _ingest_batch(self, pendings: list[PendingSubmission]) -> BatchVector:
@@ -281,7 +356,7 @@ class PrioServer:
         verification, lazy ``x_share``, batched accumulation) shares
         the same planes.
         """
-        force = self.force_pure_backend
+        force = self._batch_force(len(pendings))
         seed_pendings = [
             p for p in pendings
             if p._seed is not None and p._source is None and p._x_share is None
@@ -312,60 +387,92 @@ class PrioServer:
 
     def begin_verification_batch(
         self, pendings: list[PendingSubmission]
-    ) -> tuple["BatchedSnipVerifierParty | None", list[Round1Message]]:
+    ) -> tuple["BatchedSnipVerifierParty | None", Round1Batch]:
         """Round 1 for a whole batch in one vectorized sweep.
 
         The entire batch is verified under a single epoch context (the
         context in force when the batch starts; epoch accounting still
         advances per submission, so rotation happens between batches).
         The batch goes wire-planes -> verdict: seeds expand vectorized,
-        the share matrix is assembled from limb planes, and the party
+        the share matrix is assembled from limb planes, the party
         consumes it via
-        :meth:`~repro.snip.verifier.BatchedSnipVerifierParty.from_share_matrix`
-        with no per-element Python-int crossing.
+        :meth:`~repro.snip.verifier.BatchedSnipVerifierParty.from_share_matrix`,
+        and the round-1 broadcast comes back as a plane-form
+        :class:`~repro.snip.verifier.Round1Batch` — no per-element
+        Python-int crossing anywhere.
         """
         ctx = self._context()
         if ctx is None or not pendings:
-            return None, [Round1Message(d=0, e=0)] * len(pendings)
+            return None, Round1Batch.zeros(
+                self.field, len(pendings), self.force_pure_backend
+            )
         party = BatchedSnipVerifierParty.from_share_matrix(
             ctx, self.server_index, self.n_servers,
             self._ingest_batch(pendings),
         )
-        msgs = party.round1_all()
+        batch = party.round1_all()
         self.elements_broadcast += 2 * len(pendings)
-        return party, msgs
+        return party, batch
 
     def finish_verification_batch(
         self,
         party: "BatchedSnipVerifierParty | None",
-        round1_by_submission: list[list[Round1Message]],
-    ) -> list[Round2Message]:
+        round1_batches: "list[Round1Batch] | list[list[Round1Message]]",
+    ) -> Round2Batch:
+        """Round 2: one plane-form broadcast for the whole batch.
+
+        ``round1_batches`` is one :class:`Round1Batch` per server (the
+        legacy per-submission message-list layout is still accepted and
+        converted by the party).
+        """
         if party is None:
-            return [Round2Message(sigma=0, assertion=0)] * len(
-                round1_by_submission
+            if round1_batches and isinstance(round1_batches[0], Round1Batch):
+                n = len(round1_batches[0])       # one batch per server
+            else:
+                n = len(round1_batches)          # one message list per sub
+            return Round2Batch.zeros(
+                self.field, n, self.force_pure_backend
             )
-        msgs = party.round2_all(round1_by_submission)
-        self.elements_broadcast += 2 * len(msgs)
-        return msgs
+        batch = party.round2_all(round1_batches)
+        self.elements_broadcast += 2 * len(batch)
+        return batch
 
     def decide_batch(
-        self, round2_by_submission: list[list[Round2Message]]
+        self, round2_batches: "list[Round2Batch]"
     ) -> list[bool]:
         """One independent accept/reject decision per submission."""
-        return [self.decide(msgs) for msgs in round2_by_submission]
+        if self.circuit is None:
+            n = len(round2_batches[0]) if round2_batches else 0
+            return [True] * n
+        return Round2Batch.decide_all(round2_batches)
+
+    # ------------------------------------------------------------------
+    # Per-submission wrappers (a batch of one)
+    # ------------------------------------------------------------------
+
+    def begin_verification(
+        self, pending: PendingSubmission
+    ) -> tuple["BatchedSnipVerifierParty | None", Round1Message]:
+        party, batch = self.begin_verification_batch([pending])
+        return party, batch.at(0)
+
+    def finish_verification(
+        self,
+        party: "BatchedSnipVerifierParty | None",
+        round1_messages: list[Round1Message],
+    ) -> Round2Message:
+        return self.finish_verification_batch(
+            party, [round1_messages]
+        ).at(0)
+
+    def decide(self, round2_messages: list[Round2Message]) -> bool:
+        if self.circuit is None:
+            return True
+        return SnipVerifierParty.decide(self.field, round2_messages)
 
     # ------------------------------------------------------------------
     # Aggregate / publish
     # ------------------------------------------------------------------
-
-    def accumulate(self, pending: PendingSubmission) -> None:
-        """Fold the truncated share into the accumulator (step 3)."""
-        share = pending.x_share[: self.afe.k_prime]
-        p = self.field.modulus
-        acc = self.accumulator
-        for i, v in enumerate(share):
-            acc[i] = (acc[i] + v) % p
-        self._note_accepted(pending)
 
     def accumulate_batch(
         self,
@@ -374,12 +481,12 @@ class PrioServer:
     ) -> None:
         """Apply a batch's decisions: one vectorized Aggregate sweep.
 
-        Equivalent to per-submission :meth:`accumulate` /
-        :meth:`reject` calls, but accepted rows that share an ingested
-        plane matrix are truncated, column-summed, and folded into the
-        accumulator in a single batch operation — the Aggregate step
-        consumes planes, and only the k'-element batch total crosses
-        back to Python ints.
+        Accepted rows are truncated, column-summed, and folded into the
+        plane-resident accumulator in a single batch operation — the
+        Aggregate step consumes planes and produces planes; nothing
+        crosses back to Python ints until :meth:`publish`.  Decided
+        submissions drop their share sources (:meth:`PendingSubmission
+        .release`), so the server retains only ids, not bigints.
         """
         if len(pendings) != len(decisions):
             raise ProtocolError("need one decision per pending submission")
@@ -391,13 +498,6 @@ class PrioServer:
         ]
         if not accepted_pendings:
             return
-        # Proof-free AFEs skip begin_verification_batch's ingest; give
-        # their latent seeds the same one-sweep expansion here.
-        if any(
-            p._x_share is None and p._source is None
-            for p in accepted_pendings
-        ):
-            self._ingest_batch(accepted_pendings)
         shared = (
             accepted_pendings[0]._source[0]
             if accepted_pendings[0]._source is not None
@@ -407,31 +507,56 @@ class PrioServer:
             p._source is not None and p._source[0] is shared
             for p in accepted_pendings
         ):
-            batch_sum = (
-                shared.take_rows([p._source[1] for p in accepted_pendings])
-                .slice_columns(self.afe.k_prime)
-                .sum_rows()
-                .to_ints()
-            )
-            self.accumulator = self.field.vec_add(self.accumulator, batch_sum)
-            for pending in accepted_pendings:
-                self._note_accepted(pending)
+            # Verification already ingested these rows: reuse the plane
+            # matrix directly (whole — the common all-accepted case —
+            # or through one row gather).
+            indices = [p._source[1] for p in accepted_pendings]
+            if indices == list(range(shared.shape[0])):
+                rows = shared
+            else:
+                rows = shared.take_rows(indices)
         else:
-            for pending in accepted_pendings:
-                self.accumulate(pending)
+            # Proof-free AFEs (and scalar-materialized stragglers) skip
+            # begin_verification_batch's ingest; give them the same
+            # one-sweep expansion/assembly here.
+            rows = self._ingest_batch(accepted_pendings)
+        batch_sum = rows.slice_columns(self.afe.k_prime).sum_rows()
+        if batch_sum.backend != self._accumulator.backend:
+            batch_sum = BatchVector.from_ints(
+                self.field, batch_sum.to_ints(),
+                self._accumulator.force_pure,
+            )
+        self._accumulator = self._accumulator + batch_sum
+        for pending in accepted_pendings:
+            self._note_accepted(pending)
+
+    def accumulate(self, pending: PendingSubmission) -> None:
+        """Fold the truncated share into the accumulator (step 3).
+
+        A batch of one — the identical plane-resident Aggregate sweep.
+        """
+        self.accumulate_batch([pending], [True])
 
     def _note_accepted(self, pending: PendingSubmission) -> None:
-        """Post-accumulation bookkeeping (shared by both Aggregate paths)."""
-        self._pending_ids.discard(pending.submission_id)
+        """Post-accumulation bookkeeping (shared by both Aggregate paths).
+
+        Order matters: the id enters ``_seen_ids`` *before* leaving
+        ``_pending_ids``, so a concurrent replay check (the async
+        pipeline receives batch ``N+1`` on executor threads while batch
+        ``N`` accumulates) always sees it in at least one set.
+        """
         self._seen_ids.add(pending.submission_id)
+        self._pending_ids.discard(pending.submission_id)
         self._submissions_this_epoch += 1
         self.n_accepted += 1
+        pending.release()
 
     def reject(self, pending: PendingSubmission) -> None:
-        self._pending_ids.discard(pending.submission_id)
         self._seen_ids.add(pending.submission_id)
+        self._pending_ids.discard(pending.submission_id)
         self._submissions_this_epoch += 1
         self.n_rejected += 1
+        pending.release()
 
     def abandon(self, pending: PendingSubmission) -> None:
         """Release a received submission without deciding it.
@@ -443,5 +568,11 @@ class PrioServer:
         self._pending_ids.discard(pending.submission_id)
 
     def publish(self) -> list[int]:
-        """Release the accumulator (step 4); safe by construction."""
-        return list(self.accumulator)
+        """Release the accumulator (step 4); safe by construction.
+
+        This is the aggregate's single plane -> Python-int crossing:
+        the accumulator lives as a limb plane for the server's whole
+        life and decodes only here (and in the compatibility
+        :attr:`accumulator` property).
+        """
+        return self._accumulator.to_ints()

@@ -57,6 +57,11 @@ class PrgStream:
         if needed > len(self._buffer):
             new_size = max(needed, 2 * len(self._buffer), self._reserve, 256)
             self._buffer = self._xof.digest(new_size)
+        if self._cursor == 0 and n == len(self._buffer):
+            # The whole-buffer read (a reserved one-shot expansion):
+            # skip the slice copy.
+            self._cursor = n
+            return self._buffer
         out = self._buffer[self._cursor : self._cursor + n]
         self._cursor += n
         return out

@@ -33,7 +33,7 @@ from repro.protocol.client import PrioClient
 from repro.protocol.server import PendingSubmission, PrioServer
 from repro.simnet.network import SimError, SimNetwork
 from repro.simnet.regions import Topology
-from repro.snip.verifier import Round1Message, Round2Message, ServerRandomness
+from repro.snip.verifier import Round1Batch, Round2Batch, ServerRandomness
 
 
 @dataclass
@@ -43,8 +43,9 @@ class _GroupState:
     sids: tuple[bytes, ...] | None
     pendings: list[PendingSubmission] | None = None
     party: object = None
-    round1: dict[int, list[Round1Message]] = dc_field(default_factory=dict)
-    round2: dict[int, list[Round2Message]] = dc_field(default_factory=dict)
+    #: per-server plane-form broadcasts (one batch covers the group)
+    round1: dict[int, Round1Batch] = dc_field(default_factory=dict)
+    round2: dict[int, Round2Batch] = dc_field(default_factory=dict)
     round2_sent: bool = False
     done: bool = False
 
@@ -126,12 +127,14 @@ class _ServerNode:
                 raise SimError(f"group {gid} membership disagreement")
             state.sids = sids
         state.pendings = pendings
-        party, msgs = self.server.begin_verification_batch(pendings)
+        party, round1 = self.server.begin_verification_batch(pendings)
         state.party = party
-        state.round1[self.index] = msgs
+        state.round1[self.index] = round1
+        # The broadcast carries the plane-form batch; the byte cost on
+        # the simulated wire is unchanged (two elements per submission).
         net.broadcast(
             self.index,
-            ("r1", gid, sids, self.index, msgs),
+            ("r1", gid, sids, self.index, round1),
             2 * self.element_bytes * len(pendings),
         )
         self._maybe_round2(net, gid, state)
@@ -164,18 +167,17 @@ class _ServerNode:
             or state.round2_sent
         ):
             return
-        round1_by_submission = [
-            [state.round1[s][j] for s in range(self.n_servers)]
-            for j in range(len(state.pendings))
+        round1_batches = [
+            state.round1[s] for s in range(self.n_servers)
         ]
-        msgs = self.server.finish_verification_batch(
-            state.party, round1_by_submission
+        round2 = self.server.finish_verification_batch(
+            state.party, round1_batches
         )
         state.round2_sent = True
-        state.round2[self.index] = msgs
+        state.round2[self.index] = round2
         net.broadcast(
             self.index,
-            ("r2", gid, state.sids, self.index, msgs),
+            ("r2", gid, state.sids, self.index, round2),
             2 * self.element_bytes * len(state.pendings),
         )
         self._maybe_decide(net, state)
@@ -194,11 +196,10 @@ class _ServerNode:
             or len(state.round2) < self.n_servers
         ):
             return
-        round2_by_submission = [
-            [state.round2[s][j] for s in range(self.n_servers)]
-            for j in range(len(state.pendings))
+        round2_batches = [
+            state.round2[s] for s in range(self.n_servers)
         ]
-        decisions = self.server.decide_batch(round2_by_submission)
+        decisions = self.server.decide_batch(round2_batches)
         self.server.accumulate_batch(state.pendings, decisions)
         for pending, accepted in zip(state.pendings, decisions):
             self.decisions[pending.submission_id] = accepted

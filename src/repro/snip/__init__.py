@@ -33,7 +33,9 @@ from repro.snip.simulator import AdversaryView, SnipSimulator, real_adversary_vi
 from repro.snip.soundness import SoundnessReport, run_soundness_experiment
 from repro.snip.verifier import (
     BatchedSnipVerifierParty,
+    Round1Batch,
     Round1Message,
+    Round2Batch,
     Round2Message,
     ServerRandomness,
     SnipVerifierParty,
@@ -72,7 +74,9 @@ __all__ = [
     "SnipSimulator",
     "real_adversary_view",
     "BatchedSnipVerifierParty",
+    "Round1Batch",
     "Round1Message",
+    "Round2Batch",
     "Round2Message",
     "ServerRandomness",
     "SnipVerifierParty",

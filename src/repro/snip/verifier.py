@@ -34,8 +34,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.circuit.circuit import Circuit, Op, batched_assertion_share
-from repro.field.batch import BatchVector, PreparedWeights, dot_batch_multi
+from repro.circuit.circuit import Circuit, Op
+from repro.field.batch import (
+    BatchVector,
+    PreparedWeights,
+    dot_batch_planes,
+    tiny_batch_force_pure,
+    use_numpy,
+)
 from repro.field.ntt import EvaluationDomain
 from repro.field.prime_field import PrimeField
 from repro.snip.proof import (
@@ -172,8 +178,142 @@ class Round2Message:
     assertion: int
 
 
+def _sum_across_servers(vectors: "Sequence[BatchVector]") -> BatchVector:
+    """Plane-add one ``(B,)`` vector per server (the ``sum_i`` of the
+    round combination and decision rules)."""
+    total = vectors[0]
+    for vector in vectors[1:]:
+        total = total + vector
+    return total
+
+
+@dataclass
+class Round1Batch:
+    """A whole batch's round-1 broadcasts in plane form.
+
+    ``d``/``e`` are 1-D ``(B,)`` :class:`~repro.field.batch.BatchVector`
+    columns — one per-round plane instead of ``B`` per-submission int
+    pairs.  Cross-server combination (the ``sum_i d_i`` of Step 3) is a
+    plane add; :meth:`messages`/:meth:`from_messages` are the
+    scalar-wire seam for callers that ship individual
+    :class:`Round1Message` objects.
+    """
+
+    d: BatchVector
+    e: BatchVector
+
+    def __len__(self) -> int:
+        return self.d.shape[0]
+
+    def at(self, i: int) -> Round1Message:
+        return Round1Message(d=self.d.to_ints()[i], e=self.e.to_ints()[i])
+
+    def messages(self) -> list[Round1Message]:
+        return [
+            Round1Message(d=d, e=e)
+            for d, e in zip(self.d.to_ints(), self.e.to_ints())
+        ]
+
+    @classmethod
+    def from_messages(
+        cls,
+        field: PrimeField,
+        messages: Sequence[Round1Message],
+        force_pure: bool | None = None,
+    ) -> "Round1Batch":
+        return cls(
+            d=BatchVector.from_ints(field, [m.d for m in messages], force_pure),
+            e=BatchVector.from_ints(field, [m.e for m in messages], force_pure),
+        )
+
+    @classmethod
+    def zeros(
+        cls,
+        field: PrimeField,
+        batch_size: int,
+        force_pure: bool | None = None,
+    ) -> "Round1Batch":
+        zero = BatchVector.zeros(field, (batch_size,), force_pure)
+        return cls(d=zero, e=zero)
+
+
+@dataclass
+class Round2Batch:
+    """A whole batch's round-2 broadcasts in plane form.
+
+    Mirror of :class:`Round1Batch` for ``(sigma, assertion)``; the
+    accept/reject decision (:meth:`decide_all`) sums the servers'
+    planes and runs one vectorized zero test per check — no
+    per-submission Python-int crossing anywhere in the round algebra.
+    """
+
+    sigma: BatchVector
+    assertion: BatchVector
+
+    def __len__(self) -> int:
+        return self.sigma.shape[0]
+
+    def at(self, i: int) -> Round2Message:
+        return Round2Message(
+            sigma=self.sigma.to_ints()[i],
+            assertion=self.assertion.to_ints()[i],
+        )
+
+    def messages(self) -> list[Round2Message]:
+        return [
+            Round2Message(sigma=s, assertion=a)
+            for s, a in zip(self.sigma.to_ints(), self.assertion.to_ints())
+        ]
+
+    @classmethod
+    def from_messages(
+        cls,
+        field: PrimeField,
+        messages: Sequence[Round2Message],
+        force_pure: bool | None = None,
+    ) -> "Round2Batch":
+        return cls(
+            sigma=BatchVector.from_ints(
+                field, [m.sigma for m in messages], force_pure
+            ),
+            assertion=BatchVector.from_ints(
+                field, [m.assertion for m in messages], force_pure
+            ),
+        )
+
+    @classmethod
+    def zeros(
+        cls,
+        field: PrimeField,
+        batch_size: int,
+        force_pure: bool | None = None,
+    ) -> "Round2Batch":
+        zero = BatchVector.zeros(field, (batch_size,), force_pure)
+        return cls(sigma=zero, assertion=zero)
+
+    @staticmethod
+    def decide_all(round2_batches: "Sequence[Round2Batch]") -> list[bool]:
+        """One independent accept/reject per submission (Steps 3a, 4)."""
+        if not round2_batches:
+            raise SnipError("need a round-2 batch from every server")
+        sigma_total = _sum_across_servers([b.sigma for b in round2_batches])
+        assertion_total = _sum_across_servers(
+            [b.assertion for b in round2_batches]
+        )
+        return [
+            s and a
+            for s, a in zip(sigma_total.is_zero(), assertion_total.is_zero())
+        ]
+
+
 class SnipVerifierParty:
-    """One server's verification state for a single client submission."""
+    """One server's verification state for a single client submission.
+
+    A thin wrapper over :class:`BatchedSnipVerifierParty` with a batch
+    of one — there is no separate scalar round algebra any more; the
+    degenerate batch runs the identical plane-resident code path and
+    only this seam decodes the four per-submission scalars to ints.
+    """
 
     def __init__(
         self,
@@ -183,8 +323,9 @@ class SnipVerifierParty:
         x_share: Sequence[int],
         proof_share: SnipProofShare,
     ) -> None:
-        if n_servers < 2:
-            raise SnipError("a SNIP needs at least two verifiers")
+        self._batch_party = BatchedSnipVerifierParty(
+            ctx, server_index, n_servers, [x_share], [proof_share]
+        )
         self.ctx = ctx
         self.field = ctx.field
         self.server_index = server_index
@@ -192,72 +333,37 @@ class SnipVerifierParty:
         self.is_leader = server_index == 0
         self.proof_share = proof_share
 
-        field = ctx.field
-        circuit = ctx.circuit
-        m = ctx.n_mul_gates
-        if m and len(proof_share.h_evals) != ctx.size_2n:
-            raise SnipError(
-                f"h share has {len(proof_share.h_evals)} evaluations, "
-                f"expected {ctx.size_2n}"
-            )
+    # Scalar views of the party's local state (the ZK simulator builds
+    # its simulated honest-server view from exactly these).
 
-        mul_out = proof_share.mul_output_shares(m)
-        wires = circuit.reconstruct_wire_shares(
-            field, x_share, mul_out, is_leader=self.is_leader
-        )
-        self._assertion_share = batched_assertion_share(
-            field, wires.assertion_shares,
-            list(ctx.challenge.assertion_coefficients),
-        )
+    @property
+    def _f_r(self) -> int:
+        return self._batch_party._f_r.to_ints()[0]
 
-        if m:
-            pad = [0] * (ctx.size_n - m - 1)
-            f_evals_share = [proof_share.f0] + wires.mul_inputs_left + pad
-            g_evals_share = [proof_share.g0] + wires.mul_inputs_right + pad
-            p = field.modulus
-            r = ctx.challenge.r
-            self._f_r = field.inner_product(ctx.weights_n, f_evals_share)
-            g_r = field.inner_product(ctx.weights_n, g_evals_share)
-            h_r = field.inner_product(ctx.weights_2n, proof_share.h_evals)
-            self._rg_r = (r * g_r) % p
-            self._rh_r = (r * h_r) % p
-        else:
-            self._f_r = self._rg_r = self._rh_r = 0
+    @property
+    def _rg_r(self) -> int:
+        return self._batch_party._rg_r.to_ints()[0]
+
+    @property
+    def _rh_r(self) -> int:
+        return self._batch_party._rh_r.to_ints()[0]
+
+    @property
+    def _assertion_share(self) -> int:
+        return self._batch_party._assertion_shares.to_ints()[0]
 
     # ------------------------------------------------------------------
 
     def round1(self) -> Round1Message:
         """Broadcast the Beaver-masked evaluations (d_i, e_i)."""
-        if self.ctx.n_mul_gates == 0:
-            # No polynomial test: nothing to mask, nothing to leak.
-            return Round1Message(d=0, e=0)
-        f = self.field
-        return Round1Message(
-            d=f.sub(self._f_r, self.proof_share.a),
-            e=f.sub(self._rg_r, self.proof_share.b),
-        )
+        return self._batch_party.round1_all().at(0)
 
     def round2(self, round1_messages: Sequence[Round1Message]) -> Round2Message:
         """Combine round-1 broadcasts into (sigma_i, A_i)."""
-        if len(round1_messages) != self.n_servers:
+        messages = list(round1_messages)
+        if len(messages) != self.n_servers:
             raise SnipError("need a round-1 message from every server")
-        f = self.field
-        p = f.modulus
-        if self.ctx.n_mul_gates == 0:
-            sigma = 0
-        else:
-            d = sum(m.d for m in round1_messages) % p
-            e = sum(m.e for m in round1_messages) % p
-            s_inv = pow(self.n_servers % p, -1, p)
-            share = self.proof_share
-            sigma = (
-                d * e % p * s_inv
-                + d * share.b
-                + e * share.a
-                + share.c
-                - self._rh_r
-            ) % p
-        return Round2Message(sigma=sigma, assertion=self._assertion_share)
+        return self._batch_party.round2_all([messages]).at(0)
 
     @staticmethod
     def decide(
@@ -290,27 +396,13 @@ def verify_snip(
     """Run the whole verification lock-step across in-process servers."""
     if len(x_shares) != len(proof_shares):
         raise SnipError("share count mismatch")
-    n_servers = len(x_shares)
-    parties = [
-        SnipVerifierParty(ctx, i, n_servers, x_shares[i], proof_shares[i])
-        for i in range(n_servers)
-    ]
-    round1 = [party.round1() for party in parties]
-    round2 = [party.round2(round1) for party in parties]
-    field = ctx.field
-    p = field.modulus
-    sigma_total = sum(m.sigma for m in round2) % p
-    assertion_total = sum(m.assertion for m in round2) % p
-    return VerificationOutcome(
-        accepted=(sigma_total == 0 and assertion_total == 0),
-        sigma_total=sigma_total,
-        assertion_total=assertion_total,
-    )
+    return verify_snip_batch(ctx, [(x_shares, proof_shares)])[0]
 
 
 # ----------------------------------------------------------------------
 # Batched verification (the vectorized server hot path)
 # ----------------------------------------------------------------------
+
 
 
 @dataclass
@@ -449,19 +541,19 @@ def _build_batch_functionals(ctx: VerificationContext) -> _BatchFunctionals:
 class BatchedSnipVerifierParty:
     """One server's verification state for a whole batch of submissions.
 
-    Semantically equivalent to ``B`` scalar :class:`SnipVerifierParty`
-    instances — bit-for-bit, which the adversarial batch tests assert —
-    but the per-submission work collapses to four inner products of
-    the flattened share vector against the context's precomputed
-    functionals, evaluated for the whole batch in one fused sweep over
-    the (B, len(z)) share matrix (:func:`repro.field.batch.dot_rows_multi`).
+    Semantically equivalent to ``B`` scalar verifications — bit-for-bit,
+    which the adversarial batch tests assert — but the per-submission
+    work collapses to four inner products of the flattened share vector
+    against the context's precomputed functionals, evaluated for the
+    whole batch in one fused sweep over the (B, len(z)) share matrix
+    (:func:`repro.field.batch.dot_batch_planes`).
 
-    The zero-copy ingest path constructs parties via
-    :meth:`from_share_matrix` instead: the share matrix arrives as an
-    already-ingested :class:`~repro.field.batch.BatchVector` (wire
-    bytes / PRG planes, never Python-int rows) and the only decoded
-    scalars are the three Beaver-triple columns the round messages
-    need.
+    Everything stays plane-resident: the functional outputs, the
+    Beaver-triple columns (views of the ingested share matrix, never
+    decoded), and the round-1/round-2 broadcasts themselves
+    (:class:`Round1Batch`/:class:`Round2Batch`).  The zero-copy ingest
+    path constructs parties via :meth:`from_share_matrix`; the int-row
+    constructor exists for tests and the scalar wrapper.
     """
 
     def __init__(
@@ -491,12 +583,16 @@ class BatchedSnipVerifierParty:
                 )
             rows.append(list(x_share) + proof_share.flatten())
         self.proof_shares = list(proof_shares)
+        if rows:
+            force_pure = tiny_batch_force_pure(
+                len(rows) * len(rows[0]), force_pure
+            )
         self._setup(
             ctx, server_index, n_servers,
             BatchVector.from_ints(ctx.field, rows, force_pure)
             if rows else None,
             batch_size=len(rows),
-            triples=[(s.a, s.b, s.c) for s in proof_shares],
+            force_pure=force_pure,
         )
 
     @classmethod
@@ -512,8 +608,8 @@ class BatchedSnipVerifierParty:
         ``matrix`` rows are the flattened uploads ``z = x_share ||
         proof_share.flatten()`` exactly as they crossed the wire
         (:func:`repro.protocol.wire.share_vectors_batch`).  No
-        per-element Python ints are materialized; the Beaver-triple
-        scalars are decoded from the last three plane columns.
+        per-element Python ints are materialized anywhere — the
+        Beaver-triple columns are plane views of the matrix.
         """
         if len(matrix.shape) != 2:
             raise SnipError("share matrix must be 2-D")
@@ -525,17 +621,9 @@ class BatchedSnipVerifierParty:
             )
         self = cls.__new__(cls)
         self.proof_shares = None
-        if ctx.n_mul_gates and B:
-            triples = list(zip(
-                matrix.column_ints(width - 3),
-                matrix.column_ints(width - 2),
-                matrix.column_ints(width - 1),
-            ))
-        else:
-            triples = [(0, 0, 0)] * B
         self._setup(
             ctx, server_index, n_servers, matrix if B else None,
-            batch_size=B, triples=triples,
+            batch_size=B, force_pure=matrix.force_pure if B else None,
         )
         return self
 
@@ -546,7 +634,7 @@ class BatchedSnipVerifierParty:
         n_servers: int,
         matrix: "BatchVector | None",
         batch_size: int,
-        triples: "list[tuple[int, int, int]]",
+        force_pure: bool | None,
     ) -> None:
         if n_servers < 2:
             raise SnipError("a SNIP needs at least two verifiers")
@@ -556,78 +644,124 @@ class BatchedSnipVerifierParty:
         self.n_servers = n_servers
         self.is_leader = server_index == 0
         self.batch_size = batch_size
-        self._triples = triples
+        if matrix is not None:
+            self._force_pure = matrix.force_pure
+        else:
+            self._force_pure = None if use_numpy(force_pure) else True
 
         field = ctx.field
-        p = field.modulus
         m = ctx.n_mul_gates
         fns = ctx.batch_functionals()
         if matrix is None:
-            dots = [[] for _ in range(4 if m else 1)]
-        else:
-            dots = dot_batch_multi(field, fns.prepared(field), matrix)
+            zero = BatchVector.zeros(field, (batch_size,), self._force_pure)
+            self._f_r = self._rg_r = self._rh_r = zero
+            self._assertion_shares = zero
+            self._a = self._b = self._c = zero
+            return
+        dots = dot_batch_planes(field, fns.prepared(field), matrix)
         if m:
-            f_r, rg_r, rh_r, asserts = dots
+            f_r, rg_r, rh_r = dots.row(0), dots.row(1), dots.row(2)
+            asserts = dots.row(3)
             if self.is_leader:
-                f_r = [(v + fns.c_f) % p for v in f_r]
-                rg_r = [(v + fns.c_rg) % p for v in rg_r]
+                f_r = f_r.add_scalar(fns.c_f)
+                rg_r = rg_r.add_scalar(fns.c_rg)
+            width = matrix.shape[1]
+            self._a = matrix.column(width - 3)
+            self._b = matrix.column(width - 2)
+            self._c = matrix.column(width - 1)
         else:
-            (asserts,) = dots
-            f_r = rg_r = rh_r = [0] * self.batch_size
+            asserts = dots.row(0)
+            zero = BatchVector.zeros(field, (batch_size,), self._force_pure)
+            f_r = rg_r = rh_r = zero
+            self._a = self._b = self._c = zero
         if self.is_leader:
-            asserts = [(v + fns.c_assert) % p for v in asserts]
+            asserts = asserts.add_scalar(fns.c_assert)
         self._f_r = f_r
         self._rg_r = rg_r
         self._rh_r = rh_r
         self._assertion_shares = asserts
+        # The round algebra operates on (B,)-sized vectors.  The fused
+        # functional dots above want numpy whenever the matrix does,
+        # but at small B the per-op numpy dispatch dwarfs the work, so
+        # the round *state* drops to the pure backend (same BatchVector
+        # API, bit-exact) below the tiny-batch threshold.
+        if self._f_r._numpy and tiny_batch_force_pure(batch_size) is True:
+            self._force_pure = True
+            for name in (
+                "_f_r", "_rg_r", "_rh_r", "_assertion_shares",
+                "_a", "_b", "_c",
+            ):
+                vec = getattr(self, name)
+                setattr(
+                    self, name,
+                    BatchVector(field, vec.shape, vec.to_ints(), False),
+                )
 
     # ------------------------------------------------------------------
 
-    def round1_all(self) -> list[Round1Message]:
-        """Round-1 messages for every submission in the batch."""
+    def round1_all(self) -> Round1Batch:
+        """Round-1 broadcasts for the whole batch, in plane form."""
         if self.ctx.n_mul_gates == 0:
-            return [Round1Message(d=0, e=0)] * self.batch_size
-        f = self.field
-        return [
-            Round1Message(
-                d=f.sub(self._f_r[i], self._triples[i][0]),
-                e=f.sub(self._rg_r[i], self._triples[i][1]),
+            return Round1Batch.zeros(
+                self.field, self.batch_size, self._force_pure
             )
-            for i in range(self.batch_size)
-        ]
+        return Round1Batch(d=self._f_r - self._a, e=self._rg_r - self._b)
 
     def round2_all(
-        self, round1_by_submission: Sequence[Sequence[Round1Message]]
-    ) -> list[Round2Message]:
-        """Round-2 messages, given each submission's round-1 broadcasts."""
-        if len(round1_by_submission) != self.batch_size:
-            raise SnipError("need round-1 messages for every submission")
-        f = self.field
-        p = f.modulus
-        s_inv = (
-            pow(self.n_servers % p, -1, p) if self.ctx.n_mul_gates else 0
-        )
-        out = []
-        for i, msgs in enumerate(round1_by_submission):
-            if len(msgs) != self.n_servers:
-                raise SnipError("need a round-1 message from every server")
-            if self.ctx.n_mul_gates == 0:
-                sigma = 0
-            else:
-                d = sum(m.d for m in msgs) % p
-                e = sum(m.e for m in msgs) % p
-                a, b, c = self._triples[i]
-                sigma = (
-                    d * e % p * s_inv
-                    + d * b
-                    + e * a
-                    + c
-                    - self._rh_r[i]
-                ) % p
-            out.append(
-                Round2Message(sigma=sigma, assertion=self._assertion_shares[i])
+        self,
+        round1: "Sequence[Round1Batch] | Sequence[Sequence[Round1Message]]",
+    ) -> Round2Batch:
+        """Round-2 broadcasts, given every server's round-1 broadcasts.
+
+        ``round1`` is one :class:`Round1Batch` per server (the plane
+        form); per-submission ``Round1Message`` lists (one list per
+        submission, the scalar-wire seam) are accepted and converted.
+        """
+        round1 = list(round1)
+        field = self.field
+        if round1 and isinstance(round1[0], Round1Batch):
+            if len(round1) != self.n_servers:
+                raise SnipError("need a round-1 batch from every server")
+            for batch in round1:
+                if len(batch) != self.batch_size:
+                    raise SnipError(
+                        "round-1 batch does not cover every submission"
+                    )
+            d_total = _sum_across_servers([b.d for b in round1])
+            e_total = _sum_across_servers([b.e for b in round1])
+        else:
+            if len(round1) != self.batch_size:
+                raise SnipError("need round-1 messages for every submission")
+            p = field.modulus
+            for msgs in round1:
+                if len(msgs) != self.n_servers:
+                    raise SnipError(
+                        "need a round-1 message from every server"
+                    )
+            d_total = BatchVector.from_ints(
+                field,
+                [sum(m.d for m in msgs) % p for msgs in round1],
+                self._force_pure,
             )
-        return out
+            e_total = BatchVector.from_ints(
+                field,
+                [sum(m.e for m in msgs) % p for msgs in round1],
+                self._force_pure,
+            )
+        if self.ctx.n_mul_gates == 0:
+            sigma = BatchVector.zeros(
+                field, (self.batch_size,), self._force_pure
+            )
+        else:
+            s_inv = pow(self.n_servers % field.modulus, -1, field.modulus)
+            sigma = (
+                (d_total * e_total).scale(s_inv)
+                + d_total * self._b
+                + e_total * self._a
+                + self._c
+                - self._rh_r
+            )
+        return Round2Batch(sigma=sigma, assertion=self._assertion_shares)
 
 
 def verify_snip_batch(
@@ -660,23 +794,20 @@ def verify_snip_batch(
         for i in range(n_servers)
     ]
     round1_by_server = [party.round1_all() for party in parties]
-    round1_by_submission = [
-        [round1_by_server[s][i] for s in range(n_servers)]
-        for i in range(len(submissions))
-    ]
     round2_by_server = [
-        party.round2_all(round1_by_submission) for party in parties
+        party.round2_all(round1_by_server) for party in parties
     ]
-    p = ctx.field.modulus
-    outcomes = []
-    for i in range(len(submissions)):
-        sigma_total = sum(round2_by_server[s][i].sigma
-                          for s in range(n_servers)) % p
-        assertion_total = sum(round2_by_server[s][i].assertion
-                              for s in range(n_servers)) % p
-        outcomes.append(VerificationOutcome(
-            accepted=(sigma_total == 0 and assertion_total == 0),
-            sigma_total=sigma_total,
-            assertion_total=assertion_total,
-        ))
-    return outcomes
+    sigma_ints = _sum_across_servers(
+        [b.sigma for b in round2_by_server]
+    ).to_ints()
+    assertion_ints = _sum_across_servers(
+        [b.assertion for b in round2_by_server]
+    ).to_ints()
+    return [
+        VerificationOutcome(
+            accepted=(s == 0 and a == 0),
+            sigma_total=s,
+            assertion_total=a,
+        )
+        for s, a in zip(sigma_ints, assertion_ints)
+    ]

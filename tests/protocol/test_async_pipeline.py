@@ -1,0 +1,153 @@
+"""The asyncio pipeline front end must match the synchronous path."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.afe import BoolOrAfe, FrequencyCountAfe, IntegerSumAfe
+from repro.field import FIELD87
+from repro.protocol import AsyncPrioPipeline, PrioDeployment, run_pipelined
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xA51C)
+
+
+def _twin_deployments(afe, n_servers=3, batch_size=4, **kwargs):
+    """Two identical deployments (same server seed, same client rng)."""
+    return (
+        PrioDeployment.create(
+            afe, n_servers, seed=b"pipe", batch_size=batch_size,
+            rng=random.Random(99), **kwargs,
+        ),
+        PrioDeployment.create(
+            afe, n_servers, seed=b"pipe", batch_size=batch_size,
+            rng=random.Random(99), **kwargs,
+        ),
+    )
+
+
+def test_pipeline_matches_synchronous_decisions(rng):
+    afe = IntegerSumAfe(FIELD87, 8)
+    sync_dep, pipe_dep = _twin_deployments(afe)
+    values = [rng.randrange(256) for _ in range(19)]
+    accepted_sync = sync_dep.submit_many(values)
+    accepted_pipe = pipe_dep.submit_many_pipelined(values)
+    assert accepted_sync == accepted_pipe == 19
+    assert sync_dep.publish() == pipe_dep.publish() == sum(values)
+    assert (
+        pipe_dep.stats.n_submitted,
+        pipe_dep.stats.n_accepted,
+        pipe_dep.stats.n_rejected,
+    ) == (19, 19, 0)
+
+
+def test_pipeline_bad_submission_rejects_alone(rng):
+    """A corrupted share hidden mid-stream rejects alone, like the
+    synchronous batch path."""
+    afe = IntegerSumAfe(FIELD87, 8)
+    deployment = PrioDeployment.create(
+        afe, 2, batch_size=4, rng=rng, seed=b"pipe"
+    )
+    values = [rng.randrange(256) for _ in range(10)]
+    submissions = deployment.client.prepare_submissions(values)
+    bad = 6
+    packet = submissions[bad].packets[1]
+    body = bytearray(packet.body)
+    body[0] ^= 1
+    submissions[bad].packets[1] = replace(packet, body=bytes(body))
+
+    results = deployment.deliver_pipelined(submissions)
+    assert results == [True] * bad + [False] + [True] * 3
+    honest = sum(v for i, v in enumerate(values) if i != bad)
+    assert deployment.publish() == honest
+    assert deployment.stats.n_rejected == 1
+
+
+def test_pipeline_framing_failure_releases_other_servers(rng):
+    """A frame bad for one server only must not poison the id at the
+    servers that did receive it (honest retry succeeds)."""
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 2, batch_size=3, rng=rng)
+    submission = deployment.client.prepare_submission(9)
+    good_packet = submission.packets[1]
+    submission.packets[1] = replace(
+        good_packet, n_elements=good_packet.n_elements - 1,
+        body=good_packet.body[: -FIELD87.encoded_size],
+    )
+    assert deployment.deliver_pipelined([submission]) == [False]
+    submission.packets[1] = good_packet
+    assert deployment.deliver_pipelined([submission]) == [True]
+    assert deployment.publish() == 9
+    assert deployment.servers[0].n_replayed == 0
+
+
+def test_pipeline_replay_within_stream_rejected(rng):
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 2, batch_size=4, rng=rng)
+    subs = deployment.client.prepare_submissions([5, 9])
+    results = deployment.deliver_pipelined([subs[0], subs[1], subs[0]])
+    assert results == [True, True, False]
+    assert deployment.publish() == 14
+    assert deployment.servers[0].n_replayed == 1
+
+
+def test_pipeline_proof_free_afe(rng):
+    deployment = PrioDeployment.create(
+        BoolOrAfe(lambda_bits=32), 3, batch_size=2, rng=rng
+    )
+    assert deployment.submit_many_pipelined(
+        [False, False, True, False, False]
+    ) == 5
+    assert deployment.publish() is True
+
+
+def test_pipeline_encrypted_transport(rng):
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(
+        afe, 2, encrypt=True, batch_size=2, rng=rng
+    )
+    assert deployment.submit_many_pipelined([3, 7, 11]) == 3
+    assert deployment.publish() == 21
+
+
+def test_pipeline_histogram_many_batches(rng):
+    from collections import Counter
+
+    afe = FrequencyCountAfe(FIELD87, 5)
+    deployment = PrioDeployment.create(
+        afe, 2, batch_size=8, rng=rng, seed=b"hist"
+    )
+    values = [rng.randrange(5) for _ in range(41)]  # final partial batch
+    assert deployment.submit_many_pipelined(values) == 41
+    counts = Counter(values)
+    assert deployment.publish() == [counts.get(i, 0) for i in range(5)]
+
+
+def test_pipeline_stats_and_validation(rng):
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 2, batch_size=3, rng=rng)
+    with pytest.raises(ValueError):
+        AsyncPrioPipeline(deployment.servers, batch_size=0)
+    with pytest.raises(ValueError):
+        AsyncPrioPipeline(deployment.servers, queue_depth=0)
+    submissions = deployment.client.prepare_submissions([1, 2, 3, 4, 5])
+    decisions, stats = run_pipelined(
+        deployment.servers, submissions, batch_size=2
+    )
+    assert decisions == [True] * 5
+    assert stats.n_batches == 3
+    assert stats.batch_sizes == [2, 2, 1]
+
+
+def test_pipeline_epoch_rotation(rng):
+    afe = IntegerSumAfe(FIELD87, 2)
+    deployment = PrioDeployment.create(
+        afe, 2, epoch_size=3, batch_size=4, rng=rng
+    )
+    values = [rng.randrange(4) for _ in range(10)]
+    assert deployment.submit_many_pipelined(values) == 10
+    assert deployment.publish() == sum(values)
+    assert deployment.servers[0]._epoch >= 1
