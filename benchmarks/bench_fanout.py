@@ -1,0 +1,446 @@
+"""Multi-process server fan-out vs the PR-3 thread pipeline.
+
+Not a paper figure — this tracks PR 4's execution-backend work: the
+``executor="process"`` backend (one dedicated worker process per Prio
+server, :mod:`repro.protocol.fanout`) against the PR-3 thread-pool
+fan-out it extends.  Both sides run the identical staged pipeline and
+the identical plane-resident verification core on the same wire
+packets (F87; the Figure 4/5 one-bit vector-sum workload); the only
+variable is where each server's CPU work executes:
+
+``thread`` columns
+    The PR-3 backend: per-server stage work on a shared thread pool.
+    The SHAKE digests and limb matmuls release the GIL, but the Python
+    glue between kernels (Barrett carry loops, round algebra dispatch)
+    serializes on it — the single-host ceiling this PR removes.
+
+``process`` columns
+    One single-worker process pool per server; batch state crosses the
+    boundary in plane form (wire bytes in, pickled
+    ``Round1Batch``/``Round2Batch`` limb planes between rounds).  The
+    worker pools are created once and reused across the timed stream
+    (the per-run state push is included in the timing; pool *startup*
+    is reported separately, as ``pool_startup_s``).
+
+Decisions are asserted bit-identical across the ``inline`` / ``thread``
+/ ``process`` backends.  Emits ``benchmarks/results/fanout.json`` plus
+a ``BENCH_fanout.json`` record at the repo root.
+
+Gates (pytest):
+
+* decisions identical across all three backends (every host);
+* on a multi-core numpy host, process >= 1.5x thread end-to-end at
+  batch 64 (the acceptance gate; skipped on single-CPU hosts, where
+  there is no second core for the worker processes to use);
+* batch-of-one parity: the pipeline's per-submission overhead vs the
+  synchronous unified core stays within a few percent (no per-stream
+  regression from the executor seam).
+
+Runs under pytest *and* as a plain script —
+``python benchmarks/bench_fanout.py [--smoke]`` — which is what the CI
+fanout-smoke job executes on both backends.
+"""
+
+import json
+import os
+import pathlib
+import random
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from common import FULL, emit_table, fmt_rate, fmt_seconds
+
+from bench_pipeline import (
+    N_SERVERS,
+    _fresh_servers,
+    _reset_servers,
+    _workload,
+)
+from repro.field import backend_name
+from repro.protocol import AsyncPrioPipeline, ProcessFanout
+from repro.protocol.fanout import default_executor
+from repro.protocol.server import PendingSubmission
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+# ----------------------------------------------------------------------
+# The PR-3 pipeline, frozen for baseline comparability (do not "fix"
+# this: it is the shipped PR-3 implementation — thread-pool fan-out of
+# bound server methods, including its fire-and-forget executor
+# shutdown — kept verbatim so the speedup column measures this PR's
+# work and nothing else).
+# ----------------------------------------------------------------------
+
+import asyncio  # noqa: E402  (used by the frozen baseline)
+
+_DONE = object()
+
+
+class _Pr3IngestedBatch:
+    __slots__ = ("indices", "pendings_by_server")
+
+    def __init__(self, indices, pendings_by_server):
+        self.indices = indices
+        self.pendings_by_server = pendings_by_server
+
+
+class Pr3Pipeline:
+    """PR 3's ``AsyncPrioPipeline``, verbatim modulo cosmetics."""
+
+    def __init__(self, servers, batch_size=64, queue_depth=2):
+        self.servers = servers
+        self.batch_size = batch_size
+        self.queue_depth = queue_depth
+
+    def run(self, submissions):
+        return asyncio.run(self._run_async(submissions))
+
+    async def _run_async(self, submissions):
+        submissions = list(submissions)
+        results = [False] * len(submissions)
+        executor = default_executor(len(self.servers))
+        try:
+            ingest_q = asyncio.Queue(self.queue_depth)
+            verify_q = asyncio.Queue(self.queue_depth)
+            tasks = [
+                asyncio.create_task(self._batcher(submissions, ingest_q)),
+                asyncio.create_task(self._ingest_stage(
+                    submissions, ingest_q, verify_q, results, executor
+                )),
+                asyncio.create_task(
+                    self._verify_stage(verify_q, results, executor)
+                ),
+            ]
+            try:
+                await asyncio.gather(*tasks)
+            except BaseException:
+                for task in tasks:
+                    task.cancel()
+                raise
+        finally:
+            executor.shutdown(wait=False)  # the PR-3 lifecycle bug
+        return results
+
+    async def _batcher(self, submissions, ingest_q):
+        batch = []
+        for index in range(len(submissions)):
+            batch.append(index)
+            if len(batch) >= self.batch_size:
+                await ingest_q.put(batch)
+                batch = []
+        if batch:
+            await ingest_q.put(batch)
+        await ingest_q.put(_DONE)
+
+    def _receive_one_server(self, server, submissions, indices):
+        return server.receive_batch(
+            [submissions[i].packets[server.server_index] for i in indices]
+        )
+
+    async def _ingest_stage(
+        self, submissions, ingest_q, verify_q, results, executor
+    ):
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await ingest_q.get()
+            if batch is _DONE:
+                await verify_q.put(_DONE)
+                return
+            received = await asyncio.gather(*[
+                loop.run_in_executor(
+                    executor,
+                    self._receive_one_server, server, submissions, batch,
+                )
+                for server in self.servers
+            ])
+            survivors = []
+            pendings_by_server = [[] for _ in self.servers]
+            for pos, index in enumerate(batch):
+                row = [received[s][pos] for s in range(len(self.servers))]
+                if any(isinstance(r, Exception) for r in row):
+                    for server, r in zip(self.servers, row):
+                        if isinstance(r, PendingSubmission):
+                            server.abandon(r)
+                    results[index] = False
+                    continue
+                survivors.append(index)
+                for s, r in enumerate(row):
+                    pendings_by_server[s].append(r)
+            if survivors:
+                await asyncio.gather(*[
+                    loop.run_in_executor(
+                        executor, server._ingest_batch, pendings
+                    )
+                    for server, pendings in zip(
+                        self.servers, pendings_by_server
+                    )
+                    if pendings
+                ])
+            await verify_q.put(
+                _Pr3IngestedBatch(survivors, pendings_by_server)
+            )
+
+    async def _verify_stage(self, verify_q, results, executor):
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await verify_q.get()
+            if item is _DONE:
+                return
+            if not item.indices:
+                continue
+            begun = await asyncio.gather(*[
+                loop.run_in_executor(
+                    executor, server.begin_verification_batch, pendings,
+                )
+                for server, pendings in zip(
+                    self.servers, item.pendings_by_server
+                )
+            ])
+            parties = [party for party, _ in begun]
+            round1_batches = [round1 for _, round1 in begun]
+            round2_batches = [
+                server.finish_verification_batch(party, round1_batches)
+                for server, party in zip(self.servers, parties)
+            ]
+            decisions = self.servers[0].decide_batch(round2_batches)
+            for server, pendings in zip(
+                self.servers, item.pendings_by_server
+            ):
+                server.accumulate_batch(pendings, decisions)
+            for index, accepted in zip(item.indices, decisions):
+                results[index] = accepted
+
+
+def _run_pr3(servers, submissions, batch):
+    _reset_servers(servers)
+    pipeline = Pr3Pipeline(servers, batch_size=batch)
+    return pipeline.run(submissions)
+
+
+def _run_pipeline(servers, submissions, batch, executor):
+    _reset_servers(servers)
+    pipeline = AsyncPrioPipeline(servers, batch_size=batch, executor=executor)
+    decisions = pipeline.run(submissions)
+    return decisions, pipeline.stats
+
+
+def _interleaved_best(fns, rounds):
+    """Best-of wall times, measured round-robin.
+
+    The compared implementations run adjacent in time in every round,
+    so slow host drift (noisy-neighbor containers, thermal throttling)
+    hits all columns alike instead of whichever ran last.
+    """
+    best = [float("inf")] * len(fns)
+    for _ in range(rounds):
+        for i, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(smoke=False):
+    length = 256 if (smoke or not FULL) else 1024
+    batch_sizes = (16, 64) if not FULL else (16, 64, 256)
+    n_batches = 3
+    repeat = 2 if smoke else 3
+    rng = random.Random(1307)
+    cpu_count = os.cpu_count() or 1
+    record = {
+        "field": "F87",
+        "afe": f"vector-sum-{length}x1bit",
+        "n_servers": N_SERVERS,
+        "backend": backend_name(),
+        "cpu_count": cpu_count,
+        "smoke": smoke,
+        "full_scale": FULL,
+        "points": [],
+    }
+    rows = []
+
+    # -- one fixed stream per batch size; all backends must agree.
+    max_batch = max(batch_sizes)
+    afe, _ctx, submissions, _n = _workload(length, max_batch * n_batches, rng)
+    servers = _fresh_servers(afe)
+
+    start = time.perf_counter()
+    fanout = ProcessFanout(servers)
+    record["pool_startup_s"] = time.perf_counter() - start
+    try:
+        # Correctness first: the executor knob must be unobservable,
+        # and the new pipeline must decide exactly like frozen PR 3.
+        pr3_decisions = _run_pr3(servers, submissions, 64)
+        assert all(pr3_decisions), "honest stream must verify"
+        reference = (tuple(pr3_decisions), servers[0].n_accepted)
+        for backend in ("inline", "thread", fanout):
+            decisions, stats = _run_pipeline(
+                servers, submissions, 64, backend
+            )
+            key = (tuple(decisions), servers[0].n_accepted)
+            assert key == reference, "backends disagree with PR 3"
+        record["decisions_identical"] = True
+
+        for batch in batch_sizes:
+            stream = submissions[: batch * n_batches]
+            pr3_s, thread_s, process_s = _interleaved_best(
+                [
+                    lambda: _run_pr3(servers, stream, batch),
+                    lambda: _run_pipeline(servers, stream, batch, "thread"),
+                    lambda: _run_pipeline(servers, stream, batch, fanout),
+                ],
+                rounds=repeat,
+            )
+            point = {
+                "batch_size": batch,
+                "n_submissions": len(stream),
+                "pr3_s": pr3_s,
+                "thread_s": thread_s,
+                "process_s": process_s,
+                "speedup": pr3_s / process_s,
+                "speedup_vs_thread": thread_s / process_s,
+                "process_subs_per_s": len(stream) / process_s,
+            }
+            record["points"].append(point)
+            rows.append([
+                batch,
+                fmt_seconds(pr3_s),
+                fmt_seconds(thread_s),
+                fmt_seconds(process_s),
+                f"{point['speedup']:.2f}x",
+                fmt_rate(len(stream) / process_s),
+            ])
+
+        # -- batch-of-one parity: the executor seam must add no
+        # per-submission overhead over the frozen PR-3 pipeline at
+        # batch_size=1 (identical staging, identical default backend).
+        n_scalar = 8 if smoke else 16
+        scalar_stream = submissions[:n_scalar]
+        pr3_scalar_s, pipe1_s = _interleaved_best(
+            [
+                lambda: _run_pr3(servers, scalar_stream, 1),
+                lambda: _run_pipeline(servers, scalar_stream, 1, None),
+            ],
+            rounds=repeat + 4,
+        )
+        record["scalar"] = {
+            "n_submissions": n_scalar,
+            "pr3_s": pr3_scalar_s,
+            "pipeline_s": pipe1_s,
+            "parity": pr3_scalar_s / pipe1_s,
+            "pipeline_subs_per_s": n_scalar / pipe1_s,
+        }
+    finally:
+        fanout.close()
+
+    # The acceptance gate is scoped to multi-core numpy hosts — with a
+    # single CPU there is no second core for the worker processes, so
+    # the record documents applicability alongside the measurement.
+    gate_applies = record["backend"] == "numpy" and cpu_count >= 2
+    gate_point = next(
+        (p for p in record["points"] if p["batch_size"] >= 64), None
+    )
+    record["gate"] = {
+        "required_speedup_at_batch_64": 1.5,
+        "applies": gate_applies,
+        "passed": (
+            bool(gate_point and gate_point["speedup"] >= 1.5)
+            if gate_applies else None
+        ),
+    }
+    if cpu_count < 2:
+        record["gate"]["note"] = (
+            "single-CPU host: worker processes have no second core, so "
+            "this record documents crossing overhead only; the >=1.5x "
+            "multi-core gate is enforced by the CI bench-fanout-smoke "
+            "job on multi-core runners"
+        )
+
+    notes = [
+        "pr3 = frozen PR-3 pipeline (thread-pool fan-out, its default"
+        " executor); thread = this PR's seam on the thread backend;"
+        " process = one worker process per server, plane-form crossing",
+        f"host: {cpu_count} cpu(s) — the >=1.5x gate applies on"
+        " multi-core numpy hosts only",
+        f"process pool startup ({N_SERVERS} workers + state push):"
+        f" {fmt_seconds(record['pool_startup_s'])}, amortized across runs",
+        f"batch-of-one: {record['scalar']['parity']:.2f}x of the frozen"
+        " PR-3 pipeline",
+    ]
+    emit_table(
+        "fanout",
+        f"Process fan-out vs PR-3 thread pipeline (F87, L = {length} "
+        f"one-bit integers, {N_SERVERS} servers, backend: "
+        f"{record['backend']}, {cpu_count} cpus)",
+        ["batch", "pr3", "thread", "process", "speedup", "subs/s process"],
+        rows,
+        notes=notes,
+    )
+    (REPO_ROOT / "BENCH_fanout.json").write_text(json.dumps(record, indent=2))
+    return record
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def fanout_data():
+        return run_benchmark()
+
+    def test_decisions_identical_across_backends(fanout_data):
+        assert fanout_data["decisions_identical"]
+
+    def test_process_beats_thread_on_multicore(fanout_data):
+        """The acceptance gate: >= 1.5x over the PR-3 thread pipeline
+        at batch 64 on a multi-core numpy host."""
+        if fanout_data["backend"] != "numpy":
+            pytest.skip("gate defined on the numpy backend")
+        if fanout_data["cpu_count"] < 2:
+            pytest.skip(
+                "gate defined for multi-core hosts (worker processes "
+                "have no second core here)"
+            )
+        point = next(
+            p for p in fanout_data["points"] if p["batch_size"] >= 64
+        )
+        assert point["speedup"] >= 1.5
+
+    def test_batch_of_one_parity(fanout_data):
+        """The executor seam must not tax the per-submission path:
+        within a few % of the frozen PR-3 pipeline at batch_size=1."""
+        if fanout_data["backend"] != "numpy":
+            pytest.skip("gate defined on the numpy backend")
+        assert fanout_data["scalar"]["parity"] > 0.9
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    result = run_benchmark(smoke=smoke)
+    for point in result["points"]:
+        print(
+            f"batch {point['batch_size']:4d}: "
+            f"pr3 {point['pr3_s'] * 1e3:8.1f}ms  "
+            f"thread {point['thread_s'] * 1e3:8.1f}ms  "
+            f"process {point['process_s'] * 1e3:8.1f}ms  "
+            f"{point['speedup']:.2f}x"
+        )
+    scalar = result["scalar"]
+    print(
+        f"batch    1: {scalar['parity']:.2f}x of the frozen PR-3 pipeline "
+        f"({fmt_rate(scalar['pipeline_subs_per_s'])} subs/s)"
+    )
+    print(
+        f"backend={result['backend']} cpus={result['cpu_count']} "
+        f"-> BENCH_fanout.json"
+    )

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro import PrioDeployment
 from repro.field import FIELD87
-from repro.protocol.dp import add_noise_to_accumulator, discrete_laplace_scale
+from repro.protocol.dp import discrete_laplace_scale
 from repro.workloads import CellSignalAfe
 
 GRID = 4  # 4x4 grid, the "Geneva" scale of Figure 7
@@ -49,12 +49,12 @@ def main() -> None:
 
     # --- DP extension: each server noises its accumulator before
     # publishing.  Sensitivity per cell is 15 (one phone's max value).
+    # The noise is sampled batched and added to the accumulator's limb
+    # planes — the aggregate only decodes to ints at publish().
     generator = np.random.default_rng(123)
     for server in deployment.servers:
-        server.accumulator = add_noise_to_accumulator(
-            FIELD87, server.accumulator,
-            epsilon=EPSILON, sensitivity=15.0,
-            n_servers=len(deployment.servers), generator=generator,
+        server.add_dp_noise(
+            epsilon=EPSILON, sensitivity=15.0, generator=generator
         )
     scale = discrete_laplace_scale(EPSILON, 15.0)
     print(f"per-cell DP noise stddev ~ {scale:.1f} (epsilon = {EPSILON})")

@@ -1205,6 +1205,65 @@ def assemble_rows(
     return BatchVector.from_ints(field, rows, force_pure)
 
 
+def signed_delta_batch(
+    field: PrimeField,
+    positives,
+    negatives,
+    force_pure: bool | None = None,
+) -> BatchVector:
+    """``(positives - negatives) mod p`` as a 1-D batch, vectorized.
+
+    ``positives``/``negatives`` are equal-length sequences of small
+    nonnegative integers — anything numpy can view as ``int64`` (e.g.
+    batched Poisson draws).  This is the signed-embedding seam the
+    distributed differential-privacy noising uses: each server's noise
+    share is a difference of two Polya draws, and mapping it into the
+    field plane-resident means the noised accumulator never crosses to
+    Python ints before ``publish()``.
+
+    On the numpy backend the limb split is ``L`` shift-and-mask passes
+    over the ``int64`` input followed by one vectorized modular
+    subtraction — no per-component Python-int field ops anywhere.
+    """
+    if use_numpy(force_pure):
+        ctx = _ctx(field)
+        pos = _np.asarray(positives, dtype=_np.int64)
+        neg = _np.asarray(negatives, dtype=_np.int64)
+        if pos.ndim != 1 or pos.shape != neg.shape:
+            raise FieldError("signed_delta_batch needs equal 1-D inputs")
+        if pos.size and (bool((pos < 0).any()) or bool((neg < 0).any())):
+            raise FieldError("signed_delta_batch inputs must be nonnegative")
+        if field.modulus.bit_length() <= 63:
+            modulus = _np.int64(field.modulus)
+            pos = pos % modulus
+            neg = neg % modulus
+        # else: any int64 value is already < p, hence canonical.
+        L = ctx.n_limbs
+        pos_planes = _np.zeros((L,) + pos.shape, dtype=_np.int64)
+        neg_planes = _np.zeros((L,) + neg.shape, dtype=_np.int64)
+        for i in range(L):
+            shift = LIMB_BITS * i
+            if shift >= 63:
+                break  # int64 inputs have no bits there; a >=64-bit
+                # numpy shift would also be undefined, not zero
+            pos_planes[i] = (pos >> shift) & LIMB_MASK
+            neg_planes[i] = (neg >> shift) & LIMB_MASK
+        return BatchVector(
+            field, pos.shape, _np_sub(ctx, pos_planes, neg_planes), True
+        )
+    p = field.modulus
+    positives = [int(v) for v in positives]
+    negatives = [int(v) for v in negatives]
+    if len(positives) != len(negatives):
+        raise FieldError("signed_delta_batch needs equal 1-D inputs")
+    if any(v < 0 for v in positives) or any(v < 0 for v in negatives):
+        raise FieldError("signed_delta_batch inputs must be nonnegative")
+    return BatchVector(
+        field, (len(positives),),
+        [(a - b) % p for a, b in zip(positives, negatives)], False,
+    )
+
+
 def dot_batch_planes(
     field: PrimeField,
     weights_list: "Sequence[Sequence[int]] | PreparedWeights",

@@ -7,6 +7,15 @@ from repro.protocol.dp import (
     add_noise_to_accumulator,
     discrete_laplace_scale,
     server_noise_share,
+    server_noise_vector,
+)
+from repro.protocol.fanout import (
+    EXECUTOR_KINDS,
+    FanoutError,
+    LocalFanout,
+    ProcessFanout,
+    ServerFanout,
+    resolve_fanout,
 )
 from repro.protocol.pipeline import (
     AsyncPrioPipeline,
@@ -44,6 +53,13 @@ __all__ = [
     "add_noise_to_accumulator",
     "discrete_laplace_scale",
     "server_noise_share",
+    "server_noise_vector",
+    "EXECUTOR_KINDS",
+    "FanoutError",
+    "LocalFanout",
+    "ProcessFanout",
+    "ServerFanout",
+    "resolve_fanout",
     "ClientRegistry",
     "GatedDeployment",
     "GatedServer",

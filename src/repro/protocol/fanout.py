@@ -1,0 +1,593 @@
+"""Per-server execution backends for the verification pipeline.
+
+PR 3 staged the pipeline over asyncio queues with per-server *thread*
+fan-out.  The hot kernels (SHAKE digests, numpy limb matmuls) release
+the GIL, but everything between them — the Barrett carry loops, the
+per-limb convolution dispatch, the round algebra at small batch sizes
+— runs under it, which caps single-host overlap well below the core
+count (the ROADMAP's "GIL ceiling").  Prio's deployment model assumes
+each server runs on its own hardware (NSDI 2017 §6); this module makes
+that real on one host: an ``executor="process"`` backend gives every
+:class:`~repro.protocol.server.PrioServer` a dedicated worker process
+that owns the server's entire state (replay sets, epoch counters, the
+plane-resident accumulator) for the duration of a run.
+
+Three backends, one semantics
+-----------------------------
+
+Every backend drives the *same* op implementation, :class:`_ServerOps`
+— a thin batch-id-keyed wrapper over the ``PrioServer`` batch entry
+points — so accept/reject decisions are bit-identical by construction:
+
+``inline``
+    Ops run on the calling thread.  Right on single-CPU hosts, where
+    hand-offs cost latency and buy nothing.
+
+``thread``
+    Ops run on a shared :class:`~concurrent.futures.ThreadPoolExecutor`
+    (the PR-3 behavior, still the default: at tiny batches the work per
+    op is far below process-crossing cost).
+
+``process``
+    One single-worker :class:`~concurrent.futures.ProcessPoolExecutor`
+    per server.  The single worker pins each server's mutable state to
+    exactly one process — ops for server ``i`` always execute where
+    server ``i`` lives — while distinct servers verify genuinely in
+    parallel, GIL-free.
+
+What crosses the process boundary
+---------------------------------
+
+Everything crosses in plane form, never as per-element Python ints:
+
+* **inbound** — each server's slice of a batch's wire packets
+  (``bytes`` bodies; seeds stay 16-byte seeds and expand worker-side),
+* **between rounds** — :class:`~repro.snip.verifier.Round1Batch` /
+  ``Round2Batch``, i.e. two ``(B,)`` limb planes each (pickling a
+  :class:`~repro.field.batch.BatchVector` serializes the int64 plane
+  buffer directly),
+* **outbound** — per-position receive verdicts and, at run end, one
+  state snapshot per server (plane accumulator + counters + replay
+  ids) merged back into the driver's server objects so ``publish()``
+  and the deployment statistics keep working unchanged.
+
+The ingested ``(B, z_len)`` share matrix and the verifier party never
+cross at all: they are born and die inside the worker.
+
+Worker lifecycle is strict: pools shut down with ``wait=True`` so
+repeated runs leak neither threads nor child processes, and a crashed
+worker (``BrokenProcessPool``) fails the affected batches without
+hanging the pipeline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.protocol.server import PendingSubmission, PrioServer
+
+#: executor knob values accepted everywhere the pipeline is exposed
+EXECUTOR_KINDS = ("inline", "thread", "process", "auto")
+
+#: ``executor="auto"`` picks the process backend only at or above this
+#: batch size — below it, process-crossing overhead beats the GIL win
+AUTO_PROCESS_MIN_BATCH = 32
+
+
+class FanoutError(ValueError):
+    """Raised for an unknown ``executor`` selection."""
+
+
+class _InlineExecutor:
+    """Executor that runs work on the calling thread.
+
+    On a single-CPU host, thread hand-offs cost latency and buy no
+    parallelism (the GIL-releasing kernels have no second core to run
+    on), so the pipeline keeps its staged structure but executes stage
+    work inline.  Implements the two Executor methods asyncio uses.
+    """
+
+    def submit(self, fn, *args):
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 - mirror Executor
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait=True):  # noqa: ARG002 - Executor interface
+        return None
+
+
+def default_executor(n_servers: int):
+    """Thread pool sized to the host, or inline when threads cannot help."""
+    if (os.cpu_count() or 1) <= 1:
+        return _InlineExecutor()
+    return ThreadPoolExecutor(max_workers=max(2, n_servers))
+
+
+# ----------------------------------------------------------------------
+# The shared op implementation
+# ----------------------------------------------------------------------
+
+
+class _BatchState:
+    """One in-flight verification batch at one server."""
+
+    __slots__ = ("received", "pendings", "party")
+
+    def __init__(self) -> None:
+        #: per-position ``PendingSubmission | Exception`` (receive output)
+        self.received: "list | None" = None
+        #: survivors, in stream order (set at ingest)
+        self.pendings: "list[PendingSubmission] | None" = None
+        self.party = None
+
+
+class _ServerOps:
+    """Batch-id-keyed pipeline ops over one :class:`PrioServer`.
+
+    Every backend — inline, thread, process — executes exactly this
+    class, so the pipeline's semantics cannot drift between them.  In
+    process mode an instance lives in the worker that owns the server;
+    locally one instance per server lives in the driver process.
+
+    The pipeline ops (`receive`/`ingest`/`round1`/`round2`/
+    `accumulate`) key state by an opaque ``batch_id``; the simulated
+    cluster uses the submission-id-keyed group ops below them.
+    """
+
+    def __init__(self, server: PrioServer) -> None:
+        self.server = server
+        self._batches: dict[int, _BatchState] = {}
+        #: undecided cluster pendings, keyed by submission id
+        self._by_sid: dict[bytes, PendingSubmission] = {}
+        #: cluster verification groups, keyed by group id
+        self._groups: dict[int, "tuple[list[PendingSubmission], object]"] = {}
+
+    # -- pipeline ops ---------------------------------------------------
+
+    def receive(self, batch_id: int, payloads, encrypt: bool):
+        """Frame-validate one server's packets; pendings stay resident.
+
+        Returns one ``None`` (success) or the raised exception per
+        position — the cross-boundary form; the heavy
+        :class:`PendingSubmission` objects (latent seeds, decoded
+        planes) never leave this process.
+        """
+        server = self.server
+        if encrypt:
+            received: list = []
+            for sealed in payloads:
+                try:
+                    received.append(server.receive_sealed(sealed))
+                except ValueError as exc:
+                    received.append(exc)
+        else:
+            received = server.receive_batch(payloads)
+        state = self._batches[batch_id] = _BatchState()
+        state.received = received
+        return [r if isinstance(r, Exception) else None for r in received]
+
+    def ingest(self, batch_id: int, keep) -> None:
+        """Commit receive: abandon non-survivors, plane-ingest the rest.
+
+        ``keep`` holds the positions (into this batch's payloads) that
+        every server received successfully.  Positions this server
+        received but a peer did not are abandoned — the mirror of the
+        synchronous fan-out rule: no decision was made, so an honest
+        retry must not be mistaken for a replay.
+        """
+        state = self._batches[batch_id]
+        keep_set = set(keep)
+        survivors: list[PendingSubmission] = []
+        for pos, received in enumerate(state.received):
+            if not isinstance(received, PendingSubmission):
+                continue
+            if pos in keep_set:
+                survivors.append(received)
+            else:
+                self.server.abandon(received)
+        state.received = None
+        state.pendings = survivors
+        if survivors:
+            self.server._ingest_batch(survivors)
+        else:
+            # Nothing to verify: the batch is settled here and now.
+            del self._batches[batch_id]
+
+    def round1(self, batch_id: int):
+        state = self._batches[batch_id]
+        state.party, batch = self.server.begin_verification_batch(
+            state.pendings
+        )
+        return batch
+
+    def round2(self, batch_id: int, round1_batches):
+        state = self._batches[batch_id]
+        return self.server.finish_verification_batch(
+            state.party, round1_batches
+        )
+
+    def accumulate(self, batch_id: int, decisions) -> None:
+        state = self._batches[batch_id]
+        self.server.accumulate_batch(state.pendings, decisions)
+        del self._batches[batch_id]
+
+    def _settle_undecided(self, batch_id: int, settle) -> None:
+        """Apply ``settle`` to every undecided pending of a batch."""
+        state = self._batches.pop(batch_id, None)
+        if state is None:
+            return
+        for pending in state.pendings or ():
+            settle(pending)
+        for received in state.received or ():
+            if isinstance(received, PendingSubmission):
+                settle(received)
+
+    def reject_all(self, batch_id: int) -> None:
+        """Defensive sweep: reject every undecided pending of a batch.
+
+        Used when a verification round failed mid-batch (the mirror of
+        the synchronous path's whole-batch rejection) — shapes were
+        validated at receive time, so rather than mis-credit anything,
+        every received submission is rejected individually.
+        """
+        self._settle_undecided(batch_id, self.server.reject)
+
+    def abandon_all(self, batch_id: int) -> None:
+        """Release every received-but-undecided pending of a batch.
+
+        Used when receive/ingest failed partway across the server
+        fan-out: ids must not stay pending (honest retries would look
+        like replays) and must not enter the seen set (no decision)."""
+        self._settle_undecided(batch_id, self.server.abandon)
+
+    def abandon_open(self) -> None:
+        """Release every batch still open at this server.
+
+        The pipeline's abnormal-exit sweep (cancellation, fatal error):
+        in-flight batches were received but will never be decided, so
+        their ids must leave the pending set — an honest retry of the
+        same submissions after the interrupted run must succeed — and
+        their plane share matrices must not outlive the run on a
+        reused backend."""
+        for batch_id in list(self._batches):
+            self.abandon_all(batch_id)
+
+    # -- cluster (group) ops -------------------------------------------
+
+    def receive_one(self, packet):
+        """Scalar receive for the simulated cluster; returns the id."""
+        pending = self.server.receive(packet)
+        self._by_sid[pending.submission_id] = pending
+        return pending.submission_id
+
+    def begin_group(self, gid: int, sids):
+        pendings = [self._by_sid.pop(sid) for sid in sids]
+        party, round1 = self.server.begin_verification_batch(pendings)
+        self._groups[gid] = (pendings, party)
+        return round1
+
+    def finish_group(self, gid: int, round1_batches):
+        _, party = self._groups[gid]
+        return self.server.finish_verification_batch(party, round1_batches)
+
+    def settle_group(self, gid: int, decisions) -> None:
+        pendings, _ = self._groups.pop(gid)
+        self.server.accumulate_batch(pendings, decisions)
+
+    # -- state sync (process backend) ----------------------------------
+
+    def snapshot(self):
+        return self.server.snapshot_state()
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+
+
+def _consume_exception(future) -> None:
+    """Mark a future's exception retrieved (cancellation cleanup)."""
+    if not future.cancelled():
+        future.exception()
+
+
+class ServerFanout:
+    """Executes :class:`_ServerOps` calls for a set of servers.
+
+    ``call`` is the asyncio seam the pipeline awaits; ``call_sync`` is
+    the blocking seam the simulated cluster drives from its event loop.
+    ``begin_run``/``end_run`` bracket one pipeline run (the process
+    backend pushes/pulls server state there); ``close`` releases every
+    worker, waiting for them — no leaked threads or child processes.
+    """
+
+    kind = "base"
+
+    def call(self, s: int, op: str, *args):
+        raise NotImplementedError
+
+    async def sweep(self, op: str, args_per_server):
+        """One ``op`` per server, all submitted before any is awaited.
+
+        The pipeline's workhorse: submission happens eagerly (so
+        thread/process backends run the servers genuinely in parallel)
+        and awaiting a completed future suspends nothing (so the inline
+        backend pays no ``gather`` scheduling overhead — this is what
+        keeps batch-of-one at parity with PR 3).  The first failure is
+        re-raised after every future has been drained, so no worker
+        exception goes unretrieved.
+        """
+        futures = [
+            self.call(s, op, *args)
+            for s, args in enumerate(args_per_server)
+        ]
+        results = []
+        error: "BaseException | None" = None
+        for position, future in enumerate(futures):
+            try:
+                results.append(await future)
+            except asyncio.CancelledError:
+                # The *stage task* is being cancelled (worker futures
+                # themselves never cancel — executors run them to
+                # completion).  Cancellation must win over any earlier
+                # worker error: folding it into the error slot would
+                # consume the task's one-shot cancellation and leave
+                # the pipeline waiting on stages that already stopped
+                # producing.  Silence the undrained futures first so no
+                # worker exception goes unretrieved.
+                for remaining in futures[position:]:
+                    remaining.add_done_callback(_consume_exception)
+                raise
+            except BaseException as exc:  # noqa: BLE001 - drain them all
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return results
+
+    def call_sync(self, s: int, op: str, *args):
+        raise NotImplementedError
+
+    def begin_run(self) -> None:
+        return None
+
+    def end_run(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+class LocalFanout(ServerFanout):
+    """Ops against the driver-process servers, inline or on a thread pool."""
+
+    def __init__(
+        self,
+        servers: "list[PrioServer]",
+        executor=None,
+        own_executor: "bool | None" = None,
+    ) -> None:
+        self.servers = servers
+        self.ops = [_ServerOps(server) for server in servers]
+        self._own_executor = (
+            executor is None if own_executor is None else own_executor
+        )
+        self.executor = (
+            default_executor(len(servers)) if executor is None else executor
+        )
+        self.kind = (
+            "inline" if isinstance(self.executor, _InlineExecutor)
+            else "thread"
+        )
+
+    def call(self, s: int, op: str, *args):
+        loop = asyncio.get_running_loop()
+        return loop.run_in_executor(
+            self.executor, getattr(self.ops[s], op), *args
+        )
+
+    def call_sync(self, s: int, op: str, *args):
+        return self.executor.submit(getattr(self.ops[s], op), *args).result()
+
+    def close(self) -> None:
+        # wait=True: repeated runs must not accumulate worker threads.
+        if self._own_executor:
+            self.executor.shutdown(wait=True)
+
+
+# Worker-process global: the one server this worker owns.
+_WORKER_OPS: "_ServerOps | None" = None
+
+
+def _worker_install(server: PrioServer) -> None:
+    global _WORKER_OPS
+    _WORKER_OPS = _ServerOps(server)
+
+
+def _worker_call(op: str, args):
+    return getattr(_WORKER_OPS, op)(*args)
+
+
+class ProcessFanout(ServerFanout):
+    """One single-worker process pool per server (state residency).
+
+    ``max_workers=1`` is load-bearing: it guarantees every op for
+    server ``i`` executes in the one process that holds server ``i``'s
+    replay sets, epoch counters, in-flight batch planes, and
+    accumulator.  Parallelism comes from the *pools* being distinct —
+    the per-server work of a batch runs on as many cores as there are
+    servers, with no GIL in common.
+
+    ``begin_run`` ships each (picklable) server into its worker;
+    ``end_run`` pulls a state snapshot back and merges it into the
+    driver-process server objects, so publishes, statistics, and replay
+    protection carry across runs and across backend switches.
+    """
+
+    kind = "process"
+    #: set by end_run when a dead worker's state could not be merged
+    #: back — the server set may be divergent (see the warning there)
+    degraded = False
+
+    def __init__(self, servers: "list[PrioServer]", mp_context=None) -> None:
+        import multiprocessing
+
+        if mp_context is None:
+            # Follow the interpreter's default start method (fork on
+            # Linux <= 3.13, forkserver afterward — upstream moved away
+            # from forking inside threaded processes for good reason);
+            # REPRO_MP_START overrides for hosts that need e.g. spawn.
+            method = os.environ.get("REPRO_MP_START")
+            mp_context = multiprocessing.get_context(method or None)
+        self.servers = servers
+        self.pools: "list[ProcessPoolExecutor]" = []
+        try:
+            for _ in servers:
+                self.pools.append(
+                    ProcessPoolExecutor(max_workers=1, mp_context=mp_context)
+                )
+            self.begin_run()
+        except BaseException:
+            self.close()
+            raise
+
+    def begin_run(self) -> None:
+        # Push current driver-side state into every worker (one pickle
+        # of the whole server: afe, warm verification context, replay
+        # sets, plane accumulator).  Fanned out, then awaited.
+        futures = [
+            pool.submit(_worker_install, server)
+            for pool, server in zip(self.pools, self.servers)
+        ]
+        for future in futures:
+            future.result()
+
+    def end_run(self) -> None:
+        futures = []
+        for pool in self.pools:
+            try:
+                futures.append(pool.submit(_worker_call, "snapshot", ()))
+            except Exception:  # noqa: BLE001 - broken pool: keep old state
+                futures.append(None)
+        stale: list[int] = []
+        for s, (server, future) in enumerate(zip(self.servers, futures)):
+            if future is None:
+                stale.append(s)
+                continue
+            try:
+                server.restore_state(future.result())
+            except Exception:  # noqa: BLE001 - a dead worker keeps old state
+                stale.append(s)
+        if stale:
+            # A worker died after possibly committing batches its
+            # driver-side server never sees: the server set may now be
+            # divergent (shares no longer cancel at publish).  The run
+            # already failed its remaining batches; make the state loss
+            # visible too rather than letting publish() present a
+            # silently corrupted aggregate.
+            import warnings
+
+            self.degraded = True
+            warnings.warn(
+                f"process fan-out lost worker state for server(s) "
+                f"{stale}: driver-side state kept its pre-run snapshot; "
+                "aggregates from this server set may be divergent",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def call(self, s: int, op: str, *args):
+        return asyncio.wrap_future(
+            self.pools[s].submit(_worker_call, op, args)
+        )
+
+    def call_sync(self, s: int, op: str, *args):
+        return self.pools[s].submit(_worker_call, op, args).result()
+
+    def close(self) -> None:
+        for pool in self.pools:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+
+
+def resolve_fanout(
+    servers: "list[PrioServer]",
+    executor=None,
+    batch_size: int = 1,
+) -> "tuple[ServerFanout, bool]":
+    """Resolve the ``executor`` knob to a backend instance.
+
+    Accepts ``None`` (the PR-3 default: threads, or inline on a
+    single-CPU host), one of :data:`EXECUTOR_KINDS`, a ready
+    :class:`ServerFanout` (reused verbatim — the caller owns it), or a
+    plain ``concurrent.futures`` executor (wrapped, caller-owned).
+    Returns ``(fanout, owned)``; the pipeline closes only backends it
+    owns.
+
+    ``"process"`` falls back to the thread backend automatically when
+    worker processes cannot be created (restricted sandboxes, missing
+    ``multiprocessing`` support); ``"auto"`` additionally requires a
+    multi-core host and a batch size of at least
+    :data:`AUTO_PROCESS_MIN_BATCH` — below that, per-op
+    process-crossing overhead outweighs what the GIL was costing.
+    """
+    if isinstance(executor, ServerFanout):
+        return executor, False
+    if executor is None:
+        return LocalFanout(servers), True
+    if executor == "thread":
+        # Explicit request: a real pool even on a single-CPU host (the
+        # None default still auto-drops to inline there).
+        return LocalFanout(
+            servers,
+            ThreadPoolExecutor(max_workers=max(2, len(servers))),
+            own_executor=True,
+        ), True
+    if executor == "inline":
+        return LocalFanout(servers, _InlineExecutor()), True
+    if executor == "auto":
+        if (
+            (os.cpu_count() or 1) > 1
+            and batch_size >= AUTO_PROCESS_MIN_BATCH
+        ):
+            executor = "process"
+        else:
+            return LocalFanout(servers), True
+    if executor == "process":
+        try:
+            return ProcessFanout(servers), True
+        except Exception as exc:  # noqa: BLE001 - automatic fallback
+            import warnings
+
+            warnings.warn(
+                f"process fan-out unavailable ({exc!r}); falling back to "
+                "the thread backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            # The same real pool an explicit "thread" request gets —
+            # the warning must describe what actually happens, even on
+            # a single-CPU host.
+            return resolve_fanout(servers, "thread", batch_size)
+    if isinstance(executor, ProcessPoolExecutor):
+        # Wrapping a raw process pool in LocalFanout would mutate
+        # throwaway pickled server copies in the workers — every
+        # submission would silently reject.  Process fan-out needs
+        # state residency; that is what executor="process" provides.
+        raise FanoutError(
+            "a raw ProcessPoolExecutor cannot back the fan-out (server "
+            'state must live with its worker); use executor="process" '
+            "or a ProcessFanout instance instead"
+        )
+    if hasattr(executor, "submit"):
+        return LocalFanout(servers, executor), False
+    raise FanoutError(f"unknown executor selection: {executor!r}")

@@ -8,59 +8,56 @@ the same work over bounded :class:`asyncio.Queue` hops —
     submissions -> [batcher] -> [ingest] -> [verify+accumulate]
 
 so expansion/decode of batch ``N+1`` overlaps verification of batch
-``N``, and the per-server CPU work inside each stage fans out over a
-thread pool (the hot kernels — SHAKE XOF digests and numpy limb
-matmuls — release the GIL, so multi-core hosts verify servers
-genuinely in parallel).  Queue bounds give backpressure: a slow verify
-stage stalls ingest instead of buffering unbounded plane matrices.
+``N``, and the per-server CPU work inside each stage fans out over an
+execution backend (:mod:`repro.protocol.fanout`):
 
-Semantics are identical to the synchronous path — same per-submission
-accept/reject decisions, same replay protection, same statistics; the
-equivalence tests drive both and compare.  Every stage consumes and
-produces plane-resident forms (ingested share matrices,
-:class:`~repro.snip.verifier.Round1Batch`/``Round2Batch``); Python
-ints appear nowhere between the wire and :meth:`PrioServer.publish`.
+``executor="thread"`` (the default)
+    A shared thread pool; the hot kernels — SHAKE XOF digests and
+    numpy limb matmuls — release the GIL, so multi-core hosts overlap
+    servers for the kernel-dominated portions of a batch.
+
+``executor="process"``
+    One dedicated worker process per server.  Each server's whole
+    state lives in its worker; batches cross the boundary in plane
+    form (wire bytes in, ``Round1Batch``/``Round2Batch`` planes
+    between rounds).  This removes the GIL from the picture entirely —
+    the Python-level glue between kernels parallelizes too — which is
+    what breaks the single-host throughput ceiling the thread backend
+    hits (see ``benchmarks/bench_fanout.py``).
+
+``executor="inline"``
+    Stage work on the calling thread (single-CPU hosts, debugging).
+
+Queue bounds give backpressure: a slow verify stage stalls ingest
+instead of buffering unbounded plane matrices.
+
+Semantics are identical across backends and to the synchronous path —
+same per-submission accept/reject decisions, same replay protection,
+same statistics; every backend executes the one shared op
+implementation (:class:`~repro.protocol.fanout._ServerOps`), and the
+equivalence tests drive all of them and compare.  Failure isolation is
+per batch: an exception thrown inside a worker (a crashed process, a
+poisoned batch) rejects that batch's submissions alone, and the
+pipeline keeps draining the stream.
 """
 
 from __future__ import annotations
 
 import asyncio
-import os
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field as dc_field
 
-from repro.protocol.server import PendingSubmission, PrioServer
+from repro.protocol.fanout import ServerFanout, resolve_fanout
+from repro.protocol.server import PrioServer
+
+__all__ = [
+    "AsyncPrioPipeline",
+    "PipelineStats",
+    "run_pipelined",
+]
 
 #: sentinel closing each stage's input queue
 _DONE = object()
-
-
-class _InlineExecutor:
-    """Executor that runs work on the calling thread.
-
-    On a single-CPU host, thread hand-offs cost latency and buy no
-    parallelism (the GIL-releasing kernels have no second core to run
-    on), so the pipeline keeps its staged structure but executes stage
-    work inline.  Implements the two Executor methods asyncio uses.
-    """
-
-    def submit(self, fn, *args):
-        future: Future = Future()
-        try:
-            future.set_result(fn(*args))
-        except BaseException as exc:  # noqa: BLE001 - mirror Executor
-            future.set_exception(exc)
-        return future
-
-    def shutdown(self, wait=True):  # noqa: ARG002 - Executor interface
-        return None
-
-
-def default_executor(n_servers: int):
-    """Thread pool sized to the host, or inline when threads cannot help."""
-    if (os.cpu_count() or 1) <= 1:
-        return _InlineExecutor()
-    return ThreadPoolExecutor(max_workers=max(2, n_servers))
 
 
 @dataclass
@@ -69,28 +66,41 @@ class PipelineStats:
 
     n_batches: int = 0
     n_receive_failures: int = 0
+    #: submissions failed by a worker/backend crash (not a protocol
+    #: rejection): the batch was rejected and the stream continued
+    n_worker_failures: int = 0
     #: ingest batches that were in flight when verify started one —
     #: a direct measure of stage overlap (0 on a fully serial run)
     overlapped_batches: int = 0
     batch_sizes: list[int] = dc_field(default_factory=list)
+    #: resolved execution backend ("inline" | "thread" | "process")
+    executor: str = ""
 
 
 @dataclass
 class _IngestedBatch:
-    """One verification batch, ingested and ready for the rounds."""
+    """One verification batch, ingested and ready for the rounds.
 
+    The ingested share planes themselves stay wherever the backend
+    keeps server state (driver process or per-server worker), keyed by
+    ``batch_id``; only the bookkeeping crosses stages.
+    """
+
+    batch_id: int
     #: positions (into the submission stream) that survived receive
     indices: list[int]
-    #: per-server pendings for the survivors, plane-ingested
-    pendings_by_server: "list[list[PendingSubmission]]"
 
 
 class AsyncPrioPipeline:
     """Drives a server set through the staged verification pipeline.
 
     ``queue_depth`` bounds how many ingested-but-unverified batches may
-    exist at once (the overlap window); ``executor`` is the thread pool
-    for per-server CPU work (created per run when not supplied).
+    exist at once (the overlap window); ``executor`` selects the
+    per-server execution backend — ``"thread"`` / ``"process"`` /
+    ``"inline"`` / ``"auto"``, a ready
+    :class:`~repro.protocol.fanout.ServerFanout` (reused across runs,
+    caller-owned), a plain ``concurrent.futures`` executor
+    (caller-owned), or ``None`` for the host-sized default.
     """
 
     def __init__(
@@ -98,7 +108,7 @@ class AsyncPrioPipeline:
         servers: "list[PrioServer]",
         batch_size: int = 64,
         queue_depth: int = 2,
-        executor: "ThreadPoolExecutor | None" = None,
+        executor: "str | ServerFanout | ThreadPoolExecutor | None" = None,
         encrypt: bool = False,
     ) -> None:
         if batch_size < 1:
@@ -113,6 +123,10 @@ class AsyncPrioPipeline:
         self.stats = PipelineStats()
         #: True while the verify stage is mid-batch (stage-overlap probe)
         self._verifying = False
+        #: False when a reused backend could not be state-synced for
+        #: this run (ops must not run against stale worker state)
+        self._backend_ready = True
+        self._next_batch_id = 0
 
     # ------------------------------------------------------------------
 
@@ -124,9 +138,25 @@ class AsyncPrioPipeline:
     async def run_async(self, submissions) -> list[bool]:
         submissions = list(submissions)
         results: "list[bool]" = [False] * len(submissions)
-        own_executor = self.executor is None
-        executor = self.executor or default_executor(len(self.servers))
+        fanout, owned = resolve_fanout(
+            self.servers, self.executor, self.batch_size
+        )
+        self.stats.executor = fanout.kind
+        synced = True
         try:
+            if not owned:
+                # A reused backend may hold state from a previous run;
+                # re-sync it from the driver-side servers.  A failed
+                # push is not fatal — every batch below fails without
+                # touching the backend — but the run must NOT execute
+                # ops against whatever stale state the workers kept,
+                # and end_run must not clobber the driver-side servers
+                # with it either.
+                try:
+                    fanout.begin_run()
+                except Exception:  # noqa: BLE001
+                    synced = False
+            self._backend_ready = synced
             ingest_q: asyncio.Queue = asyncio.Queue(self.queue_depth)
             verify_q: asyncio.Queue = asyncio.Queue(self.queue_depth)
             tasks = [
@@ -135,22 +165,42 @@ class AsyncPrioPipeline:
                 ),
                 asyncio.create_task(
                     self._ingest_stage(
-                        submissions, ingest_q, verify_q, results, executor
+                        submissions, ingest_q, verify_q, results, fanout
                     )
                 ),
                 asyncio.create_task(
-                    self._verify_stage(verify_q, results, executor)
+                    self._verify_stage(verify_q, results, fanout)
                 ),
             ]
             try:
                 await asyncio.gather(*tasks)
             except BaseException:
+                # Cancel *and await* the stages: an abandoned pending
+                # task would otherwise die with "task was destroyed but
+                # it is pending" after the loop closes.
                 for task in tasks:
                     task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+                # In-flight batches were received but will never be
+                # decided: release their ids (an honest retry must not
+                # look like a replay) and their batch state (a reused
+                # backend must not pin plane matrices forever).
+                try:
+                    await fanout.sweep(
+                        "abandon_open", [()] * len(self.servers)
+                    )
+                except BaseException:  # noqa: BLE001 - cleanup only
+                    pass
                 raise
         finally:
-            if own_executor:
-                executor.shutdown(wait=False)
+            try:
+                if synced:
+                    fanout.end_run()
+            finally:
+                if owned:
+                    # wait=True: a fire-and-forget shutdown leaks one
+                    # worker set per run() call.
+                    fanout.close()
         return results
 
     # ------------------------------------------------------------------
@@ -169,141 +219,156 @@ class AsyncPrioPipeline:
         await ingest_q.put(_DONE)
 
     # ------------------------------------------------------------------
-    # Stage 2: receive (framing) + plane ingest, per server in threads
+    # Stage 2: receive (framing) + plane ingest, per server in workers
     # ------------------------------------------------------------------
 
-    def _receive_one_server(self, server, submissions, indices):
-        """Frame-validate one server's packets for a batch.
+    def _payloads_for(self, server_slot: int, submissions, indices):
+        """One server's slice of a batch, in cross-boundary form.
 
-        Returns one ``PendingSubmission | Exception`` per index, via
-        the server's fused batch decoder.
+        Packets are selected by the server's *protocol* index, not its
+        position in ``self.servers`` — a shuffled server list must
+        still route every share to the server it was addressed to.
         """
+        index = self.servers[server_slot].server_index
         if self.encrypt:
-            out = []
-            for i in indices:
-                try:
-                    out.append(
-                        server.receive_sealed(
-                            submissions[i].sealed_packets[server.server_index]
-                        )
-                    )
-                except ValueError as exc:
-                    out.append(exc)
-            return out
-        return server.receive_batch(
-            [submissions[i].packets[server.server_index] for i in indices]
-        )
+            return [submissions[i].sealed_packets[index] for i in indices]
+        return [submissions[i].packets[index] for i in indices]
+
+    async def _cleanup_batch(self, fanout, batch_id: int, op: str) -> None:
+        """Best-effort per-server sweep after a mid-batch failure."""
+        for s in range(len(self.servers)):
+            try:
+                await fanout.call(s, op, batch_id)
+            except Exception:  # noqa: BLE001 - backend may be gone
+                continue
 
     async def _ingest_stage(
-        self, submissions, ingest_q, verify_q, results, executor
+        self, submissions, ingest_q, verify_q, results, fanout
     ) -> None:
-        loop = asyncio.get_running_loop()
+        n_servers = len(self.servers)
         while True:
             batch = await ingest_q.get()
             if batch is _DONE:
                 await verify_q.put(_DONE)
                 return
-            # Receive mutates only per-server replay state, so the
-            # servers' fused frame-check+decode sweeps fan out safely;
-            # within one server the batch is processed in stream order.
-            received = await asyncio.gather(*[
-                loop.run_in_executor(
-                    executor,
-                    self._receive_one_server, server, submissions, batch,
-                )
-                for server in self.servers
-            ])
+            batch_id = self._next_batch_id
+            self._next_batch_id += 1
+            self.stats.n_batches += 1
+            if not self._backend_ready:
+                # State push failed on a reused backend: running ops
+                # would execute against stale worker state.  Fail the
+                # stream without touching the backend at all.
+                self.stats.n_worker_failures += len(batch)
+                self.stats.batch_sizes.append(0)
+                continue
+            try:
+                # Receive mutates only per-server replay state, so the
+                # servers' fused frame-check+decode sweeps fan out
+                # safely; within one server the batch stays in stream
+                # order.
+                received = await fanout.sweep("receive", [
+                    (
+                        batch_id,
+                        self._payloads_for(s, submissions, batch),
+                        self.encrypt,
+                    )
+                    for s in range(n_servers)
+                ])
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # A worker died mid-receive: fail this batch alone.
+                # Servers that did receive must release the ids so an
+                # honest retry is not mistaken for a replay.
+                await self._cleanup_batch(fanout, batch_id, "abandon_all")
+                self.stats.n_worker_failures += len(batch)
+                self.stats.batch_sizes.append(0)
+                continue
             survivors: list[int] = []
-            pendings_by_server: "list[list[PendingSubmission]]" = [
-                [] for _ in self.servers
-            ]
+            keep: list[int] = []
             for pos, index in enumerate(batch):
-                row = [received[s][pos] for s in range(len(self.servers))]
-                if any(isinstance(r, Exception) for r in row):
-                    # Mirror of the synchronous fan-out rule: servers
-                    # that did receive must release the id so an honest
-                    # retry is not mistaken for a replay.
-                    for server, r in zip(self.servers, row):
-                        if isinstance(r, PendingSubmission):
-                            server.abandon(r)
+                if any(received[s][pos] is not None for s in range(n_servers)):
+                    # Mirror of the synchronous fan-out rule; the
+                    # ingest op below abandons this position at the
+                    # servers whose receive succeeded.
                     self.stats.n_receive_failures += 1
                     results[index] = False
-                    continue
-                survivors.append(index)
-                for s, r in enumerate(row):
-                    pendings_by_server[s].append(r)
-            if survivors:
+                else:
+                    survivors.append(index)
+                    keep.append(pos)
+            try:
                 # The heavy part — PRG expansion and byte decode into
-                # plane matrices — fans out per server on the pool.
-                await asyncio.gather(*[
-                    loop.run_in_executor(
-                        executor, server._ingest_batch, pendings
-                    )
-                    for server, pendings in zip(
-                        self.servers, pendings_by_server
-                    )
-                    if pendings
-                ])
-            self.stats.n_batches += 1
+                # plane matrices — fans out per server.
+                await fanout.sweep(
+                    "ingest", [(batch_id, keep)] * n_servers
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                await self._cleanup_batch(fanout, batch_id, "abandon_all")
+                self.stats.n_worker_failures += len(survivors)
+                self.stats.batch_sizes.append(0)
+                continue
             self.stats.batch_sizes.append(len(survivors))
             if self._verifying:
                 self.stats.overlapped_batches += 1
-            await verify_q.put(
-                _IngestedBatch(
-                    indices=survivors,
-                    pendings_by_server=pendings_by_server,
+            if survivors:
+                await verify_q.put(
+                    _IngestedBatch(batch_id=batch_id, indices=survivors)
                 )
-            )
 
     # ------------------------------------------------------------------
     # Stage 3: the two SNIP rounds + decide + accumulate
     # ------------------------------------------------------------------
 
-    async def _verify_stage(self, verify_q, results, executor) -> None:
-        loop = asyncio.get_running_loop()
+    async def _verify_stage(self, verify_q, results, fanout) -> None:
+        n_servers = len(self.servers)
         while True:
             item = await verify_q.get()
             if item is _DONE:
                 return
-            if not item.indices:
-                continue
             self._verifying = True
             try:
-                begun = await asyncio.gather(*[
-                    loop.run_in_executor(
-                        executor,
-                        server.begin_verification_batch,
-                        pendings,
-                    )
-                    for server, pendings in zip(
-                        self.servers, item.pendings_by_server
-                    )
-                ])
-                parties = [party for party, _ in begun]
-                round1_batches = [round1 for _, round1 in begun]
-                round2_batches = [
-                    server.finish_verification_batch(party, round1_batches)
-                    for server, party in zip(self.servers, parties)
-                ]
+                round1_batches = await fanout.sweep(
+                    "round1", [(item.batch_id,)] * n_servers
+                )
+                # The round-1/round-2 broadcasts stay in plane form —
+                # every server consumes the same per-server batches.
+                round2_batches = await fanout.sweep(
+                    "round2",
+                    [(item.batch_id, round1_batches)] * n_servers,
+                )
                 decisions = self.servers[0].decide_batch(round2_batches)
+            except asyncio.CancelledError:
+                raise
             except ValueError:
                 # Defensive mirror of the synchronous path: shapes were
                 # validated at receive time, so fail the whole batch
                 # rather than mis-credit any of it.
-                for server, pendings in zip(
-                    self.servers, item.pendings_by_server
-                ):
-                    for pending in pendings:
-                        server.reject(pending)
+                await self._cleanup_batch(fanout, item.batch_id, "reject_all")
+                for index in item.indices:
+                    results[index] = False
+                continue
+            except Exception:
+                # A worker died mid-round: nothing was committed yet,
+                # so reject this batch alone and keep draining.
+                await self._cleanup_batch(fanout, item.batch_id, "reject_all")
+                self.stats.n_worker_failures += len(item.indices)
                 for index in item.indices:
                     results[index] = False
                 continue
             finally:
                 self._verifying = False
-            for server, pendings in zip(
-                self.servers, item.pendings_by_server
-            ):
-                server.accumulate_batch(pendings, decisions)
+            # The commit point.  A failure here cannot be isolated to
+            # the batch: servers that already folded it into their
+            # accumulators cannot roll back, so a partial commit leaves
+            # the server set divergent (shares would no longer cancel
+            # at publish).  Let the exception propagate — the run fails
+            # loudly instead of silently publishing garbage (PR 3
+            # likewise ran Aggregate outside its defensive net).
+            await fanout.sweep(
+                "accumulate", [(item.batch_id, decisions)] * n_servers
+            )
             for index, accepted in zip(item.indices, decisions):
                 results[index] = accepted
 
@@ -314,13 +379,14 @@ def run_pipelined(
     batch_size: int = 64,
     queue_depth: int = 2,
     encrypt: bool = False,
-    executor: "ThreadPoolExecutor | None" = None,
+    executor: "str | ServerFanout | ThreadPoolExecutor | None" = None,
 ) -> tuple[list[bool], PipelineStats]:
     """One-call pipeline run over prepared submissions.
 
     Returns ``(decisions, stats)`` with one decision per submission in
     stream order — the async counterpart of calling
-    ``deliver_batch`` chunk by chunk.
+    ``deliver_batch`` chunk by chunk.  ``executor`` selects the
+    per-server backend (see :class:`AsyncPrioPipeline`).
     """
     pipeline = AsyncPrioPipeline(
         servers,

@@ -54,12 +54,21 @@ class PrioDeployment:
         client: PrioClient,
         encrypt: bool,
         batch_size: int = 1,
+        executor=None,
     ) -> None:
         self.afe = afe
         self.servers = servers
         self.client = client
         self.encrypt = encrypt
         self.batch_size = batch_size
+        #: pipeline execution backend ("thread" | "process" | "inline" |
+        #: "auto", a ServerFanout, or None for the host-sized default)
+        self.executor = executor
+        #: backend resolved from a string `executor`, cached so repeated
+        #: pipelined calls reuse one worker-pool set (spawning process
+        #: workers per call would dwarf the fan-out win); released by
+        #: :meth:`close`
+        self._fanout = None
         self.stats = DeploymentStats()
 
     @classmethod
@@ -74,10 +83,14 @@ class PrioDeployment:
         batch_size: int = 1,
         force_pure_backend: bool | None = None,
         rng=None,
+        executor=None,
     ) -> "PrioDeployment":
         """``batch_size`` makes servers accumulate and verify submissions
         in batches of that size (``submit_many`` chunks accordingly);
-        decisions and statistics remain per submission."""
+        decisions and statistics remain per submission.  ``executor``
+        selects the pipelined paths' per-server execution backend
+        (``"thread"``/``"process"``/``"inline"``/``"auto"``; see
+        :mod:`repro.protocol.fanout`)."""
         if n_servers < 2:
             raise ProtocolError("Prio needs at least two servers")
         if batch_size < 1:
@@ -106,8 +119,38 @@ class PrioDeployment:
         )
         return cls(
             afe=afe, servers=servers, client=client, encrypt=encrypt,
-            batch_size=batch_size,
+            batch_size=batch_size, executor=executor,
         )
+
+    # ------------------------------------------------------------------
+
+    def _resolve_executor(self, override):
+        """Backend for one pipelined call: per-call override wins; a
+        deployment-level *string* selection resolves once and the
+        resulting fan-out (its worker pools) is reused across calls."""
+        if override is not None:
+            return override
+        if isinstance(self.executor, str):
+            if self._fanout is None:
+                from repro.protocol.fanout import resolve_fanout
+
+                self._fanout, _ = resolve_fanout(
+                    self.servers, self.executor, self.batch_size
+                )
+            return self._fanout
+        return self.executor
+
+    def close(self) -> None:
+        """Release any worker pools the deployment created (idempotent)."""
+        if self._fanout is not None:
+            self._fanout.close()
+            self._fanout = None
+
+    def __enter__(self) -> "PrioDeployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
 
@@ -206,14 +249,16 @@ class PrioDeployment:
         return [bool(r) for r in results]
 
     def deliver_pipelined(
-        self, submissions, queue_depth: int = 2
+        self, submissions, queue_depth: int = 2, executor=None
     ) -> list[bool]:
         """Run prepared submissions through the asyncio staged pipeline.
 
         Same decisions, replay protection, and statistics as chunked
         :meth:`deliver_batch` calls, but ingest of batch ``N+1``
         overlaps verification of batch ``N`` and per-server work fans
-        out over a thread pool
+        out over the deployment's execution backend — threads by
+        default, one worker process per server with
+        ``executor="process"``
         (:class:`~repro.protocol.pipeline.AsyncPrioPipeline`).
         """
         from repro.protocol.pipeline import run_pipelined
@@ -228,15 +273,20 @@ class PrioDeployment:
             batch_size=self.batch_size,
             queue_depth=queue_depth,
             encrypt=self.encrypt,
+            executor=self._resolve_executor(executor),
         )
         self.stats.n_accepted += sum(decisions)
         self.stats.n_rejected += len(decisions) - sum(decisions)
         return decisions
 
-    def submit_many_pipelined(self, values, queue_depth: int = 2) -> int:
+    def submit_many_pipelined(
+        self, values, queue_depth: int = 2, executor=None
+    ) -> int:
         """Prepare and pipeline many values; returns the number accepted."""
         submissions = self.client.prepare_submissions(list(values))
-        return sum(self.deliver_pipelined(submissions, queue_depth))
+        return sum(
+            self.deliver_pipelined(submissions, queue_depth, executor)
+        )
 
     def submit_batch(self, values, mutate=None) -> list[bool]:
         """Prepare and deliver ``values`` as one server-side batch.

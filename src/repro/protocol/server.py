@@ -567,6 +567,77 @@ class PrioServer:
         ``_seen_ids`` (no decision was made)."""
         self._pending_ids.discard(pending.submission_id)
 
+    def add_dp_noise(
+        self,
+        epsilon: float,
+        sensitivity: float,
+        generator,
+        n_servers: "int | None" = None,
+    ) -> None:
+        """Add this server's distributed-DP noise share (Section 7).
+
+        Plane-resident: the batched Polya sampler's signed noise vector
+        is embedded into limb planes and added to the accumulator plane
+        — the aggregate still decodes to Python ints only at
+        :meth:`publish`.  ``n_servers`` defaults to this deployment's
+        server count (the noise-divisibility parameter ``s``).
+        """
+        from repro.protocol.dp import add_noise_to_accumulator
+
+        self._accumulator = add_noise_to_accumulator(
+            self.field,
+            self._accumulator,
+            epsilon,
+            sensitivity,
+            self.n_servers if n_servers is None else n_servers,
+            generator,
+        )
+
+    # ------------------------------------------------------------------
+    # State residency (the multi-process fan-out seam)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Everything a run mutates, in one picklable snapshot.
+
+        The process fan-out backend
+        (:class:`~repro.protocol.fanout.ProcessFanout`) ships a server
+        into a dedicated worker, runs batches there, and merges this
+        snapshot back into the driver-side object afterward — the
+        accumulator crosses as its limb plane
+        (:class:`~repro.field.batch.BatchVector` pickles the int64
+        plane buffer; no per-element Python-int round trip).
+        """
+        return {
+            "accumulator_plane": self._accumulator,
+            "n_accepted": self.n_accepted,
+            "n_rejected": self.n_rejected,
+            "n_replayed": self.n_replayed,
+            "seen_ids": set(self._seen_ids),
+            "pending_ids": set(self._pending_ids),
+            "submissions_this_epoch": self._submissions_this_epoch,
+            "epoch": self._epoch,
+            "elements_broadcast": self.elements_broadcast,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot_state` snapshot (inverse operation).
+
+        Drops the cached verification context: the epoch may have
+        advanced elsewhere, and contexts re-derive deterministically
+        from the shared randomness.
+        """
+        self._accumulator = state["accumulator_plane"]
+        self.n_accepted = state["n_accepted"]
+        self.n_rejected = state["n_rejected"]
+        self.n_replayed = state["n_replayed"]
+        self._seen_ids = set(state["seen_ids"])
+        self._pending_ids = set(state["pending_ids"])
+        self._submissions_this_epoch = state["submissions_this_epoch"]
+        self._epoch = state["epoch"]
+        self.elements_broadcast = state["elements_broadcast"]
+        self._ctx = None
+
     def publish(self) -> list[int]:
         """Release the accumulator (step 4); safe by construction.
 

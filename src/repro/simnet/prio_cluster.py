@@ -19,6 +19,16 @@ forms identical groups; group membership is carried in the broadcasts
 and cross-checked.  Decisions, accumulation, and replay protection
 remain per submission.
 
+Server-side CPU work executes through the same backend seam as the
+async pipeline (:mod:`repro.protocol.fanout`): ``executor="inline"``
+(default) runs it on the event loop's thread, ``executor="process"``
+gives every simulated server a dedicated worker process that owns its
+state — the single-host stand-in for the paper's
+one-server-per-machine deployment.  The event schedule, group
+membership, and decisions are identical either way (asserted by the
+integration tests); the node adapters only ever exchange ids and
+plane-form round batches with the backend.
+
 Used by the integration tests (correctness must be independent of
 message timing and of ``batch_size``) and by latency experiments (how
 long until a submission is fully verified across five regions?).
@@ -30,7 +40,8 @@ from dataclasses import dataclass, field as dc_field
 
 from repro.afe.base import Afe
 from repro.protocol.client import PrioClient
-from repro.protocol.server import PendingSubmission, PrioServer
+from repro.protocol.fanout import ServerFanout, resolve_fanout
+from repro.protocol.server import PrioServer
 from repro.simnet.network import SimError, SimNetwork
 from repro.simnet.regions import Topology
 from repro.snip.verifier import Round1Batch, Round2Batch, ServerRandomness
@@ -41,8 +52,9 @@ class _GroupState:
     """One verification group (a batch of submissions) at one server."""
 
     sids: tuple[bytes, ...] | None
-    pendings: list[PendingSubmission] | None = None
-    party: object = None
+    #: True once this server formed the group locally (received every
+    #: upload and ran round 1); peers' broadcasts may arrive earlier
+    formed: bool = False
     #: per-server plane-form broadcasts (one batch covers the group)
     round1: dict[int, Round1Batch] = dc_field(default_factory=dict)
     round2: dict[int, Round2Batch] = dc_field(default_factory=dict)
@@ -66,23 +78,31 @@ class ClusterReport:
 
 
 class _ServerNode:
-    """Adapter: a PrioServer reacting to simulated network messages."""
+    """Adapter: a PrioServer reacting to simulated network messages.
+
+    The node owns only bookkeeping (group membership, arrival buffers,
+    decision log); the server's actual state — pendings, verifier
+    parties, accumulator — lives behind the fan-out backend, which may
+    be this process or a dedicated worker per server.
+    """
 
     def __init__(
         self,
         server: PrioServer,
+        fanout: ServerFanout,
         element_bytes: int,
         batch_size: int,
         expected_uploads: int,
     ) -> None:
         self.server = server
+        self.fanout = fanout
         self.index = server.server_index
         self.n_servers = server.n_servers
         self.element_bytes = element_bytes
         self.batch_size = batch_size
         self.expected_uploads = expected_uploads
         self.uploads_received = 0
-        self._buffer: list[PendingSubmission] = []
+        self._buffer: list[bytes] = []
         self._next_group = 0
         self.groups: dict[int, _GroupState] = {}
         self.decisions: dict[bytes, bool] = {}
@@ -100,9 +120,9 @@ class _ServerNode:
     # ------------------------------------------------------------------
 
     def _on_upload(self, net: SimNetwork, packet) -> None:
-        pending = self.server.receive(packet)
+        sid = self.fanout.call_sync(self.index, "receive_one", packet)
         self.uploads_received += 1
-        self._buffer.append(pending)
+        self._buffer.append(sid)
         # Close the group when full — or when no further uploads can
         # arrive (the final, possibly partial, group).
         if (
@@ -112,11 +132,10 @@ class _ServerNode:
             self._form_group(net)
 
     def _form_group(self, net: SimNetwork) -> None:
-        pendings = list(self._buffer)
+        sids = tuple(self._buffer)
         self._buffer.clear()
         gid = self._next_group
         self._next_group += 1
-        sids = tuple(p.submission_id for p in pendings)
         state = self.groups.get(gid)
         if state is None:
             state = self.groups[gid] = _GroupState(sids=sids)
@@ -126,16 +145,15 @@ class _ServerNode:
             if state.sids is not None and state.sids != sids:
                 raise SimError(f"group {gid} membership disagreement")
             state.sids = sids
-        state.pendings = pendings
-        party, round1 = self.server.begin_verification_batch(pendings)
-        state.party = party
+        state.formed = True
+        round1 = self.fanout.call_sync(self.index, "begin_group", gid, sids)
         state.round1[self.index] = round1
         # The broadcast carries the plane-form batch; the byte cost on
         # the simulated wire is unchanged (two elements per submission).
         net.broadcast(
             self.index,
             ("r1", gid, sids, self.index, round1),
-            2 * self.element_bytes * len(pendings),
+            2 * self.element_bytes * len(sids),
         )
         self._maybe_round2(net, gid, state)
 
@@ -162,7 +180,7 @@ class _ServerNode:
         self, net: SimNetwork, gid: int, state: _GroupState
     ) -> None:
         if (
-            state.pendings is None
+            not state.formed
             or len(state.round1) < self.n_servers
             or state.round2_sent
         ):
@@ -170,29 +188,31 @@ class _ServerNode:
         round1_batches = [
             state.round1[s] for s in range(self.n_servers)
         ]
-        round2 = self.server.finish_verification_batch(
-            state.party, round1_batches
+        round2 = self.fanout.call_sync(
+            self.index, "finish_group", gid, round1_batches
         )
         state.round2_sent = True
         state.round2[self.index] = round2
         net.broadcast(
             self.index,
             ("r2", gid, state.sids, self.index, round2),
-            2 * self.element_bytes * len(state.pendings),
+            2 * self.element_bytes * len(state.sids),
         )
-        self._maybe_decide(net, state)
+        self._maybe_decide(net, gid, state)
 
     def _on_round2(
         self, net: SimNetwork, gid: int, sids, src_index: int, msgs
     ) -> None:
         state = self._require_group(gid, sids)
         state.round2[src_index] = msgs
-        self._maybe_decide(net, state)
+        self._maybe_decide(net, gid, state)
 
-    def _maybe_decide(self, net: SimNetwork, state: _GroupState) -> None:
+    def _maybe_decide(
+        self, net: SimNetwork, gid: int, state: _GroupState
+    ) -> None:
         if (
             state.done
-            or state.pendings is None
+            or not state.formed
             or len(state.round2) < self.n_servers
         ):
             return
@@ -200,9 +220,9 @@ class _ServerNode:
             state.round2[s] for s in range(self.n_servers)
         ]
         decisions = self.server.decide_batch(round2_batches)
-        self.server.accumulate_batch(state.pendings, decisions)
-        for pending, accepted in zip(state.pendings, decisions):
-            self.decisions[pending.submission_id] = accepted
+        self.fanout.call_sync(self.index, "settle_group", gid, decisions)
+        for sid, accepted in zip(state.sids, decisions):
+            self.decisions[sid] = accepted
             self.decision_times.append(net.clock)
         state.done = True
 
@@ -215,16 +235,30 @@ def run_cluster(
     seed: bytes = b"cluster-seed",
     mutate=None,
     batch_size: int = 1,
+    executor: "str | None" = "inline",
 ) -> ClusterReport:
     """Submit ``values`` through a simulated cluster; fully verify all.
 
     ``batch_size > 1`` makes every server verify uploads in groups of
     that size via the vectorized batch path; outcomes are identical to
     ``batch_size=1`` (asserted by the integration tests), only the
-    message schedule changes.
+    message schedule changes.  ``executor`` selects where each server's
+    CPU work runs (``"inline"`` default; ``"process"`` = one worker
+    process per server); outcomes are backend-independent.
     """
     if batch_size < 1:
         raise SimError("batch_size must be >= 1")
+    if not (executor is None or isinstance(executor, str)):
+        # The cluster constructs its own fresh servers below; a caller
+        # fanout is bound to *its* servers, so its ops would mutate
+        # those while this function published from the empty fresh
+        # ones — a silently wrong report.  Only backend kinds make
+        # sense here.
+        raise SimError(
+            "run_cluster accepts an executor kind "
+            "(\"inline\"/\"thread\"/\"process\"/\"auto\"), not a fanout "
+            "instance: the cluster owns its servers"
+        )
     n_servers = topology.n_sites
     randomness = ServerRandomness(seed)
     servers = [
@@ -232,29 +266,39 @@ def run_cluster(
     ]
     element_bytes = afe.field.encoded_size
     values = list(values)
-    nodes = [
-        _ServerNode(server, element_bytes, batch_size, len(values))
-        for server in servers
-    ]
-    net = SimNetwork(topology)
-    for node in nodes:
-        net.register(node.index, node.handle)
-
-    client = PrioClient(afe, n_servers, rng=rng)
-    for index, value in enumerate(values):
-        submission = client.prepare_submission(value)
-        if mutate is not None:
-            mutate(index, submission)
-        # Clients are modelled at the leader's site (site 0): upload
-        # packets fan out from there with the topology's latencies.
-        for packet in submission.packets:
-            net.send(
-                0,
-                packet.server_index,
-                ("upload", packet),
-                packet.encoded_size(),
+    fanout, owned = resolve_fanout(servers, executor, batch_size)
+    try:
+        nodes = [
+            _ServerNode(
+                server, fanout, element_bytes, batch_size, len(values)
             )
-    wall = net.run()
+            for server in servers
+        ]
+        net = SimNetwork(topology)
+        for node in nodes:
+            net.register(node.index, node.handle)
+
+        client = PrioClient(afe, n_servers, rng=rng)
+        for index, value in enumerate(values):
+            submission = client.prepare_submission(value)
+            if mutate is not None:
+                mutate(index, submission)
+            # Clients are modelled at the leader's site (site 0): upload
+            # packets fan out from there with the topology's latencies.
+            for packet in submission.packets:
+                net.send(
+                    0,
+                    packet.server_index,
+                    ("upload", packet),
+                    packet.encoded_size(),
+                )
+        wall = net.run()
+    finally:
+        try:
+            fanout.end_run()
+        finally:
+            if owned:
+                fanout.close()
 
     # All servers must agree on every decision (they are deterministic).
     for node in nodes[1:]:

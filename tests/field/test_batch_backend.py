@@ -238,3 +238,27 @@ def test_numpy_backend_reports_itself():
         pytest.skip("pure backend forced via environment")
     bv = BatchVector.from_ints(FIELD87, [4, 5])
     assert bv.backend == "numpy"
+
+
+@pytest.mark.parametrize("field", ALL_FIELDS, ids=lambda f: f.name)
+@pytest.mark.parametrize("force_pure", BACKENDS, ids=backend_id)
+def test_signed_delta_batch_matches_scalar(field, force_pure, rng):
+    """The DP noising embedding: (pos - neg) mod p over int64 inputs,
+    bit-exact with scalar field arithmetic on both backends, including
+    values at and beyond the modulus for small fields."""
+    from repro.field.batch import signed_delta_batch
+
+    p = field.modulus
+    for n in LENGTHS:
+        positives = [rng.randrange(1 << 62) for _ in range(n)]
+        negatives = [rng.randrange(1 << 62) for _ in range(n)]
+        positives[0] = 0
+        negatives[0] = min(n, p - 1)
+        batch = signed_delta_batch(
+            field, positives, negatives, force_pure=force_pure
+        )
+        assert batch.shape == (n,)
+        assert batch.backend == ("pure" if force_pure else "numpy")
+        assert batch.to_ints() == [
+            (a - b) % p for a, b in zip(positives, negatives)
+        ]

@@ -142,6 +142,74 @@ def test_pipeline_stats_and_validation(rng):
     assert stats.batch_sizes == [2, 2, 1]
 
 
+def test_pipeline_run_is_repeatable_without_thread_leaks(rng):
+    """PR-3 shut its self-created executor down with wait=False, which
+    left a worker-thread set behind per run() call.  Repeated runs must
+    keep the thread count flat."""
+    import threading
+
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 2, batch_size=2, rng=rng)
+    before = len(threading.enumerate())
+    total = 0
+    for round_index in range(5):
+        values = [rng.randrange(16) for _ in range(5)]
+        submissions = deployment.client.prepare_submissions(values)
+        pipeline = AsyncPrioPipeline(deployment.servers, batch_size=2)
+        assert pipeline.run(submissions) == [True] * 5
+        total += sum(values)
+    assert len(threading.enumerate()) <= before
+    assert deployment.publish() == total
+
+
+def test_pipeline_fatal_error_cancels_cleanly_and_recovers(rng):
+    """A BaseException escaping a stage (only Exceptions are isolated
+    per batch) must cancel and await the peer tasks, release the
+    workers, and leave the servers usable for a fresh run."""
+    import threading
+
+    from repro.protocol import LocalFanout
+
+    class KaboomFanout(LocalFanout):
+        def call(self, s, op, *args):
+            if op == "round1":
+                raise KeyboardInterrupt("injected fatal error")
+            return super().call(s, op, *args)
+
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 2, batch_size=2, rng=rng)
+    submissions = deployment.client.prepare_submissions([1, 2, 3, 4])
+    before = len(threading.enumerate())
+    fanout = KaboomFanout(deployment.servers)
+    pipeline = AsyncPrioPipeline(
+        deployment.servers, batch_size=2, executor=fanout
+    )
+    with pytest.raises(KeyboardInterrupt):
+        pipeline.run(submissions)
+    fanout.close()
+    assert len(threading.enumerate()) <= before
+    # The abnormal exit abandoned the in-flight batches: nothing stays
+    # pending, and retrying the *same* submissions is not a replay.
+    assert deployment.servers[0]._pending_ids == set()
+    decisions, _ = run_pipelined(
+        deployment.servers, submissions, batch_size=2
+    )
+    assert decisions == [True] * 4
+    assert deployment.servers[0].n_replayed == 0
+    assert deployment.publish() == 10
+
+
+def test_pipeline_records_executor_kind(rng):
+    afe = IntegerSumAfe(FIELD87, 4)
+    deployment = PrioDeployment.create(afe, 2, batch_size=2, rng=rng)
+    submissions = deployment.client.prepare_submissions([1, 2])
+    decisions, stats = run_pipelined(
+        deployment.servers, submissions, batch_size=2, executor="inline"
+    )
+    assert decisions == [True, True]
+    assert stats.executor == "inline"
+
+
 def test_pipeline_epoch_rotation(rng):
     afe = IntegerSumAfe(FIELD87, 2)
     deployment = PrioDeployment.create(

@@ -9,7 +9,7 @@ import pytest
 from repro.afe import IntegerSumAfe
 from repro.field import FIELD87
 from repro.protocol import PrioDeployment
-from repro.protocol.dp import add_noise_to_accumulator, discrete_laplace_scale
+from repro.protocol.dp import discrete_laplace_scale
 
 
 @pytest.fixture
@@ -75,10 +75,7 @@ def test_intersection_attack_blunted_by_dp(rng):
         d_without = run_sum(values[:-1], b"dp", 200 + trial)
         for deployment in (d_with, d_without):
             for server in deployment.servers:
-                server.accumulator = add_noise_to_accumulator(
-                    FIELD87, server.accumulator, epsilon, sensitivity,
-                    len(deployment.servers), generator,
-                )
+                server.add_dp_noise(epsilon, sensitivity, generator)
         diff = FIELD87.to_signed(
             FIELD87.sub(d_with.publish(), d_without.publish())
         )

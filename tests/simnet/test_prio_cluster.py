@@ -151,3 +151,46 @@ def test_byte_accounting_over_wan(rng):
     # 2 rounds x 2 elements to each of 4 peers per submission.
     expected = n * 2 * (2 * element) * (n_servers - 1)
     assert report.server_tx_bytes[1] == expected
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_cluster_executor_backends_match_inline(executor):
+    """The fan-out backend must be unobservable: same decisions, same
+    aggregate, same wire bytes whether each simulated server's CPU work
+    runs inline, on threads, or in a dedicated worker process."""
+    import multiprocessing
+
+    afe = IntegerSumAfe(FIELD87, 6)
+    values = [random.Random(11).randrange(64) for _ in range(9)]
+    base = run_cluster(
+        afe, paper_wan_topology(), values, random.Random(999), batch_size=3
+    )
+    other = run_cluster(
+        afe, paper_wan_topology(), values, random.Random(999),
+        batch_size=3, executor=executor,
+    )
+    assert other.n_accepted == base.n_accepted == 9
+    assert other.aggregate == base.aggregate == sum(values)
+    assert other.server_tx_bytes == base.server_tx_bytes
+    assert other.wall_clock_s == base.wall_clock_s
+    assert multiprocessing.active_children() == []
+
+
+def test_cluster_rejects_foreign_fanout_instances():
+    """run_cluster builds its own servers; a caller fanout is bound to
+    different ones and would yield a silently empty report."""
+    from repro.protocol import PrioDeployment, ProcessFanout
+    from repro.simnet.network import SimError
+
+    deployment = PrioDeployment.create(
+        IntegerSumAfe(FIELD87, 4), 3, rng=random.Random(3)
+    )
+    fanout = ProcessFanout(deployment.servers)
+    try:
+        with pytest.raises(SimError, match="owns its servers"):
+            run_cluster(
+                IntegerSumAfe(FIELD87, 4), same_datacenter(3), [1],
+                random.Random(1), executor=fanout,
+            )
+    finally:
+        fanout.close()
