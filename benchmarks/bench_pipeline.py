@@ -38,6 +38,7 @@ import json
 import pathlib
 import random
 import sys
+import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
@@ -126,7 +127,16 @@ def _pr2_expand_seed_batch(field, seeds, length):
     accept = ~ge_p
     for b in range(B):
         idx = _np.flatnonzero(accept[b])
-        assert idx.size >= length, "bench workload never undershoots"
+        if idx.size < length:
+            # The ~5-sigma-rare undershoot: PR 2 retried such rows
+            # through the scalar sampler (same stream, same survivors).
+            from repro.field.batch import _encode
+            from repro.sharing.prg import expand_seed
+
+            out[:, b, :] = _encode(
+                ctx, expand_seed(field, seeds[b], length)
+            )
+            continue
         out[:, b, :] = planes[:, b, idx[:length]]
     return BatchVector(field, (B, length), out, True)
 
@@ -339,6 +349,22 @@ def run_unified_scalar(servers, submissions):
 # ----------------------------------------------------------------------
 
 
+def _interleaved_best(fns, rounds):
+    """Best-of wall times, measured round-robin (as in bench_fanout).
+
+    The compared implementations run adjacent in time in every round,
+    so slow host drift (noisy-neighbor containers, thermal throttling)
+    hits both columns alike instead of whichever ran last.
+    """
+    best = [float("inf")] * len(fns)
+    for _ in range(rounds):
+        for i, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - start)
+    return best
+
+
 def _workload(length, n_submissions, rng):
     afe = VectorSumAfe(FIELD87, length=length, n_bits=1)
     circuit = afe.valid_circuit()
@@ -386,34 +412,43 @@ def run_benchmark(smoke=False):
 
     # -- batch-of-one: the unified core must not regress PR 2's scalar
     # flow (acceptance criterion), measured over a short stream.
-    n_scalar = 8 if smoke else 16
+    # Long enough that the parity ratio is dominated by real work, not
+    # timer jitter — the 0.9x gate sits within noise at 16 submissions
+    # on a busy single-core host.
+    n_scalar = 8 if smoke else 32
     afe, ctx, submissions, n_elements = _workload(length, n_scalar, rng)
     packets_by_server = [
         [sub.packets[s] for sub in submissions] for s in range(N_SERVERS)
     ]
     k_prime = afe.k_prime
-    # The scalar stream is a short measurement window; extra
-    # repetitions (best-of) keep the ratio stable against host noise.
-    scalar_repeat = repeat + 3
-    if numpy_backend:
-        pr2_decisions, pr2_acc = run_pr2_scalar(
-            ctx, packets_by_server, k_prime, n_elements
-        )
-        pr2_scalar_s = time_call(
-            lambda: run_pr2_scalar(
-                ctx, packets_by_server, k_prime, n_elements
-            ),
-            repeat=scalar_repeat,
-        )
+    # The scalar stream is a short measurement window; extra best-of
+    # rounds, measured *interleaved* (the two flows run adjacent in
+    # time every round, like bench_fanout), keep the parity ratio
+    # stable against noisy-neighbor host drift.
+    scalar_repeat = repeat + 7
     scalar_servers = _fresh_servers(afe)
     unified_decisions, unified_acc = run_unified_scalar(
         scalar_servers, submissions
     )
     assert all(unified_decisions), "honest stream must verify"
-    unified_scalar_s = time_call(
-        lambda: run_unified_scalar(scalar_servers, submissions),
-        repeat=scalar_repeat,
-    )
+    if numpy_backend:
+        pr2_decisions, pr2_acc = run_pr2_scalar(
+            ctx, packets_by_server, k_prime, n_elements
+        )
+        pr2_scalar_s, unified_scalar_s = _interleaved_best(
+            [
+                lambda: run_pr2_scalar(
+                    ctx, packets_by_server, k_prime, n_elements
+                ),
+                lambda: run_unified_scalar(scalar_servers, submissions),
+            ],
+            rounds=scalar_repeat,
+        )
+    else:
+        unified_scalar_s = time_call(
+            lambda: run_unified_scalar(scalar_servers, submissions),
+            repeat=scalar_repeat,
+        )
     if numpy_backend:
         assert pr2_decisions == unified_decisions
         record["scalar"] = {
@@ -442,15 +477,9 @@ def run_benchmark(smoke=False):
             servers, submissions, batch
         )
         assert all(pipe_decisions), "honest batch must verify"
-        pipeline_s = time_call(
-            lambda: run_unified_pipeline(servers, submissions, batch),
-            repeat=repeat,
-        )
         point = {
             "batch_size": batch,
             "n_submissions": n_submissions,
-            "pipeline_s": pipeline_s,
-            "pipeline_subs_per_s": n_submissions / pipeline_s,
         }
         if numpy_backend:
             batches = _packet_batches(submissions, batch)
@@ -462,11 +491,16 @@ def run_benchmark(smoke=False):
             total_pr2 = FIELD87.vec_sum(pr2_acc)
             total_pipe = FIELD87.vec_sum(pipe_acc)
             assert total_pr2 == total_pipe, "aggregates disagree"
-            pr2_s = time_call(
-                lambda: run_pr2_sequential(
-                    ctx, batches, k_prime, n_elements
-                ),
-                repeat=repeat,
+            pr2_s, pipeline_s = _interleaved_best(
+                [
+                    lambda: run_pr2_sequential(
+                        ctx, batches, k_prime, n_elements
+                    ),
+                    lambda: run_unified_pipeline(
+                        servers, submissions, batch
+                    ),
+                ],
+                rounds=repeat + 1,
             )
             point["pr2_s"] = pr2_s
             point["speedup"] = pr2_s / pipeline_s
@@ -478,10 +512,16 @@ def run_benchmark(smoke=False):
                 fmt_rate(n_submissions / pipeline_s),
             ])
         else:
+            pipeline_s = time_call(
+                lambda: run_unified_pipeline(servers, submissions, batch),
+                repeat=repeat,
+            )
             rows.append([
                 batch, "-", fmt_seconds(pipeline_s), "-",
                 fmt_rate(n_submissions / pipeline_s),
             ])
+        point["pipeline_s"] = pipeline_s
+        point["pipeline_subs_per_s"] = n_submissions / pipeline_s
         record["points"].append(point)
 
     notes = [

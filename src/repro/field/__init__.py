@@ -76,6 +76,7 @@ from repro.field.batch import (
     assemble_rows,
     backend_name,
     butterfly,
+    concat_columns,
     decode_bytes_batch,
     dot_batch_multi,
     dot_rows,
@@ -123,6 +124,7 @@ __all__ = [
     "assemble_rows",
     "backend_name",
     "butterfly",
+    "concat_columns",
     "decode_bytes_batch",
     "dot_batch_multi",
     "dot_rows",

@@ -338,11 +338,15 @@ def _conv(a, b):
     return out
 
 
-def _barrett(ctx: _LimbContext, planes):
+def _barrett(ctx: _LimbContext, planes, canonical: bool = True):
     """Barrett-reduce normalized planes (value < base^(2L)) mod p.
 
     HAC Algorithm 14.42 in radix 2^24, vectorized over the element
-    axes; returns canonical (L, ...) planes.
+    axes; returns canonical (L, ...) planes.  ``canonical=False`` skips
+    the trailing conditional subtractions and returns the main step's
+    residue in ``[0, 3p)`` as ``L`` planes — only valid when ``3p <
+    base^L`` (the lazy-NTT caller guards this); the value is exact
+    modulo ``p`` either way.
     """
     L = ctx.n_limbs
     x = planes
@@ -370,6 +374,8 @@ def _barrett(ctx: _LimbContext, planes):
     r2[L] &= LIMB_MASK
     r1 = x[: L + 1]
     r, _ok = _borrow_sub(r1, r2)                     # mod b^(L+1)
+    if not canonical:
+        return r[:L]
     r = _cond_sub(r, ctx.p_ext_planes, times=2)
     return r[:L]
 
@@ -446,13 +452,32 @@ def _np_matvec(ctx, w_planes, m_planes):
 
 
 def _np_ntt(ctx, planes, root: int):
-    """In-place radix-2 NTT over the last axis of (L, B, n) planes."""
+    """Radix-2 NTT over the last axis of (L, B, n) planes.
+
+    Butterflies are *lazy* when the limb headroom allows (all shipped
+    moduli): stage values live in ``[0, C*p)`` with ``C`` growing by at
+    most 3 per stage — the twiddle product keeps Barrett's main-step
+    residue (< 3p), sums skip the conditional subtraction, and
+    differences add a flat ``3p`` instead of comparing — so each stage
+    is pure convolution/carry passes with no limb comparisons at all.
+    One full Barrett pass at the end canonicalizes, making the output
+    bit-identical to the exact per-stage path (which remains as the
+    fallback for headroom-starved moduli).
+    """
     n = planes.shape[-1]
     if n == 1:
         return planes
     perm = _bit_reverse_permutation(n)
     out = planes[..., perm].copy()
     p = ctx.modulus
+    L = ctx.n_limbs
+    n_stages = n.bit_length() - 1
+    # Lazy growth bound: inputs are canonical (C = 1); every stage adds
+    # at most 3p, and the sub path needs t <= 3p, so values stay below
+    # (4 + 3 * n_stages) * p — which must fit L normalized limbs.
+    lazy = (4 + 3 * n_stages) * p <= (1 << (LIMB_BITS * L))
+    if lazy:
+        three_p = _np.array(_int_limbs(3 * p, L), dtype=_np.int64)
     length = 2
     while length <= n:
         half = length >> 1
@@ -461,13 +486,42 @@ def _np_ntt(ctx, planes, root: int):
         shaped = out.reshape(out.shape[:-1] + (n // length, length))
         lo = shaped[..., :half]
         hi = shaped[..., half:]
-        t = _np_mul(ctx, hi, tw.reshape(
-            (ctx.n_limbs,) + (1,) * (shaped.ndim - 2) + (half,)))
-        new_lo = _np_add(ctx, lo, t)
-        new_hi = _np_sub(ctx, lo, t)
+        if half == 1:
+            # Stage 1's only twiddle is w^0 = 1: t = hi, skip the
+            # multiply (a full conv + Barrett over the half array).
+            t = hi
+        else:
+            x = _carry(_conv(hi, tw.reshape(
+                (L,) + (1,) * (shaped.ndim - 2) + (half,))), 2 * L)
+            t = _barrett(ctx, x, canonical=not lazy)
+        if lazy:
+            # s = lo + t and d = lo - t + 3p, carried but never
+            # compared against p; exact mod p throughout.
+            s = lo + t
+            d = (
+                lo - t
+                + three_p.reshape((L,) + (1,) * (shaped.ndim - 1))
+            )
+            new_lo = _np.empty_like(s)
+            new_hi = _np.empty_like(d)
+            carry_s = _np.zeros(s.shape[1:], dtype=_np.int64)
+            carry_d = _np.zeros(d.shape[1:], dtype=_np.int64)
+            for i in range(L):
+                vs = s[i] + carry_s
+                vd = d[i] + carry_d
+                carry_s = vs >> LIMB_BITS
+                carry_d = vd >> LIMB_BITS
+                new_lo[i] = vs & LIMB_MASK
+                new_hi[i] = vd & LIMB_MASK
+        else:
+            new_lo = _np_add(ctx, lo, t)
+            new_hi = _np_sub(ctx, lo, t)
         shaped[..., :half] = new_lo
         shaped[..., half:] = new_hi
         length <<= 1
+    if lazy:
+        # One canonicalizing Barrett for the whole transform.
+        out = _barrett(ctx, _carry(out, 2 * L))
     return out
 
 
@@ -756,6 +810,33 @@ class BatchVector:
                 [[f.add(v, c) for v in row] for row in self._data]
             )
         return self._like([f.add(v, c) for v in self._data])
+
+    def mul_row(self, values: Sequence[int]) -> "BatchVector":
+        """Multiply every row elementwise by the same length-n vector.
+
+        The batched prover's twist step (odd-point evaluation of h
+        without a double-size NTT) multiplies every coefficient row by
+        one shared power vector — a broadcast plane multiply, no
+        per-row Python loop.
+        """
+        if len(self.shape) != 2:
+            raise FieldError("mul_row needs a 2-D batch")
+        values = list(values)
+        if len(values) != self.shape[1]:
+            raise FieldError("row width mismatch in mul_row")
+        if self._numpy:
+            ctx = _ctx(self.field)
+            row_planes = _encode_checked(ctx, values).reshape(
+                ctx.n_limbs, 1, self.shape[1]
+            )
+            return self._like(_np_mul(ctx, self._data, row_planes))
+        f = self.field
+        return self._like(
+            [
+                [f.mul(x, v) for x, v in zip(row, values)]
+                for row in self._data
+            ]
+        )
 
     def is_zero(self) -> "list[bool]":
         """Per-element zero test of a 1-D batch.
@@ -1203,6 +1284,101 @@ def assemble_rows(
             raise FieldError("row width mismatch in assemble_rows")
         rows.append(row)
     return BatchVector.from_ints(field, rows, force_pure)
+
+
+def interleave_columns(even: BatchVector, odd: BatchVector) -> BatchVector:
+    """Merge two ``(B, n)`` batches into ``(B, 2n)``, alternating columns.
+
+    ``out[:, 2j] = even[:, j]`` and ``out[:, 2j + 1] = odd[:, j]`` —
+    how the batched prover assembles h over the double domain from its
+    even (free) and odd (twisted-NTT) halves without decoding planes.
+    """
+    if len(even.shape) != 2 or even.shape != odd.shape:
+        raise FieldError("interleave_columns needs matching 2-D batches")
+    if even._numpy != odd._numpy:
+        raise FieldError("backend mismatch between operands")
+    B, n = even.shape
+    if even._numpy:
+        out = _np.empty(
+            (even._data.shape[0], B, 2 * n), dtype=_np.int64
+        )
+        out[..., 0::2] = even._data
+        out[..., 1::2] = odd._data
+        return BatchVector(even.field, (B, 2 * n), out, True)
+    rows = [
+        [x for pair in zip(er, orow) for x in pair]
+        for er, orow in zip(even._data, odd._data)
+    ]
+    return BatchVector(even.field, (B, 2 * n), rows, False)
+
+
+def concat_columns(
+    field: PrimeField,
+    parts: "Sequence[BatchVector | Sequence[Sequence[int]]]",
+    force_pure: bool | None = None,
+) -> BatchVector:
+    """Stack 2-D parts side by side into one ``(B, sum-of-widths)`` batch.
+
+    The column-axis dual of :func:`assemble_rows`: each part is either a
+    2-D :class:`BatchVector` (its limb planes are copied directly, never
+    decoded through Python ints) or a sequence of ``B`` equal-length int
+    rows (encoded once).  The batched client prover assembles the
+    ``x || f0 g0 || h || a b c`` submission matrix this way — the AFE
+    encodings and the per-submission proof scalars are Python ints by
+    nature, while the bulky ``h`` evaluations arrive as planes from the
+    batch NTT and join without an int crossing.
+    """
+    parts = list(parts)
+    if not parts:
+        raise FieldError("concat_columns needs at least one part")
+    widths: list[int] = []
+    n_rows: int | None = None
+    for part in parts:
+        if isinstance(part, BatchVector):
+            if len(part.shape) != 2:
+                raise FieldError("concat_columns needs 2-D parts")
+            rows, width = part.shape
+        else:
+            rows = len(part)
+            width = len(part[0]) if rows else 0
+            for row in part:
+                if len(row) != width:
+                    raise FieldError("ragged rows in concat_columns part")
+        if n_rows is None:
+            n_rows = rows
+        elif rows != n_rows:
+            raise FieldError(
+                f"row-count mismatch in concat_columns: {rows} vs {n_rows}"
+            )
+        widths.append(width)
+    total = sum(widths)
+    if use_numpy(force_pure):
+        ctx = _ctx(field)
+        out = _np.zeros((ctx.n_limbs, n_rows, total), dtype=_np.int64)
+        col = 0
+        for part, width in zip(parts, widths):
+            if width == 0:
+                continue
+            if isinstance(part, BatchVector) and part._numpy:
+                out[:, :, col:col + width] = part._data
+            else:
+                rows = part._data if isinstance(part, BatchVector) else part
+                flat = [v for row in rows for v in row]
+                out[:, :, col:col + width] = _encode_checked(
+                    ctx, flat
+                ).reshape(ctx.n_limbs, n_rows, width)
+            col += width
+        return BatchVector(field, (n_rows, total), out, True)
+    p = field.modulus
+    rows_out: list[list[int]] = [[] for _ in range(n_rows)]
+    for part in parts:
+        if isinstance(part, BatchVector):
+            for i, row in enumerate(part.to_ints()):
+                rows_out[i].extend(row)
+        else:
+            for i, row in enumerate(part):
+                rows_out[i].extend(v % p for v in row)
+    return BatchVector(field, (n_rows, total), rows_out, False)
 
 
 def signed_delta_batch(

@@ -38,7 +38,9 @@ from repro.protocol.wire import (
     PacketKind,
     WireError,
     new_submission_id,
+    packets_for_explicit_bodies,
     packets_for_explicit_shares,
+    packets_for_share_bodies,
     packets_for_shares,
     share_vectors_batch,
     total_upload_bytes,
@@ -79,7 +81,9 @@ __all__ = [
     "PacketKind",
     "WireError",
     "new_submission_id",
+    "packets_for_explicit_bodies",
     "packets_for_explicit_shares",
+    "packets_for_share_bodies",
     "packets_for_shares",
     "share_vectors_batch",
     "total_upload_bytes",

@@ -13,6 +13,11 @@
 The client triad of costs the paper measures — encode time (Table 3,
 Figures 7/8), upload bytes (Figure 6), and "one public-key operation"
 (the box seal) — all live in this method.
+
+``prepare_submissions`` runs the same pipeline for a whole batch of
+values through the plane-resident batch prover
+(:mod:`repro.snip.batch_prover`), producing uploads bit-identical to
+the per-value path under the same rng — see its docstring.
 """
 
 from __future__ import annotations
@@ -24,13 +29,29 @@ from dataclasses import dataclass
 from repro.afe.base import Afe
 from repro.crypto.box import seal
 from repro.ec.p256 import Point
-from repro.sharing.additive import share_vector
-from repro.sharing.prg import prg_share_vector
-from repro.snip.prover import build_proof, prove_many
+from repro.field.batch import (
+    BatchVector,
+    encode_bytes_batch,
+    tiny_batch_force_pure,
+)
+from repro.sharing.additive import (
+    share_vector,
+    share_vectors_client_batch,
+    share_vectors_explicit_batch,
+)
+from repro.sharing.prg import new_seed, prg_share_vector
+from repro.snip.batch_prover import (
+    draw_proof_randomness,
+    h_planes_batch,
+    submission_planes,
+)
+from repro.snip.prover import build_proof
 from repro.protocol.wire import (
     ClientPacket,
     new_submission_id,
+    packets_for_explicit_bodies,
     packets_for_explicit_shares,
+    packets_for_share_bodies,
     packets_for_shares,
     total_upload_bytes,
 )
@@ -80,26 +101,145 @@ class PrioClient:
             vector = list(encoding)
         return self._frame_vector(vector)
 
-    def prepare_submissions(self, values) -> list[ClientSubmission]:
+    def prepare_submissions(
+        self,
+        values,
+        batched: "bool | None" = None,
+        force_pure: "bool | None" = None,
+    ) -> list[ClientSubmission]:
         """Encode, prove, share, and frame many values at once.
 
-        The SNIP proof polynomials for all values are computed in one
-        vectorized sweep (:func:`repro.snip.prover.prove_many`);
-        encoding, sharing, and framing stay per submission.  Produces
-        the same wire format as repeated :meth:`prepare_submission`
-        calls.
+        With ``batched=True`` (the default) the whole batch runs
+        through the plane-resident client prover: proof polynomials
+        for every value ride one batch NTT sweep
+        (:mod:`repro.snip.batch_prover`), the PRG-compressed sharing
+        expands all seeds in one vectorized pass
+        (:func:`~repro.sharing.additive.share_vectors_client_batch`),
+        and the explicit wire bodies come straight out of
+        :func:`~repro.field.batch.encode_bytes_batch` — no per-element
+        Python-int crossing between the circuit trace and the wire
+        bytes.  ``batched=False`` falls back to per-value
+        :meth:`prepare_submission` calls.
+
+        Per-submission randomness is drawn in exactly scalar order, so
+        both paths produce *bit-identical* uploads to repeated
+        :meth:`prepare_submission` calls under the same rng (asserted
+        by ``tests/snip/test_client_batch_equivalence.py``) — except
+        when sealing is configured, where the batched path seals after
+        the whole batch's shares are drawn (equivalent in
+        distribution, not bit-identical).  ``force_pure`` overrides the
+        batch backend for this call (``None`` auto-selects).
         """
         values = list(values)
-        encodings = [self.afe.encode(v, self.rng) for v in values]
+        if batched is None:
+            batched = True
+        if not batched:
+            return [self.prepare_submission(v) for v in values]
+        return self._prepare_submissions_batched(values, force_pure)
+
+    def _prepare_submissions_batched(
+        self, values, force_pure: "bool | None"
+    ) -> list[ClientSubmission]:
+        """The plane-resident batch path (see :meth:`prepare_submissions`)."""
+        if not values:
+            return []
+        field = self.field
+        n_servers = self.n_servers
+        compress = self.use_prg_compression and n_servers > 1
+        n_total = self.submission_elements()
+        # Phase 1 — every rng draw, per submission, in scalar order:
+        # encode, f(0)/g(0)/triple, submission id, share seeds/randoms.
+        encodings: list[list[int]] = []
+        traces: list = []
+        randoms: list = []
+        sids: list[bytes] = []
+        seed_rows: list[list[bytes]] = []
+        random_rows: list[list[list[int]]] = []
+        for value in values:
+            encoding = self.afe.encode(value, self.rng)
+            if self.circuit is not None:
+                trace, rand = draw_proof_randomness(
+                    field, self.circuit, encoding, self.rng
+                )
+                traces.append(trace)
+                randoms.append(rand)
+            encodings.append(encoding)
+            sids.append(new_submission_id(self.rng))
+            if compress:
+                seed_rows.append(
+                    [new_seed(self.rng) for _ in range(n_servers - 1)]
+                )
+            else:
+                random_rows.append(
+                    [
+                        field.rand_vector(n_total, self.rng)
+                        for _ in range(n_servers - 1)
+                    ]
+                )
+        # Phase 2 — deterministic batch work: h sweep, x || proof
+        # assembly, sharing, wire bodies; planes throughout.
+        force = tiny_batch_force_pure(len(values) * n_total, force_pure)
         if self.circuit is not None:
-            proofs = prove_many(self.field, self.circuit, encodings, self.rng)
-            vectors = [
-                enc + proof.flatten()
-                for enc, proof in zip(encodings, proofs)
+            h = h_planes_batch(field, self.circuit, traces, randoms, force)
+            vectors = submission_planes(
+                field, self.circuit, encodings, randoms, h, force
+            )
+        else:
+            vectors = BatchVector.from_ints(field, encodings, force)
+        if compress:
+            _, explicit = share_vectors_client_batch(
+                field, vectors, n_servers, seeds=seed_rows, force_pure=force
+            )
+            bodies = encode_bytes_batch(field, explicit, explicit.force_pure)
+            packet_lists = [
+                packets_for_share_bodies(
+                    sid, seed_rows[i], bodies[i], n_total
+                )
+                for i, sid in enumerate(sids)
             ]
         else:
-            vectors = [list(enc) for enc in encodings]
-        return [self._frame_vector(vector) for vector in vectors]
+            shares = share_vectors_explicit_batch(
+                field, vectors, n_servers,
+                random_rows=random_rows, force_pure=force,
+            )
+            bodies_by_server = [
+                encode_bytes_batch(field, share, share.force_pure)
+                for share in shares
+            ]
+            packet_lists = [
+                packets_for_explicit_bodies(
+                    sid,
+                    [bodies_by_server[j][i] for j in range(n_servers)],
+                    n_total,
+                )
+                for i, sid in enumerate(sids)
+            ]
+        # Phase 3 — framing bookkeeping (and the optional box seal, the
+        # client's one public-key operation per server).
+        return [
+            self._seal_and_wrap(sid, packets)
+            for sid, packets in zip(sids, packet_lists)
+        ]
+
+    def _seal_and_wrap(
+        self, submission_id: bytes, packets: "list[ClientPacket]"
+    ) -> ClientSubmission:
+        """Optionally box-seal framed packets and wrap the submission.
+
+        Shared by the scalar and batched framers so the sealing rules
+        (one key per server, one seal per packet) live in one place.
+        """
+        sealed = None
+        if self.server_box_keys is not None:
+            if len(self.server_box_keys) != self.n_servers:
+                raise ValueError("need one box key per server")
+            sealed = [
+                seal(key, packet.encode(), self.rng)
+                for key, packet in zip(self.server_box_keys, packets)
+            ]
+        return ClientSubmission(
+            submission_id=submission_id, packets=packets, sealed_packets=sealed
+        )
 
     def _frame_vector(self, vector: list[int]) -> ClientSubmission:
         """Share and frame one already-proved submission vector."""
@@ -116,17 +256,7 @@ class PrioClient:
             packets = packets_for_explicit_shares(
                 self.field, submission_id, shares
             )
-        sealed = None
-        if self.server_box_keys is not None:
-            if len(self.server_box_keys) != self.n_servers:
-                raise ValueError("need one box key per server")
-            sealed = [
-                seal(key, packet.encode(), self.rng)
-                for key, packet in zip(self.server_box_keys, packets)
-            ]
-        return ClientSubmission(
-            submission_id=submission_id, packets=packets, sealed_packets=sealed
-        )
+        return self._seal_and_wrap(submission_id, packets)
 
     def submission_elements(self) -> int:
         """Share-vector length in field elements (Figures 4/6 x-axis is

@@ -9,7 +9,16 @@ the same work over bounded :class:`asyncio.Queue` hops —
 
 so expansion/decode of batch ``N+1`` overlaps verification of batch
 ``N``, and the per-server CPU work inside each stage fans out over an
-execution backend (:mod:`repro.protocol.fanout`):
+execution backend (:mod:`repro.protocol.fanout`).  With
+:meth:`AsyncPrioPipeline.run_values` the *client* joins the pipeline
+as a producer stage —
+
+    values -> [batched client prover] -> [ingest] -> [verify+accumulate]
+
+— each chunk proved, shared, and framed through the plane-resident
+batched prover (bit-identical to the scalar client) while the servers
+verify the previous chunk, so both halves of the protocol are batched
+and overlapped:
 
 ``executor="thread"`` (the default)
     A shared thread pool; the hot kernels — SHAKE XOF digests and
@@ -75,6 +84,10 @@ class PipelineStats:
     batch_sizes: list[int] = dc_field(default_factory=list)
     #: resolved execution backend ("inline" | "thread" | "process")
     executor: str = ""
+    #: client-producer counters (run_values only): batches the batched
+    #: prover framed, and their total upload bytes
+    client_batches: int = 0
+    upload_bytes: int = 0
 
 
 @dataclass
@@ -135,8 +148,40 @@ class AsyncPrioPipeline:
         one accept/reject decision per submission (stream order)."""
         return asyncio.run(self.run_async(submissions))
 
+    def run_values(self, client, values) -> list[bool]:
+        """Synchronous entry point for the client-producer pipeline."""
+        return asyncio.run(self.run_values_async(client, values))
+
+    async def run_values_async(self, client, values) -> list[bool]:
+        """Pipeline raw *values* with the batched client as a producer.
+
+        Stage 0 proves and frames the values in client batches of
+        ``batch_size`` through the plane-resident batched prover
+        (:meth:`~repro.protocol.client.PrioClient.prepare_submissions`),
+        off the event loop's thread, so the client proves/frames chunk
+        ``N+1`` while the servers ingest and verify chunk ``N`` — the
+        protocol's two halves are batched *and* overlapped.  Decisions,
+        replay protection, and statistics match preparing everything up
+        front and calling :meth:`run_async` (the batched prover is
+        bit-identical to the scalar client).
+        """
+        values = list(values)
+        submissions: list = [None] * len(values)
+
+        def producer(ingest_q):
+            return self._producer(client, values, submissions, ingest_q)
+
+        return await self._run_stream(submissions, producer)
+
     async def run_async(self, submissions) -> list[bool]:
         submissions = list(submissions)
+
+        def producer(ingest_q):
+            return self._batcher(submissions, ingest_q)
+
+        return await self._run_stream(submissions, producer)
+
+    async def _run_stream(self, submissions, make_producer) -> list[bool]:
         results: "list[bool]" = [False] * len(submissions)
         fanout, owned = resolve_fanout(
             self.servers, self.executor, self.batch_size
@@ -160,9 +205,7 @@ class AsyncPrioPipeline:
             ingest_q: asyncio.Queue = asyncio.Queue(self.queue_depth)
             verify_q: asyncio.Queue = asyncio.Queue(self.queue_depth)
             tasks = [
-                asyncio.create_task(
-                    self._batcher(submissions, ingest_q)
-                ),
+                asyncio.create_task(make_producer(ingest_q)),
                 asyncio.create_task(
                     self._ingest_stage(
                         submissions, ingest_q, verify_q, results, fanout
@@ -216,6 +259,32 @@ class AsyncPrioPipeline:
                 batch = []
         if batch:
             await ingest_q.put(batch)
+        await ingest_q.put(_DONE)
+
+    async def _producer(
+        self, client, values, submissions, ingest_q: asyncio.Queue
+    ) -> None:
+        """Stage 0: the batched client prover as a pipeline producer.
+
+        Each client batch proves/shares/frames on a worker thread (the
+        batch NTT and byte-encode kernels release the GIL on the numpy
+        backend) and lands in ``submissions`` before its index batch is
+        queued, so the ingest stage's payload lookups always hit ready
+        uploads.  Queue backpressure applies to the client too: a slow
+        verify stage stalls proving instead of buffering every upload.
+        """
+        for start in range(0, len(values), self.batch_size):
+            indices = list(
+                range(start, min(start + self.batch_size, len(values)))
+            )
+            prepared = await asyncio.to_thread(
+                client.prepare_submissions, [values[i] for i in indices]
+            )
+            for index, submission in zip(indices, prepared):
+                submissions[index] = submission
+                self.stats.upload_bytes += submission.upload_bytes
+            self.stats.client_batches += 1
+            await ingest_q.put(indices)
         await ingest_q.put(_DONE)
 
     # ------------------------------------------------------------------

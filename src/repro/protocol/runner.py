@@ -280,13 +280,43 @@ class PrioDeployment:
         return decisions
 
     def submit_many_pipelined(
-        self, values, queue_depth: int = 2, executor=None
+        self, values, queue_depth: int = 2, executor=None,
+        client_batched: bool = True,
     ) -> int:
-        """Prepare and pipeline many values; returns the number accepted."""
-        submissions = self.client.prepare_submissions(list(values))
-        return sum(
-            self.deliver_pipelined(submissions, queue_depth, executor)
+        """Prepare and pipeline many values; returns the number accepted.
+
+        With ``client_batched`` (the default) the batched plane prover
+        runs as a *producer stage* of the async pipeline
+        (:meth:`~repro.protocol.pipeline.AsyncPrioPipeline.run_values`):
+        the client proves and frames chunk ``N+1`` while the servers
+        ingest and verify chunk ``N``.  ``client_batched=False``
+        prepares every upload up front through the scalar client
+        (identical bytes — the batched prover is bit-identical — just
+        no batching or overlap on the client half).
+        """
+        from repro.protocol.pipeline import AsyncPrioPipeline
+
+        values = list(values)
+        if not client_batched:
+            submissions = self.client.prepare_submissions(
+                values, batched=False
+            )
+            return sum(
+                self.deliver_pipelined(submissions, queue_depth, executor)
+            )
+        pipeline = AsyncPrioPipeline(
+            self.servers,
+            batch_size=self.batch_size,
+            queue_depth=queue_depth,
+            executor=self._resolve_executor(executor),
+            encrypt=self.encrypt,
         )
+        decisions = pipeline.run_values(self.client, values)
+        self.stats.n_submitted += len(values)
+        self.stats.upload_bytes_total += pipeline.stats.upload_bytes
+        self.stats.n_accepted += sum(decisions)
+        self.stats.n_rejected += len(decisions) - sum(decisions)
+        return sum(decisions)
 
     def submit_batch(self, values, mutate=None) -> list[bool]:
         """Prepare and deliver ``values`` as one server-side batch.

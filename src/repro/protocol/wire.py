@@ -208,14 +208,20 @@ def new_submission_id(rng=None) -> bytes:
     return rng.randbytes(SUBMISSION_ID_SIZE)
 
 
-def packets_for_shares(
-    field: PrimeField,
+def packets_for_share_bodies(
     submission_id: bytes,
     seeds: list[bytes],
-    explicit_share: list[int],
+    explicit_body: bytes,
+    n_elements: int,
 ) -> list[ClientPacket]:
-    """Build the per-server packets from a PRG-compressed sharing."""
-    n_elements = len(explicit_share)
+    """PRG-compressed packet layout from an already-encoded body.
+
+    The one place the compressed layout is defined: SEED packets for
+    servers ``0 .. len(seeds) - 1``, the explicit share at the last
+    index.  Both the scalar client (via :func:`packets_for_shares`)
+    and the batched client (bodies from
+    :func:`~repro.field.batch.encode_bytes_batch`) build here.
+    """
     packets = [
         ClientPacket(
             submission_id=submission_id,
@@ -232,10 +238,43 @@ def packets_for_shares(
             server_index=len(seeds),
             kind=PacketKind.EXPLICIT,
             n_elements=n_elements,
-            body=field.encode_vector(explicit_share),
+            body=explicit_body,
         )
     )
     return packets
+
+
+def packets_for_shares(
+    field: PrimeField,
+    submission_id: bytes,
+    seeds: list[bytes],
+    explicit_share: list[int],
+) -> list[ClientPacket]:
+    """Build the per-server packets from a PRG-compressed sharing."""
+    return packets_for_share_bodies(
+        submission_id,
+        seeds,
+        field.encode_vector(explicit_share),
+        len(explicit_share),
+    )
+
+
+def packets_for_explicit_bodies(
+    submission_id: bytes,
+    bodies: list[bytes],
+    n_elements: int,
+) -> list[ClientPacket]:
+    """Uncompressed packet layout from already-encoded bodies."""
+    return [
+        ClientPacket(
+            submission_id=submission_id,
+            server_index=i,
+            kind=PacketKind.EXPLICIT,
+            n_elements=n_elements,
+            body=body,
+        )
+        for i, body in enumerate(bodies)
+    ]
 
 
 def packets_for_explicit_shares(
@@ -244,16 +283,13 @@ def packets_for_explicit_shares(
     shares: list[list[int]],
 ) -> list[ClientPacket]:
     """Uncompressed variant (the PRG ablation's baseline)."""
-    return [
-        ClientPacket(
-            submission_id=submission_id,
-            server_index=i,
-            kind=PacketKind.EXPLICIT,
-            n_elements=len(share),
-            body=field.encode_vector(share),
-        )
-        for i, share in enumerate(shares)
-    ]
+    if not shares:
+        return []
+    return packets_for_explicit_bodies(
+        submission_id,
+        [field.encode_vector(share) for share in shares],
+        len(shares[0]),
+    )
 
 
 def total_upload_bytes(packets: list[ClientPacket]) -> int:

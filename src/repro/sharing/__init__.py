@@ -6,6 +6,8 @@ from repro.sharing.additive import (
     share_of_constant,
     share_scalar,
     share_vector,
+    share_vectors_client_batch,
+    share_vectors_explicit_batch,
 )
 from repro.sharing.prg import (
     SEED_SIZE,
@@ -30,6 +32,8 @@ __all__ = [
     "share_of_constant",
     "share_scalar",
     "share_vector",
+    "share_vectors_client_batch",
+    "share_vectors_explicit_batch",
     "SEED_SIZE",
     "PrgStream",
     "compressed_upload_elements",

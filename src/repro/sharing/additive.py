@@ -12,9 +12,12 @@ lean on this constantly.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.field.prime_field import FieldError, PrimeField
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.field.batch import BatchVector
 
 
 def share_scalar(field: PrimeField, x: int, n_shares: int, rng) -> list[int]:
@@ -68,6 +71,134 @@ def reconstruct_vector(
         for i, v in enumerate(share):
             out[i] += v
     return [v % p for v in out]
+
+
+def _as_batch(
+    field: PrimeField, vectors, force_pure: bool | None
+) -> "tuple[BatchVector, bool | None]":
+    """Normalize a rows-or-batch argument to a 2-D ``BatchVector``.
+
+    A passed-in batch pins the backend (``force_pure`` then reproduces
+    it), so the share arithmetic below never mixes backends.
+    """
+    from repro.field.batch import BatchVector
+
+    if isinstance(vectors, BatchVector):
+        if len(vectors.shape) != 2:
+            raise FieldError("batched sharing needs a 2-D batch")
+        return vectors, vectors.force_pure
+    rows = [list(v) for v in vectors]
+    if not rows:
+        # from_ints([]) would infer a 1-D (0,) shape; an empty *batch*
+        # is 2-D with zero rows.
+        return BatchVector.zeros(field, (0, 0), force_pure), force_pure
+    return BatchVector.from_ints(field, rows, force_pure), force_pure
+
+
+def share_vectors_explicit_batch(
+    field: PrimeField,
+    vectors,
+    n_shares: int,
+    rng=None,
+    random_rows: "Sequence[Sequence[Sequence[int]]] | None" = None,
+    force_pure: bool | None = None,
+) -> "list[BatchVector]":
+    """Vectorized :func:`share_vector` for ``B`` vectors at once.
+
+    Returns one ``(B, n)`` :class:`~repro.field.batch.BatchVector` per
+    party; row ``i`` of party ``j``'s batch is bit-identical to
+    ``share_vector(field, vectors[i], n_shares, rng)[j]`` under the
+    same rng.  The random draws are inherently sequential (they must
+    replay scalar order: submission-major, then party, then element),
+    but the only share *arithmetic* — the last party's
+    ``x - sum(randoms)`` — runs as plane subtractions.
+
+    ``random_rows[i][j]`` pre-draws party ``j``'s random share of
+    vector ``i``; callers whose scalar flow interleaves *other* draws
+    between submissions (the client, the batched prover) pass it so
+    the rng order stays theirs.
+    """
+    if n_shares < 1:
+        raise FieldError(f"need at least one share, got {n_shares}")
+    vectors, force_pure = _as_batch(field, vectors, force_pure)
+    B, n = vectors.shape
+    if B == 0:
+        # Zero-row shares of a zero-row batch; nothing to draw.
+        return [vectors for _ in range(n_shares)]
+    if random_rows is None:
+        random_rows = [
+            [field.rand_vector(n, rng) for _ in range(n_shares - 1)]
+            for _ in range(B)
+        ]
+    from repro.field.batch import BatchVector
+
+    out: "list[BatchVector]" = []
+    last = vectors
+    for j in range(n_shares - 1):
+        share_j = BatchVector.from_ints(
+            field, [list(random_rows[i][j]) for i in range(B)], force_pure
+        )
+        out.append(share_j)
+        last = last - share_j
+    out.append(last)
+    return out
+
+
+def share_vectors_client_batch(
+    field: PrimeField,
+    vectors,
+    n_shares: int,
+    rng=None,
+    seeds: "Sequence[Sequence[bytes]] | None" = None,
+    force_pure: bool | None = None,
+) -> "tuple[list[list[bytes]], BatchVector]":
+    """Batched PRG-compressed client sharing over ``(B, n)`` planes.
+
+    The vectorized counterpart of
+    :func:`repro.sharing.prg.prg_share_vector`: splits ``B`` vectors
+    into ``n_shares - 1`` seeds each plus one explicit share, with all
+    ``B * (n_shares - 1)`` seed expansions running through a single
+    :func:`~repro.sharing.prg.expand_seed_batch` sweep and the explicit
+    shares computed as plane subtractions.  Returns ``(seed_rows,
+    explicit)``: ``seed_rows[i]`` is submission ``i``'s per-party seed
+    list and row ``i`` of ``explicit`` is bit-identical to
+    ``prg_share_vector(field, vectors[i], n_shares, rng)[1]`` under the
+    same rng.
+
+    ``seeds`` pre-draws the seed rows (the batched client draws them
+    interleaved with its other per-submission randomness to preserve
+    scalar rng order); with ``rng`` the seeds are drawn here,
+    submission-major, exactly as sequential ``prg_share_vector`` calls
+    would.
+    """
+    from repro.sharing.prg import expand_seed_batch, new_seed
+
+    if n_shares < 1:
+        raise FieldError(f"need at least one share, got {n_shares}")
+    vectors, force_pure = _as_batch(field, vectors, force_pure)
+    B, n = vectors.shape
+    if seeds is None:
+        seeds = [
+            [new_seed(rng) for _ in range(n_shares - 1)] for _ in range(B)
+        ]
+    else:
+        seeds = [list(row) for row in seeds]
+        if len(seeds) != B or any(
+            len(row) != n_shares - 1 for row in seeds
+        ):
+            raise FieldError(
+                "seeds must be one row of n_shares - 1 seeds per vector"
+            )
+    explicit = vectors
+    if B and n_shares > 1:
+        expanded = expand_seed_batch(
+            field, [s for row in seeds for s in row], n, force_pure
+        )
+        for j in range(n_shares - 1):
+            explicit = explicit - expanded.take_rows(
+                [i * (n_shares - 1) + j for i in range(B)]
+            )
+    return [list(row) for row in seeds], explicit
 
 
 def share_of_constant(

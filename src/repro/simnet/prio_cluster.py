@@ -236,6 +236,7 @@ def run_cluster(
     mutate=None,
     batch_size: int = 1,
     executor: "str | None" = "inline",
+    client_batch_size: int = 1,
 ) -> ClusterReport:
     """Submit ``values`` through a simulated cluster; fully verify all.
 
@@ -245,9 +246,17 @@ def run_cluster(
     message schedule changes.  ``executor`` selects where each server's
     CPU work runs (``"inline"`` default; ``"process"`` = one worker
     process per server); outcomes are backend-independent.
+    ``client_batch_size > 1`` prepares uploads through the batched
+    plane-resident client prover in chunks of that size — end-to-end
+    cluster runs are then batched on *both* halves of the protocol;
+    the batched prover is bit-identical to the scalar client, so the
+    report (decisions, bytes, schedule) is unchanged (asserted by the
+    integration tests).
     """
     if batch_size < 1:
         raise SimError("batch_size must be >= 1")
+    if client_batch_size < 1:
+        raise SimError("client_batch_size must be >= 1")
     if not (executor is None or isinstance(executor, str)):
         # The cluster constructs its own fresh servers below; a caller
         # fanout is bound to *its* servers, so its ops would mutate
@@ -279,19 +288,26 @@ def run_cluster(
             net.register(node.index, node.handle)
 
         client = PrioClient(afe, n_servers, rng=rng)
-        for index, value in enumerate(values):
-            submission = client.prepare_submission(value)
-            if mutate is not None:
-                mutate(index, submission)
-            # Clients are modelled at the leader's site (site 0): upload
-            # packets fan out from there with the topology's latencies.
-            for packet in submission.packets:
-                net.send(
-                    0,
-                    packet.server_index,
-                    ("upload", packet),
-                    packet.encoded_size(),
-                )
+        for start in range(0, len(values), client_batch_size):
+            chunk = values[start:start + client_batch_size]
+            if client_batch_size > 1:
+                submissions = client.prepare_submissions(chunk, batched=True)
+            else:
+                submissions = [client.prepare_submission(v) for v in chunk]
+            for offset, submission in enumerate(submissions):
+                index = start + offset
+                if mutate is not None:
+                    mutate(index, submission)
+                # Clients are modelled at the leader's site (site 0):
+                # upload packets fan out from there with the topology's
+                # latencies.
+                for packet in submission.packets:
+                    net.send(
+                        0,
+                        packet.server_index,
+                        ("upload", packet),
+                        packet.encoded_size(),
+                    )
         wall = net.run()
     finally:
         try:

@@ -20,11 +20,15 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.circuit.circuit import Circuit
-from repro.field.batch import elementwise_mul_rows
+from repro.field.batch import BatchVector, elementwise_mul_rows
 from repro.field.ntt import EvaluationDomain
 from repro.field.prime_field import PrimeField
 from repro.mpc.beaver import BeaverTriple, generate_triple, share_triple
-from repro.sharing.additive import share_scalar, share_vector
+from repro.sharing.additive import (
+    share_scalar,
+    share_vector,
+    share_vectors_explicit_batch,
+)
 from repro.snip.proof import SnipError, SnipProof, SnipProofShare, snip_domain_sizes
 
 
@@ -184,6 +188,138 @@ def prove_and_share(
     return x_shares, proof_shares
 
 
+def _draw_proof_share_randoms(
+    field: PrimeField, h_len: int, n_servers: int, rng
+) -> list[list[int]]:
+    """One proof's sharing randomness, in exact :func:`share_proof` order.
+
+    Scalar sharing draws f0 shares across servers, then g0, then each
+    server's h vector, then the triple's a/b/c — *not* server-major
+    over the flattened proof.  Returns one flatten-layout random row
+    per non-final server, so the batched last-share subtraction
+    reproduces scalar sharing bit for bit.
+    """
+    p = field.modulus
+    randrange = rng.randrange
+    s1 = n_servers - 1
+    f0_r = [randrange(p) for _ in range(s1)]
+    g0_r = [randrange(p) for _ in range(s1)]
+    if h_len:
+        h_r = [[randrange(p) for _ in range(h_len)] for _ in range(s1)]
+    else:
+        h_r = [[] for _ in range(s1)]
+    a_r = [randrange(p) for _ in range(s1)]
+    b_r = [randrange(p) for _ in range(s1)]
+    c_r = [randrange(p) for _ in range(s1)]
+    return [
+        [f0_r[j], g0_r[j]] + h_r[j] + [a_r[j], b_r[j], c_r[j]]
+        for j in range(s1)
+    ]
+
+
+def share_proof_batch(
+    field: PrimeField,
+    proofs: Sequence[SnipProof],
+    n_servers: int,
+    rng,
+    force_pure: bool | None = None,
+) -> list[BatchVector]:
+    """Share many proofs at once, plane-resident.
+
+    Returns one ``(B, proof_len)`` :class:`~repro.field.batch.BatchVector`
+    per server; row ``i`` of server ``j``'s batch is bit-identical to
+    ``share_proof(field, proofs[i], n_servers, rng)[j].flatten()``
+    under the same rng — the sharing randomness is drawn per proof in
+    scalar order, and the only share arithmetic (the last server's
+    ``proof - sum(randoms)``) runs as one plane subtraction per server.
+    """
+    if n_servers < 2:
+        raise SnipError("a SNIP needs at least two verifiers")
+    proofs = list(proofs)
+    if not proofs:
+        return [
+            BatchVector.zeros(field, (0, 0), force_pure)
+            for _ in range(n_servers)
+        ]
+    h_len = len(proofs[0].h_evals)
+    for proof in proofs:
+        if len(proof.h_evals) != h_len:
+            raise SnipError("mixed h_evals lengths in proof batch")
+    random_rows = [
+        _draw_proof_share_randoms(field, h_len, n_servers, rng)
+        for _ in proofs
+    ]
+    return share_vectors_explicit_batch(
+        field,
+        [proof.flatten() for proof in proofs],
+        n_servers,
+        random_rows=random_rows,
+        force_pure=force_pure,
+    )
+
+
+def prove_and_share_planes(
+    field: PrimeField,
+    circuit: Circuit,
+    xs: Sequence[Sequence[int]],
+    n_servers: int,
+    rng,
+    check_valid: bool = True,
+    force_pure: bool | None = None,
+) -> list[BatchVector]:
+    """Batched full client uploads, plane-resident end to end.
+
+    Returns one ``(B, k + proof_len)`` batch per server; row ``i`` of
+    server ``j``'s batch is bit-identical to ``x_shares[j] +
+    proof_shares[j].flatten()`` from ``prove_and_share(field, circuit,
+    xs[i], n_servers, rng)`` under the same rng.  The per-submission
+    randomness — input-share randoms, then f(0)/g(0)/triple, then
+    proof-share randoms — is drawn submission by submission in exactly
+    scalar order; everything deterministic (the f/g/h NTT sweep via
+    :mod:`repro.snip.batch_prover`, the ``x || proof`` assembly, the
+    last-share subtraction) is batched across all submissions and
+    never crosses to per-element Python ints.
+    """
+    from repro.snip.batch_prover import (
+        draw_proof_randomness,
+        h_planes_batch,
+        submission_planes,
+    )
+
+    if n_servers < 2:
+        raise SnipError("a SNIP needs at least two verifiers")
+    xs = [list(x) for x in xs]
+    if not xs:
+        return [
+            BatchVector.zeros(field, (0, 0), force_pure)
+            for _ in range(n_servers)
+        ]
+    m = circuit.n_mul_gates
+    _, size_2n = snip_domain_sizes(m)
+    traces = []
+    randoms = []
+    random_rows: list[list[list[int]]] = []
+    for x in xs:
+        x_rand = [
+            field.rand_vector(len(x), rng) for _ in range(n_servers - 1)
+        ]
+        trace, rand = draw_proof_randomness(
+            field, circuit, x, rng, check_valid
+        )
+        share_rand = _draw_proof_share_randoms(field, size_2n, n_servers, rng)
+        traces.append(trace)
+        randoms.append(rand)
+        random_rows.append(
+            [x_rand[j] + share_rand[j] for j in range(n_servers - 1)]
+        )
+    h = h_planes_batch(field, circuit, traces, randoms, force_pure)
+    full = submission_planes(field, circuit, xs, randoms, h, force_pure)
+    return share_vectors_explicit_batch(
+        field, full, n_servers, random_rows=random_rows,
+        force_pure=force_pure,
+    )
+
+
 def prove_and_share_many(
     field: PrimeField,
     circuit: Circuit,
@@ -194,18 +330,32 @@ def prove_and_share_many(
 ) -> list[tuple[list[list[int]], list[SnipProofShare]]]:
     """Batched client uploads: one ``(x_shares, proof_shares)`` per input.
 
-    Proof polynomials for all inputs are computed in one vectorized
-    sweep (:func:`prove_many`); sharing stays per submission.  The rng
-    draw order differs from sequential :func:`prove_and_share` calls
-    (all input sharings are drawn before the proofs), so the two are
-    equivalent in distribution but not bit-identical under a fixed
-    seed.
+    Bit-identical to sequential :func:`prove_and_share` calls under the
+    same rng: all per-submission randomness (input sharing, then the
+    proof's f(0)/g(0)/triple, then proof sharing) is drawn in exactly
+    scalar order, and only the deterministic polynomial work and the
+    final-share arithmetic are batched
+    (:func:`prove_and_share_planes`, which this wraps with an int-level
+    decode).  Earlier revisions drew all input sharings before any
+    proof randomness, which made the batch equivalent only in
+    distribution; the order guarantee is now pinned by
+    ``tests/snip/test_client_batch_equivalence.py``.
     """
-    x_shares_list = [
-        share_vector(field, list(x), n_servers, rng) for x in xs
-    ]
-    proofs = prove_many(field, circuit, xs, rng, force_pure=force_pure)
-    return [
-        (x_shares, share_proof(field, proof, n_servers, rng))
-        for x_shares, proof in zip(x_shares_list, proofs)
-    ]
+    xs = [list(x) for x in xs]
+    if not xs:
+        return []
+    per_server = prove_and_share_planes(
+        field, circuit, xs, n_servers, rng, force_pure=force_pure
+    )
+    server_rows = [batch.to_ints() for batch in per_server]
+    m = circuit.n_mul_gates
+    out = []
+    for i, x in enumerate(xs):
+        k = len(x)
+        x_shares = [server_rows[j][i][:k] for j in range(n_servers)]
+        proof_shares = [
+            SnipProofShare.unflatten(field, server_rows[j][i][k:], m)
+            for j in range(n_servers)
+        ]
+        out.append((x_shares, proof_shares))
+    return out

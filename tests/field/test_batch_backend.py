@@ -262,3 +262,38 @@ def test_signed_delta_batch_matches_scalar(field, force_pure, rng):
         assert batch.to_ints() == [
             (a - b) % p for a, b in zip(positives, negatives)
         ]
+
+
+def test_ntt_exact_fallback_on_headroom_starved_modulus():
+    """The lazy-butterfly guard must fall back to the exact per-stage
+    path — and still match the scalar NTT bit for bit.
+
+    Every shipped modulus leaves lazy headroom, so this builds a
+    24-bit NTT-friendly prime (one 24-bit limb, no slack: the guard
+    ``(4 + 3·stages)·p <= base^L`` fails) to exercise the fallback.
+    """
+    if not use_numpy(None):
+        pytest.skip("exercises the numpy NTT kernel")
+    from repro.field import PrimeField
+    from repro.field.batch import LIMB_BITS
+
+    field = PrimeField(
+        modulus=33 * (1 << 18) + 1, two_adicity=18, generator=10,
+        name="F8650753",
+    )
+    size = 16
+    n_stages = size.bit_length() - 1
+    # The point of this field: the lazy guard is off at this size.
+    assert (4 + 3 * n_stages) * field.modulus > (1 << LIMB_BITS)
+    rng = random.Random(0xFA11)
+    rows = [
+        [field.rand(rng) for _ in range(size)] for _ in range(5)
+    ] + [[0] * size, [field.modulus - 1] * size]
+    root = field.root_of_unity(size)
+    batched = BatchVector.from_ints(field, rows, force_pure=False)
+    assert batched.ntt(root).to_ints() == [
+        ntt(field, row, root) for row in rows
+    ]
+    assert batched.intt(root).to_ints() == [
+        intt(field, row, root) for row in rows
+    ]

@@ -44,6 +44,43 @@ def test_pipeline_matches_synchronous_decisions(rng):
     ) == (19, 19, 0)
 
 
+def test_client_producer_stage_matches_prepared_stream(rng):
+    """run_values (batched client as stage 0) must match preparing every
+    upload up front — same decisions, aggregate, and byte accounting."""
+    afe = IntegerSumAfe(FIELD87, 8)
+    pre_dep, prod_dep = _twin_deployments(afe)
+    values = [rng.randrange(256) for _ in range(11)]
+    submissions = pre_dep.client.prepare_submissions(values, batched=False)
+    pre_results = pre_dep.deliver_pipelined(submissions)
+
+    pipeline = AsyncPrioPipeline(prod_dep.servers, batch_size=4)
+    prod_results = pipeline.run_values(prod_dep.client, values)
+    assert prod_results == pre_results == [True] * 11
+    assert pre_dep.publish() == prod_dep.publish() == sum(values)
+    # 11 values at batch 4 -> 3 client batches; producer byte counting
+    # matches the up-front client's.
+    assert pipeline.stats.client_batches == 3
+    assert pipeline.stats.upload_bytes == sum(
+        s.upload_bytes for s in submissions
+    )
+
+
+def test_submit_many_pipelined_client_batched_flag(rng):
+    """Both client modes of submit_many_pipelined agree end to end."""
+    afe = IntegerSumAfe(FIELD87, 8)
+    batched_dep, scalar_dep = _twin_deployments(afe)
+    values = [rng.randrange(256) for _ in range(9)]
+    assert batched_dep.submit_many_pipelined(values) == 9
+    assert scalar_dep.submit_many_pipelined(
+        values, client_batched=False
+    ) == 9
+    assert batched_dep.publish() == scalar_dep.publish() == sum(values)
+    assert (
+        batched_dep.stats.upload_bytes_total
+        == scalar_dep.stats.upload_bytes_total
+    )
+
+
 def test_pipeline_bad_submission_rejects_alone(rng):
     """A corrupted share hidden mid-stream rejects alone, like the
     synchronous batch path."""

@@ -37,6 +37,27 @@ def test_same_datacenter_cluster(rng):
     assert sum(report.aggregate) == 10
 
 
+def test_client_batching_leaves_cluster_report_unchanged():
+    """The batched client prover is bit-identical to the scalar client,
+    so batching the *client* half changes nothing in the cluster run —
+    not decisions, not bytes, not the message schedule."""
+    afe = IntegerSumAfe(FIELD87, 6)
+    values_rng = random.Random(7)
+    values = [values_rng.randrange(64) for _ in range(9)]
+    scalar = run_cluster(
+        afe, paper_wan_topology(), values, random.Random(31), batch_size=4
+    )
+    batched = run_cluster(
+        afe, paper_wan_topology(), values, random.Random(31), batch_size=4,
+        client_batch_size=4,
+    )
+    assert batched.n_accepted == scalar.n_accepted == 9
+    assert batched.aggregate == scalar.aggregate
+    assert batched.wall_clock_s == scalar.wall_clock_s
+    assert batched.server_tx_bytes == scalar.server_tx_bytes
+    assert batched.first_decision_s == scalar.first_decision_s
+
+
 def test_wan_latency_dominates_wall_clock(rng):
     """Two broadcast rounds across the WAN: the wall clock must be at
     least two one-way worst-case latencies, and under a second for a
