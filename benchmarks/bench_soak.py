@@ -1,0 +1,438 @@
+"""Million-submission soak: real sockets, multi-process deployment.
+
+Not a paper figure — this pins the PR-6 transport work: N client
+*processes* stream length-framed uploads over real TCP (or unix)
+sockets into :class:`~repro.transport.server.PrioTransportServer`,
+which drives the multi-process server fan-out
+(``executor="process"``: one worker process per logical Prio server).
+Two phases:
+
+**Differential phase.**  A mixed honest/corrupted upload set runs
+through the in-memory :func:`~repro.protocol.pipeline.run_pipelined`
+path and — the *identical* submission objects, re-encoded to wire
+bytes — through the socket transport against a second server set
+built from the same shared randomness.  Decisions must match
+position-for-position (zero divergence) and the two aggregates must
+be equal.
+
+**Soak phase.**  Clients splice fresh submission ids into a pool of
+pre-framed honest uploads (proof reuse — the server-side work per
+submission is identical, the client processes stay fast enough to
+saturate the front end) and stream them with a bounded in-flight
+window.  Every honest upload must come back ``ACCEPTED`` — any other
+outcome would diverge from the in-memory path, which accepts honest
+uploads by construction — and the published aggregate must equal the
+total accepted count.  Throughput and per-submission latency
+percentiles (p50/p95/p99, measured send-to-decision at the client)
+land in ``BENCH_soak.json``.
+
+Defaults complete >= 10^6 submissions; ``--smoke`` scales down to CI
+size (the soak-smoke job runs it on both field backends).  Runs under
+pytest (smoke scale) and as a script::
+
+    python benchmarks/bench_soak.py [--smoke] [--submissions N]
+        [--clients N] [--executor inline|thread|process|auto]
+        [--transport tcp|unix]
+"""
+
+import argparse
+import dataclasses
+import json
+import multiprocessing
+import os
+import pathlib
+import sys
+import time
+from array import array
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from common import emit_table, fmt_rate, fmt_seconds
+
+from repro.afe.sums import IntegerSumAfe
+from repro.field import backend_name
+from repro.field.parameters import FIELD87
+from repro.protocol.pipeline import AsyncPrioPipeline
+from repro.protocol.runner import PrioDeployment
+from repro.protocol.wire import PacketKind
+from repro.transport import (
+    PrioTransportServer,
+    Status,
+    TransportClient,
+    TransportConfig,
+    encode_upload,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+N_SERVERS = 2
+SEED = b"soak-bench-seed!"
+#: id offsets inside an encoded packet / chunk size for submit_many
+_CHUNK = 4096
+
+
+def _frame_and_offsets(packets):
+    """Encode one upload frame; return it with its id-splice offsets."""
+    pkt_bytes = [p.encode() for p in packets]
+    frame = encode_upload(pkt_bytes)
+    offsets = []
+    off = 4 + 1  # frame length prefix + packet count
+    for data in pkt_bytes:
+        offsets.append(off + 4 + 4)  # packet length prefix + magic/ver/kind
+        off += 4 + len(data)
+    return frame, offsets
+
+
+def _corrupt(submission) -> None:
+    """Flip the last body byte of the EXPLICIT packet (in place)."""
+    for i, packet in enumerate(submission.packets):
+        if packet.kind is PacketKind.EXPLICIT:
+            body = packet.body
+            mutated = body[:-1] + bytes([(body[-1] + 1) % 256])
+            submission.packets[i] = dataclasses.replace(packet, body=mutated)
+            return
+    raise AssertionError("no explicit packet to corrupt")
+
+
+def _percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    return sorted_values[min(
+        len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5)
+    )]
+
+
+# ----------------------------------------------------------------------
+# Client process
+# ----------------------------------------------------------------------
+
+
+def _client_proc(
+    client_id, addr_q, result_q, transport, n, templates, window
+):
+    """One soak client: splice fresh ids into template frames, stream
+    them, retry anything load-shed, report counts + latencies."""
+    import asyncio
+
+    async def run():
+        addr = addr_q.get()
+        if transport == "unix":
+            client = await TransportClient.connect_unix(addr)
+        else:
+            client = await TransportClient.connect_tcp(*addr)
+        accepted = rejected = retried = 0
+        counter = 0
+        prefix = client_id.to_bytes(2, "big")
+        work = []
+        for i in range(n):
+            frame, offsets = templates[i % len(templates)]
+            sid = prefix + counter.to_bytes(14, "big")
+            counter += 1
+            spliced = bytearray(frame)
+            for off in offsets:
+                spliced[off:off + 16] = sid
+            work.append((sid, bytes(spliced)))
+        while work:
+            chunk, work = work[:_CHUNK], work[_CHUNK:]
+            statuses = await client.submit_many(chunk, window=window)
+            requeue = []
+            for item, status in zip(chunk, statuses):
+                if status is Status.ACCEPTED:
+                    accepted += 1
+                elif status is Status.BUSY:
+                    retried += 1
+                    requeue.append(item)
+                else:
+                    rejected += 1
+            work.extend(requeue)
+        latencies = array("d", client.latencies)
+        await client.close()
+        result_q.put(
+            (client_id, accepted, rejected, retried, latencies.tobytes())
+        )
+
+    asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Phases (run inside the server's event loop)
+# ----------------------------------------------------------------------
+
+
+async def _differential_phase(afe, addr, transport, n_diff, n_corrupted):
+    """Same uploads through run_pipelined and through the socket.
+
+    The transport-side aggregate cannot be read here: with the process
+    fan-out, driver-side server state merges back only at ``stop()``.
+    The caller folds this phase's accepted count into the end-of-run
+    aggregate check instead.
+    """
+    dep_mem = PrioDeployment.create(afe, n_servers=N_SERVERS, seed=SEED)
+    submissions = dep_mem.client.prepare_submissions([1] * n_diff)
+    step = max(1, n_diff // max(1, n_corrupted))
+    for i in range(0, n_diff, step):
+        _corrupt(submissions[i])
+    mem_pipeline = AsyncPrioPipeline(
+        dep_mem.servers, batch_size=64, executor="inline"
+    )
+    mem_decisions = await mem_pipeline.run_async(submissions)
+    if transport == "unix":
+        client = await TransportClient.connect_unix(addr)
+    else:
+        client = await TransportClient.connect_tcp(*addr)
+    frames = [
+        (s.submission_id, TransportClient.frame_submission(s))
+        for s in submissions
+    ]
+    statuses = await client.submit_many(frames, window=64)
+    await client.close()
+    wire_decisions = [s is Status.ACCEPTED for s in statuses]
+    divergence = sum(
+        1 for a, b in zip(mem_decisions, wire_decisions) if a != b
+    )
+    mem_aggregate = afe.field.vec_sum(dep_mem.publish_shares())[0]
+    return {
+        "n": n_diff,
+        "n_corrupted": sum(1 for d in mem_decisions if not d),
+        "divergence": divergence,
+        #: the in-memory aggregate must equal its own accepted count
+        #: (every honest value is 1) — and the transport aggregate is
+        #: checked against diff+soak accepted totals after the drain
+        "aggregates_match": mem_aggregate == sum(mem_decisions),
+        "mem_aggregate": mem_aggregate,
+        "n_accepted": sum(wire_decisions),
+    }
+
+
+def run_benchmark(
+    smoke: bool = False,
+    n_submissions: "int | None" = None,
+    n_clients: "int | None" = None,
+    executor: "str | None" = None,
+    transport: str = "tcp",
+):
+    import asyncio
+    import tempfile
+
+    if n_submissions is None:
+        n_submissions = 4_000 if smoke else 1_000_000
+    if n_clients is None:
+        n_clients = 2 if smoke else 4
+    if executor is None:
+        # The acceptance configuration: one worker process per logical
+        # Prio server (resolve_fanout falls back to threads, loudly,
+        # where worker processes cannot be created).
+        executor = "process"
+    batch_size = 128 if smoke else 256
+    n_diff = 256 if smoke else 2048
+    window = 128
+
+    afe = IntegerSumAfe(FIELD87, 1)
+    dep = PrioDeployment.create(afe, n_servers=N_SERVERS, seed=SEED)
+    templates = [
+        _frame_and_offsets(s.packets)
+        for s in dep.client.prepare_submissions([1] * 64)
+    ]
+
+    # Client processes fork *before* any event loop, worker pool, or
+    # listening socket exists; they block on addr_q until the server
+    # is up.
+    ctx = multiprocessing.get_context(
+        os.environ.get("REPRO_MP_START") or None
+    )
+    addr_q = ctx.Queue()
+    result_q = ctx.Queue()
+    per_client = [
+        n_submissions // n_clients
+        + (1 if i < n_submissions % n_clients else 0)
+        for i in range(n_clients)
+    ]
+    procs = [
+        ctx.Process(
+            target=_client_proc,
+            args=(i, addr_q, result_q, transport, per_client[i],
+                  templates, window),
+            daemon=True,
+        )
+        for i in range(n_clients)
+    ]
+    for proc in procs:
+        proc.start()
+
+    unix_dir = tempfile.mkdtemp(prefix="prio-soak-") \
+        if transport == "unix" else None
+
+    async def main():
+        config = TransportConfig(batch_size=batch_size, executor=executor)
+        server = PrioTransportServer(dep.servers, config)
+        await server.start()
+        if transport == "unix":
+            addr = await server.serve_unix(
+                os.path.join(unix_dir, "soak.sock")
+            )
+        else:
+            addr = await server.serve_tcp("127.0.0.1", 0)
+        differential = await _differential_phase(
+            afe, addr, transport, n_diff,
+            n_corrupted=max(8, n_diff // 16),
+        )
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        for _ in procs:
+            addr_q.put(addr)
+        results = []
+        timeout = 600 if smoke else 3600
+        for _ in procs:
+            results.append(
+                await loop.run_in_executor(None, result_q.get, True, timeout)
+            )
+        duration = time.perf_counter() - start
+        await server.stop()
+        return server, differential, results, duration
+
+    server, differential, results, duration = asyncio.run(main())
+    for proc in procs:
+        proc.join(timeout=60)
+
+    accepted = sum(r[1] for r in results)
+    rejected = sum(r[2] for r in results)
+    retried = sum(r[3] for r in results)
+    latencies = array("d")
+    for r in results:
+        latencies.frombytes(r[4])
+    ordered = sorted(latencies)
+    aggregate = afe.field.vec_sum(
+        [s.publish() for s in dep.servers]
+    )[0]
+
+    record = {
+        "field": "F87",
+        "afe": afe.name,
+        "n_servers": N_SERVERS,
+        "backend": backend_name(),
+        "executor": server.stats.executor,
+        "transport": transport,
+        "smoke": smoke,
+        "n_submissions": n_submissions,
+        "n_clients": n_clients,
+        "batch_size": batch_size,
+        "duration_s": duration,
+        "throughput_subs_per_s": n_submissions / duration,
+        "latency_p50_s": _percentile(ordered, 0.50),
+        "latency_p95_s": _percentile(ordered, 0.95),
+        "latency_p99_s": _percentile(ordered, 0.99),
+        "soak_accepted": accepted,
+        "soak_rejected": rejected,
+        "soak_retried": retried,
+        "soak_all_accepted": accepted == n_submissions and rejected == 0,
+        "aggregate_matches_accepted": aggregate
+        == accepted + differential["n_accepted"],
+        "differential": differential,
+        "server_stats": {
+            "n_batches": server.stats.n_batches,
+            "n_shed": server.stats.n_shed,
+            "n_pauses": server.stats.n_pauses,
+            "max_pending": server.stats.max_pending,
+            "n_poisoned": server.stats.n_poisoned,
+            "n_worker_failures": server.stats.n_worker_failures,
+        },
+    }
+    emit_table(
+        "soak",
+        f"Socket-transport soak ({transport}, "
+        f"{server.stats.executor} fan-out, {backend_name()})",
+        ["submissions", "clients", "throughput/s", "p50", "p95", "p99",
+         "divergence"],
+        [[
+            n_submissions,
+            n_clients,
+            fmt_rate(record["throughput_subs_per_s"]),
+            fmt_seconds(record["latency_p50_s"]),
+            fmt_seconds(record["latency_p95_s"]),
+            fmt_seconds(record["latency_p99_s"]),
+            differential["divergence"],
+        ]],
+        notes=[
+            f"differential: {differential['n']} uploads "
+            f"({differential['n_corrupted']} corrupted), "
+            f"divergence {differential['divergence']}, aggregates "
+            f"{'match' if differential['aggregates_match'] else 'DIVERGE'}",
+            f"soak: {accepted}/{n_submissions} accepted, "
+            f"{retried} shed-retries, {server.stats.n_pauses} watermark "
+            f"pauses, max_pending {server.stats.max_pending}",
+        ],
+    )
+    (REPO_ROOT / "BENCH_soak.json").write_text(json.dumps(record, indent=2))
+    return record
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (smoke scale)
+# ----------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def soak_data():
+        return run_benchmark(smoke=True)
+
+    def test_zero_divergence(soak_data):
+        """Socket-path decisions == in-memory run_pipelined decisions,
+        and the two server sets publish the same aggregate."""
+        assert soak_data["differential"]["divergence"] == 0
+        assert soak_data["differential"]["aggregates_match"]
+
+    def test_soak_completes_all_accepted(soak_data):
+        """Every honest soak upload is decided and accepted, and the
+        published aggregate equals the accepted count."""
+        assert soak_data["soak_all_accepted"]
+        assert soak_data["aggregate_matches_accepted"]
+
+    def test_latency_recorded(soak_data):
+        assert soak_data["throughput_subs_per_s"] > 0
+        assert soak_data["latency_p99_s"] >= soak_data["latency_p50_s"] > 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--submissions", type=int, default=None)
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument(
+        "--executor", default=None,
+        choices=["inline", "thread", "process", "auto"],
+    )
+    parser.add_argument(
+        "--transport", default="tcp", choices=["tcp", "unix"]
+    )
+    args = parser.parse_args()
+    record = run_benchmark(
+        smoke=args.smoke,
+        n_submissions=args.submissions,
+        n_clients=args.clients,
+        executor=args.executor,
+        transport=args.transport,
+    )
+    ok = (
+        record["differential"]["divergence"] == 0
+        and record["differential"]["aggregates_match"]
+        and record["soak_all_accepted"]
+        and record["aggregate_matches_accepted"]
+    )
+    print(
+        f"{record['n_submissions']} submissions over "
+        f"{record['transport']} in {fmt_seconds(record['duration_s'])} "
+        f"({fmt_rate(record['throughput_subs_per_s'])}/s), "
+        f"p50 {fmt_seconds(record['latency_p50_s'])} "
+        f"p95 {fmt_seconds(record['latency_p95_s'])} "
+        f"p99 {fmt_seconds(record['latency_p99_s'])}; "
+        f"divergence {record['differential']['divergence']}"
+    )
+    if not ok:
+        print("FAILED: divergence or incomplete soak", file=sys.stderr)
+        sys.exit(1)

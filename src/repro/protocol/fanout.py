@@ -171,6 +171,20 @@ class _ServerOps:
         state.received = received
         return [r if isinstance(r, Exception) else None for r in received]
 
+    def receive_wire(self, batch_id: int, payloads):
+        """Frame-validate raw wire-packet bytes (the transport seam).
+
+        ``payloads`` holds one length-framed packet per position,
+        exactly as read off a socket — bytes cross the worker boundary
+        (cheap to pickle), headers parse worker-side, and bodies join
+        the server's fused batch decode.  Same cross-boundary verdict
+        form as :meth:`receive`.
+        """
+        received = self.server.receive_wire_batch(payloads)
+        state = self._batches[batch_id] = _BatchState()
+        state.received = received
+        return [r if isinstance(r, Exception) else None for r in received]
+
     def ingest(self, batch_id: int, keep) -> None:
         """Commit receive: abandon non-survivors, plane-ingest the rest.
 

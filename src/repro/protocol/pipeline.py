@@ -182,6 +182,13 @@ class AsyncPrioPipeline:
         return await self._run_stream(submissions, producer)
 
     async def _run_stream(self, submissions, make_producer) -> list[bool]:
+        # A pipeline object is reusable: every run starts from fresh
+        # per-run state.  Without this, a second run() reports the
+        # previous run's counters folded into its own and resumes
+        # batch ids mid-stream (confusing any op log keyed on them).
+        self.stats = PipelineStats()
+        self._verifying = False
+        self._next_batch_id = 0
         results: "list[bool]" = [False] * len(submissions)
         fanout, owned = resolve_fanout(
             self.servers, self.executor, self.batch_size

@@ -329,7 +329,16 @@ class PrioServer:
                     self._batch_force(len(explicit)),
                 )
             except FieldError as exc:
-                row = getattr(exc, "batch_row", 0)
+                row = getattr(exc, "batch_row", None)
+                if row is None:
+                    # No row attribution: evicting a guessed position
+                    # would blame an innocent upload.  Release every
+                    # still-pending id of this sweep (no decision was
+                    # made) and fail the whole call loudly instead.
+                    for result in out:
+                        if isinstance(result, PendingSubmission):
+                            self.abandon(result)
+                    raise
                 i, pending, _ = explicit.pop(row)
                 self._pending_ids.discard(pending.submission_id)
                 out[i] = exc
@@ -337,6 +346,33 @@ class PrioServer:
             for t, (i, pending, _) in enumerate(explicit):
                 pending._source = (decoded, t)
             break
+        return out
+
+    def receive_wire_batch(
+        self, payloads: "list[bytes]"
+    ) -> "list[PendingSubmission | Exception]":
+        """Receive a batch straight from wire bytes (the transport seam).
+
+        ``payloads`` holds one encoded :class:`ClientPacket` per
+        position, exactly as length-framed off a socket.  Header fields
+        parse per packet (a cheap fixed-offset slice — bodies are never
+        copied element-wise), and every well-framed packet joins the
+        same fused :meth:`receive_batch` sweep; a malformed header
+        rejects its position alone.
+        """
+        out: "list[PendingSubmission | Exception]" = [None] * len(payloads)
+        packets: "list[ClientPacket]" = []
+        positions: list[int] = []
+        for i, data in enumerate(payloads):
+            try:
+                packets.append(ClientPacket.decode(bytes(data), self.field))
+            except WireError as exc:
+                out[i] = exc
+            else:
+                positions.append(i)
+        if packets:
+            for i, result in zip(positions, self.receive_batch(packets)):
+                out[i] = result
         return out
 
     # ------------------------------------------------------------------
@@ -564,8 +600,12 @@ class PrioServer:
         Used when a peer's receive failed mid-fan-out: this server's
         copy is dropped, and the id must not stay pending (which would
         make an honest retry look like a replay) nor enter
-        ``_seen_ids`` (no decision was made)."""
+        ``_seen_ids`` (no decision was made).  The share sources are
+        released like any other settled submission: an abandoned
+        pending must not pin its seed or its row's whole ingested
+        plane matrix for as long as the caller keeps the handle."""
         self._pending_ids.discard(pending.submission_id)
+        pending.release()
 
     def add_dp_noise(
         self,

@@ -63,6 +63,20 @@ class ClientPacket:
     def encode(self) -> bytes:
         if len(self.submission_id) != SUBMISSION_ID_SIZE:
             raise WireError("bad submission id size")
+        # Mirror of the decode-side hardening: a value the fixed-width
+        # header cannot represent must fail as a WireError here, not
+        # escape as a bare OverflowError from ``to_bytes`` (or worse,
+        # encode an n_elements no decoder will ever accept).
+        if not 0 <= self.server_index < (1 << 16):
+            raise WireError(
+                f"server_index {self.server_index} does not fit the "
+                "2-byte header field"
+            )
+        if not 0 <= self.n_elements <= MAX_N_ELEMENTS:
+            raise WireError(
+                f"n_elements {self.n_elements} outside "
+                f"[0, {MAX_N_ELEMENTS}]"
+            )
         return (
             MAGIC
             + bytes([VERSION, int(self.kind)])

@@ -264,15 +264,20 @@ def test_share_vectors_batch_needs_packets():
 
 
 def test_decode_bounds_n_elements():
+    # Encode refuses to frame an out-of-range n_elements (PR-6
+    # hardening), so splice the oversized value into honest bytes:
+    # the decoder must still bound what a hostile sender hand-crafts.
     packet = ClientPacket(
         submission_id=b"\x07" * 16,
         server_index=0,
         kind=PacketKind.SEED,
-        n_elements=MAX_N_ELEMENTS + 1,
+        n_elements=4,
         body=b"\x00" * SEED_SIZE,
     )
+    data = bytearray(packet.encode())
+    data[22:26] = (MAX_N_ELEMENTS + 1).to_bytes(4, "big")
     with pytest.raises(WireError, match="exceeds the maximum"):
-        ClientPacket.decode(packet.encode(), FIELD87)
+        ClientPacket.decode(bytes(data), FIELD87)
 
 
 def test_decode_distinguishes_seed_body_errors():

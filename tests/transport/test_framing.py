@@ -1,0 +1,105 @@
+"""The length-framed stream format: round trips, bounds, fragmentation."""
+
+import pytest
+
+from repro.transport.framing import (
+    RESPONSE_SIZE,
+    FrameAssembler,
+    FrameError,
+    Status,
+    decode_response,
+    encode_response,
+    encode_upload,
+    split_upload,
+)
+
+
+def test_upload_round_trip():
+    packets = [b"alpha", b"", b"x" * 300]
+    frame = encode_upload(packets)
+    payloads = FrameAssembler().feed(frame)
+    assert len(payloads) == 1
+    assert split_upload(payloads[0]) == packets
+
+
+def test_response_round_trip():
+    sid = bytes(range(16))
+    frame = encode_response(sid, Status.REJECTED)
+    (payload,) = FrameAssembler().feed(frame)
+    assert len(payload) == RESPONSE_SIZE
+    assert decode_response(payload) == (sid, Status.REJECTED)
+
+
+def test_unknown_status_rejected():
+    sid = bytes(16)
+    frame = bytearray(encode_response(sid, Status.ACCEPTED))
+    frame[-1] = 200
+    (payload,) = FrameAssembler().feed(bytes(frame))
+    with pytest.raises(FrameError):
+        decode_response(payload)
+
+
+@pytest.mark.parametrize("chunk", [1, 2, 3, 7, 64])
+def test_arbitrary_fragmentation(chunk):
+    """Frames reassemble identically under any chunking of the stream."""
+    frames = [
+        encode_upload([b"a" * n, b"b" * (n * 2)]) for n in (1, 5, 100)
+    ]
+    stream = b"".join(frames)
+    assembler = FrameAssembler()
+    out = []
+    for start in range(0, len(stream), chunk):
+        out.extend(assembler.feed(stream[start:start + chunk]))
+    assert [split_upload(p) for p in out] == [
+        [b"a" * n, b"b" * (n * 2)] for n in (1, 5, 100)
+    ]
+    assert assembler.buffered_bytes == 0
+
+
+def test_many_frames_in_one_chunk():
+    frames = [encode_upload([bytes([i])]) for i in range(10)]
+    out = FrameAssembler().feed(b"".join(frames))
+    assert [split_upload(p)[0] for p in out] == [
+        bytes([i]) for i in range(10)
+    ]
+
+
+def test_oversized_length_prefix_poisons_before_buffering():
+    """A huge length claim must raise on the *prefix*, not after the
+    server has buffered gigabytes of body."""
+    assembler = FrameAssembler(max_frame=1024)
+    with pytest.raises(FrameError):
+        assembler.feed((1 << 30).to_bytes(4, "big"))
+    # a poisoned assembler refuses everything afterward
+    with pytest.raises(FrameError):
+        assembler.feed(b"\x00")
+
+
+def test_incomplete_frame_is_buffered_not_yielded():
+    frame = encode_upload([b"payload"])
+    assembler = FrameAssembler()
+    assert assembler.feed(frame[:-1]) == []
+    assert assembler.buffered_bytes == len(frame) - 1
+    assert split_upload(assembler.feed(frame[-1:])[0]) == [b"payload"]
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        b"",                                   # no packet count
+        b"\x00",                               # zero packets
+        b"\x02" + b"\x00\x00\x00\x01a",        # second packet missing
+        b"\x01" + b"\x00\x00\x00\x05abc",      # body shorter than claimed
+        b"\x01" + b"\x00\x00\x00\x01ab",       # trailing bytes
+    ],
+)
+def test_malformed_upload_payloads(payload):
+    with pytest.raises(FrameError):
+        split_upload(payload)
+
+
+def test_upload_packet_count_bounds():
+    with pytest.raises(FrameError):
+        encode_upload([])
+    with pytest.raises(FrameError):
+        encode_upload([b"x"] * 256)
