@@ -1,0 +1,336 @@
+"""The full Figure 7 scenario catalog through the compiled-plan client.
+
+Every Section 6.2 workload (cell grids, browser stats, surveys, health
+regressions — ``repro.workloads.scenarios``) runs end-to-end: batched
+client prepare (compiled-plan circuit trace + one batch NTT sweep) →
+async staged pipeline → per-server fan-out → accept/aggregate.  Per
+scenario the record holds two layers of timings:
+
+trace stage (``trace_*`` columns — the tentpole isolation)
+    The circuit-trace stage of prepare by itself: ``B`` scalar
+    ``Circuit.evaluate`` interpreter walks (``B x gates`` Python
+    steps — the pre-PR hot path, and still the batch-of-one oracle)
+    versus one ``CompiledCircuit.evaluate_batch`` plan sweep.  This is
+    the stage the compiled plans replace, so the acceptance gate lives
+    here; everything downstream of the trace is byte-identical work on
+    both sides.
+
+full prepare (``*_prepare_s`` columns)
+    The whole client job (encode → trace → prove → PRG-share → framed
+    packets) under the frozen scalar-trace client (inline below: the
+    pre-compiled-plan batched client, per-value ``Circuit.evaluate`` +
+    batched NTT/sharing/framing tail) and under the shipped compiled
+    client.  The shared batch-NTT tail dominates large circuits
+    (Amdahl), so this speedup is the deployment-visible one, not the
+    tentpole measure.
+
+Uploads are asserted *bit-identical* between the two clients before
+anything is timed (same rng seed; the plan sweep consumes no
+randomness), so server decisions and aggregates cannot diverge — the
+end-to-end leg then runs the compiled uploads through a real
+deployment and asserts every submission is accepted and the published
+aggregate matches the plaintext reference sum.
+
+Emits ``benchmarks/results/scenarios.json`` plus a
+``BENCH_scenarios.json`` record at the repo root.  Gates: >= 2x trace
+speedup at batch 64 on the highest-gate-count count-min scenario
+(``highres``) on the numpy backend, plus zero decision/aggregate
+divergence on every scenario.
+
+Runs under pytest *and* as a plain script —
+``python benchmarks/bench_scenarios.py [--smoke]`` — which is what the
+CI ``bench-scenarios-smoke`` job executes on both backends.
+"""
+
+import json
+import pathlib
+import random
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from common import FULL, emit_table, fmt_rate, fmt_seconds, time_call
+
+from repro.circuit import compile_circuit
+from repro.field import backend_name
+from repro.field.batch import encode_bytes_batch, tiny_batch_force_pure
+from repro.protocol import PrioClient, PrioDeployment
+from repro.protocol.client import ClientSubmission
+from repro.protocol.wire import new_submission_id, packets_for_share_bodies
+from repro.sharing.additive import share_vectors_client_batch
+from repro.sharing.prg import new_seed
+from repro.snip.batch_prover import (
+    draw_proof_randomness,
+    h_planes_batch,
+    submission_planes,
+)
+from repro.workloads.scenarios import all_scenarios
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+N_SERVERS = 3
+CLIENT_SEED = 716
+SERVER_SEED = b"bench-scenarios"
+
+
+# ----------------------------------------------------------------------
+# The scalar-trace batched client, frozen for baseline comparability
+# (do not "fix" this: it is the pre-compiled-plan hot path, kept
+# verbatim so the speedup column measures the plan sweep and nothing
+# else — the NTT/sharing/framing tail is identical on both sides).
+# ----------------------------------------------------------------------
+
+
+def run_scalar_trace_client(afe, circuit, values, rng_seed):
+    """Batched client with per-value scalar circuit traces."""
+    field = afe.field
+    rng = random.Random(rng_seed)
+    client = PrioClient(afe, N_SERVERS, rng=rng)
+    n_total = client.submission_elements()
+    encodings, traces, randoms = [], [], []
+    sids, seed_rows = [], []
+    for value in values:
+        encoding = afe.encode(value, rng)
+        trace, r = draw_proof_randomness(field, circuit, encoding, rng)
+        encodings.append(encoding)
+        traces.append(trace)
+        randoms.append(r)
+        sids.append(new_submission_id(rng))
+        seed_rows.append([new_seed(rng) for _ in range(N_SERVERS - 1)])
+    force = tiny_batch_force_pure(len(values) * n_total, None)
+    h = h_planes_batch(field, circuit, traces, randoms, force)
+    vectors = submission_planes(
+        field, circuit, encodings, randoms, h, force
+    )
+    _, explicit = share_vectors_client_batch(
+        field, vectors, N_SERVERS, seeds=seed_rows, force_pure=force
+    )
+    bodies = encode_bytes_batch(field, explicit, explicit.force_pure)
+    return [
+        ClientSubmission(
+            submission_id=sid,
+            packets=packets_for_share_bodies(
+                sid, seed_rows[i], bodies[i], n_total
+            ),
+        )
+        for i, sid in enumerate(sids)
+    ]
+
+
+def run_compiled_client(afe, values, rng_seed):
+    client = PrioClient(afe, N_SERVERS, rng=random.Random(rng_seed))
+    return client.prepare_submissions(values, batched=True)
+
+
+def _reference_aggregate(afe, encodings):
+    return afe.field.vec_sum([afe.truncate(e) for e in encodings])
+
+
+# ----------------------------------------------------------------------
+
+
+def run_benchmark(smoke=False):
+    numpy_backend = backend_name() == "numpy"
+    # The acceptance gate is defined at batch 64 on numpy; the pure
+    # backend runs the same catalog at a reduced batch so the CI smoke
+    # stays within budget (timings still recorded, gate not applied).
+    batch = 64 if numpy_backend else (8 if smoke else 16)
+    repeat = 1 if smoke else 2
+    rows = []
+    record = {
+        "n_servers": N_SERVERS,
+        "batch_size": batch,
+        "backend": backend_name(),
+        "smoke": smoke,
+        "full_scale": FULL,
+        "scenarios": [],
+    }
+
+    for scenario in all_scenarios():
+        afe = scenario.afe
+        field = afe.field
+        circuit = afe.valid_circuit()
+        plan = compile_circuit(field, circuit)
+        rng = random.Random(0x516 + scenario.mul_gates)
+        values = [scenario.generate(rng) for _ in range(batch)]
+        encodings = [
+            afe.encode(v, random.Random(1)) for v in values
+        ]
+
+        # Bit-identity first: same seed, same uploads, byte for byte —
+        # the no-divergence gate (identical bytes cannot produce
+        # different server decisions or aggregates).
+        scalar_subs = run_scalar_trace_client(
+            afe, circuit, values, CLIENT_SEED
+        )
+        compiled_subs = run_compiled_client(afe, values, CLIENT_SEED)
+        divergence = False
+        assert len(scalar_subs) == len(compiled_subs)
+        for frozen, compiled in zip(scalar_subs, compiled_subs):
+            if frozen.submission_id != compiled.submission_id or [
+                p.encode() for p in frozen.packets
+            ] != [p.encode() for p in compiled.packets]:
+                divergence = True
+        assert not divergence, (
+            f"{scenario.name}: compiled client diverged from the "
+            f"scalar-trace client"
+        )
+
+        # The tentpole isolation: the trace stage alone, scalar
+        # interpreter vs compiled plan, over the same encodings.
+        def scalar_trace():
+            for encoding in encodings:
+                circuit.evaluate(field, encoding)
+
+        trace_scalar_s = time_call(scalar_trace, repeat=repeat)
+        trace_compiled_s = time_call(
+            lambda: plan.evaluate_batch(encodings), repeat=repeat
+        )
+
+        scalar_s = time_call(
+            lambda: run_scalar_trace_client(
+                afe, circuit, values, CLIENT_SEED
+            ),
+            repeat=repeat,
+        )
+        compiled_s = time_call(
+            lambda: run_compiled_client(afe, values, CLIENT_SEED),
+            repeat=repeat,
+        )
+
+        # End-to-end: async staged pipeline + per-server fan-out over
+        # the compiled uploads (one delivery — replay protection makes
+        # redelivery meaningless).
+        with PrioDeployment.create(
+            afe, N_SERVERS, seed=SERVER_SEED,
+            batch_size=min(batch, 32), executor="thread",
+            rng=random.Random(5),
+        ) as deployment:
+            import time as _time
+
+            start = _time.perf_counter()
+            decisions = deployment.deliver_pipelined(compiled_subs)
+            ingest_s = _time.perf_counter() - start
+            accepted = sum(decisions)
+            sigma = afe.field.vec_sum(deployment.publish_shares())
+        # Every scenario encoder is deterministic (rng-independent), so
+        # the plaintext reference aggregate recomputes exactly.
+        reference = _reference_aggregate(afe, encodings)
+        aggregate_ok = accepted == batch and sigma == reference
+        assert aggregate_ok, f"{scenario.name}: end-to-end divergence"
+
+        point = {
+            "name": scenario.name,
+            "group": scenario.group,
+            "mul_gates": circuit.n_mul_gates,
+            "circuit_gates": len(circuit),
+            "n_elements": len(encodings[0]),
+            "batch_size": batch,
+            "trace_scalar_s": trace_scalar_s,
+            "trace_compiled_s": trace_compiled_s,
+            "trace_speedup": trace_scalar_s / trace_compiled_s,
+            "scalar_trace_prepare_s": scalar_s,
+            "compiled_prepare_s": compiled_s,
+            "prepare_speedup": scalar_s / compiled_s,
+            "prepare_subs_per_s": batch / compiled_s,
+            "ingest_verify_s": ingest_s,
+            "ingest_subs_per_s": batch / ingest_s,
+            "accepted": accepted,
+            "divergence": divergence or not aggregate_ok,
+        }
+        record["scenarios"].append(point)
+        rows.append([
+            scenario.name,
+            point["mul_gates"],
+            point["n_elements"],
+            fmt_seconds(trace_scalar_s),
+            fmt_seconds(trace_compiled_s),
+            f"{point['trace_speedup']:.2f}x",
+            fmt_seconds(compiled_s),
+            fmt_rate(point["ingest_subs_per_s"]),
+        ])
+
+    notes = [
+        "trace = the circuit-trace stage alone: B x Circuit.evaluate "
+        "(scalar oracle) vs one CompiledCircuit.evaluate_batch sweep "
+        "— the stage this plan replaces, where the gate lives",
+        "prepare = full client job (encode -> trace -> prove -> "
+        "PRG-share -> framed packets) via the compiled client; the "
+        "batch-NTT tail it shares with the frozen scalar-trace "
+        "client dominates large circuits (prepare_speedup in the "
+        "JSON record)",
+        "uploads asserted bit-identical (scalar-trace vs compiled "
+        "client) before timing; end-to-end leg asserts all accepted "
+        "+ aggregate == plaintext reference",
+        "ingest = async pipeline + thread fan-out, "
+        f"{N_SERVERS} servers, chunked verification",
+    ]
+    emit_table(
+        "scenarios",
+        f"Figure 7 catalog through the compiled-plan client "
+        f"(batch {batch}, {N_SERVERS} servers, backend: "
+        f"{record['backend']})",
+        ["scenario", "muls", "elems", "trace-scalar", "trace-plan",
+         "trace-x", "prepare", "ingest/s"],
+        rows,
+        notes=notes,
+    )
+    (REPO_ROOT / "BENCH_scenarios.json").write_text(
+        json.dumps(record, indent=2)
+    )
+    return record
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def scenario_data():
+        return run_benchmark(smoke=True)
+
+    def test_no_scenario_diverges(scenario_data):
+        """Zero decision/aggregate divergence, every Figure 7 workload."""
+        assert len(scenario_data["scenarios"]) == 12
+        for point in scenario_data["scenarios"]:
+            assert not point["divergence"], point["name"]
+            assert point["accepted"] == point["batch_size"], point["name"]
+
+    def test_highres_compiled_speedup(scenario_data):
+        """The acceptance gate: >= 2x trace speedup at batch 64 on the
+        highest-gate-count count-min scenario, numpy backend."""
+        if scenario_data["backend"] != "numpy":
+            pytest.skip("gate defined on the numpy backend")
+        point = next(
+            p for p in scenario_data["scenarios"] if p["name"] == "highres"
+        )
+        assert point["batch_size"] == 64
+        assert point["trace_speedup"] > 2.0
+
+    def test_every_scenario_trace_wins(scenario_data):
+        """The plan sweep beats the interpreter on every workload."""
+        if scenario_data["backend"] != "numpy":
+            pytest.skip("gate defined on the numpy backend")
+        for point in scenario_data["scenarios"]:
+            assert point["trace_speedup"] > 1.0, point["name"]
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    result = run_benchmark(smoke=smoke)
+    for point in result["scenarios"]:
+        print(
+            f"{point['name']:>10s} ({point['mul_gates']:5d} muls): "
+            f"trace {point['trace_scalar_s'] * 1e3:8.1f}ms -> "
+            f"{point['trace_compiled_s'] * 1e3:7.1f}ms "
+            f"({point['trace_speedup']:5.2f}x)  "
+            f"prepare {point['compiled_prepare_s'] * 1e3:9.1f}ms  "
+            f"ingest {point['ingest_subs_per_s']:7.1f}/s"
+        )
+    print(f"backend={result['backend']} -> BENCH_scenarios.json")

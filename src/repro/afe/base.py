@@ -20,6 +20,7 @@ concrete AFE documents its leakage in :attr:`Afe.leakage`.
 from __future__ import annotations
 
 import abc
+import functools
 from typing import Any, Sequence
 
 from repro.circuit.circuit import Circuit
@@ -28,6 +29,34 @@ from repro.field.prime_field import PrimeField
 
 class AfeError(ValueError):
     """Raised for out-of-domain inputs or malformed aggregates."""
+
+
+#: cache sentinel distinguishing "not built yet" from a ``None`` circuit
+_UNBUILT = object()
+
+
+def _memoize_valid_circuit(method):
+    """Wrap ``valid_circuit`` to build the circuit once per instance.
+
+    Concrete AFEs rebuild the whole gate list on every call; callers
+    throughout the stack (the client, the server pipeline, the workload
+    catalog's ``mul_gates`` property) call it freely.  One instance ==
+    one circuit also makes the compiled-plan cache
+    (:func:`repro.circuit.compiled.compile_circuit`, keyed by circuit
+    identity) hit across those layers instead of recompiling per call
+    site.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self):
+        cached = getattr(self, "_valid_circuit_cache", _UNBUILT)
+        if cached is _UNBUILT:
+            cached = method(self)
+            self._valid_circuit_cache = cached
+        return cached
+
+    wrapper._afe_memoized = True
+    return wrapper
 
 
 class Afe(abc.ABC):
@@ -47,13 +76,25 @@ class Afe(abc.ABC):
     #: human-readable statement of what the aggregate reveals (f-hat)
     leakage: str = "the aggregation function output only"
 
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        method = cls.__dict__.get("valid_circuit")
+        if method is not None and not getattr(
+            method, "_afe_memoized", False
+        ):
+            cls.valid_circuit = _memoize_valid_circuit(method)
+
     @abc.abstractmethod
     def encode(self, value: Any, rng=None) -> list[int]:
         """Map a data item to its length-k field-vector encoding."""
 
     def valid_circuit(self) -> Circuit | None:
         """Arithmetic circuit for the Valid predicate, or None if all
-        of F^k is valid."""
+        of F^k is valid.
+
+        Overrides are memoized per instance (the circuit is built on
+        first call and reused), so callers may invoke this freely.
+        """
         return None
 
     @abc.abstractmethod

@@ -10,6 +10,12 @@ from repro.circuit.circuit import (
     WireShares,
     batched_assertion_share,
 )
+from repro.circuit.compiled import (
+    BatchTrace,
+    CompiledCircuit,
+    SparseAffineMap,
+    compile_circuit,
+)
 from repro.circuit.gadgets import (
     assert_binary_decomposition,
     assert_bit,
@@ -21,14 +27,18 @@ from repro.circuit.gadgets import (
 )
 
 __all__ = [
+    "BatchTrace",
     "Circuit",
     "CircuitBuilder",
     "CircuitError",
+    "CompiledCircuit",
     "EvaluationTrace",
     "Gate",
     "Op",
+    "SparseAffineMap",
     "WireShares",
     "batched_assertion_share",
+    "compile_circuit",
     "assert_binary_decomposition",
     "assert_bit",
     "assert_bits",

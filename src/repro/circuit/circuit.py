@@ -321,6 +321,10 @@ class CircuitBuilder:
         constant %= self.field.modulus
         if self._is_const(a):
             return self.constant(constant * self._const_value(a))
+        if constant == 0:
+            return self.constant(0)
+        if constant == 1:
+            return a
         wire = len(self._gates)
         self._gates.append(Gate(Op.MUL_CONST, left=a, payload=constant))
         return wire
@@ -331,22 +335,48 @@ class CircuitBuilder:
     def linear_combination(
         self, coefficients: Sequence[int], wires: Sequence[int]
     ) -> int:
-        """``sum_i c_i * w_i`` using only affine gates."""
+        """``sum_i c_i * w_i`` using only affine gates.
+
+        Zero-coefficient terms emit no gates at all, constant wires fold
+        into a single folded constant, and unit coefficients reuse the
+        wire directly (via :meth:`mul_const`) — the common sparse
+        selector rows in the workload AFEs cost gates only for the
+        entries that are actually live.
+        """
         if len(coefficients) != len(wires):
             raise CircuitError("coefficient/wire count mismatch")
-        if not wires:
-            return self.constant(0)
-        acc = self.mul_const(coefficients[0], wires[0])
-        for c, w in zip(coefficients[1:], wires[1:]):
-            acc = self.add(acc, self.mul_const(c, w))
+        p = self.field.modulus
+        const_acc = 0
+        acc: int | None = None
+        for c, w in zip(coefficients, wires):
+            c %= p
+            if c == 0:
+                continue
+            if self._is_const(w):
+                const_acc = (const_acc + c * self._const_value(w)) % p
+                continue
+            term = self.mul_const(c, w)
+            acc = term if acc is None else self.add(acc, term)
+        if acc is None:
+            return self.constant(const_acc)
+        if const_acc:
+            acc = self.add(acc, self.constant(const_acc))
         return acc
 
     def wire_sum(self, wires: Sequence[int]) -> int:
-        if not wires:
-            return self.constant(0)
-        acc = wires[0]
-        for w in wires[1:]:
-            acc = self.add(acc, w)
+        """``sum_i w_i``; constant wires fold into one folded constant."""
+        p = self.field.modulus
+        const_acc = 0
+        acc: int | None = None
+        for w in wires:
+            if self._is_const(w):
+                const_acc = (const_acc + self._const_value(w)) % p
+                continue
+            acc = w if acc is None else self.add(acc, w)
+        if acc is None:
+            return self.constant(const_acc)
+        if const_acc:
+            acc = self.add(acc, self.constant(const_acc))
         return acc
 
     # -- assertions -------------------------------------------------------

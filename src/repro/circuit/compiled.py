@@ -1,0 +1,557 @@
+"""Compile Valid circuits into plane-resident batched evaluation plans.
+
+:meth:`Circuit.evaluate` walks the gate list one Python step at a time —
+fine as the batch-of-one oracle, but tracing ``B`` submissions of a
+Figure 7 circuit costs ``B x gates`` interpreted steps, and that scalar
+island dominates client cost for the large workloads (count-min
+sketches, cell grids, linreg) whose throughput the paper shows is
+governed by gate count.
+
+This module compiles a circuit **once** into a :class:`CompiledCircuit`
+and evaluates whole batches with a handful of fused limb-plane kernels
+from :mod:`repro.field.batch`:
+
+* Every non-MUL wire is an *affine* function of the inputs and of
+  earlier multiplication-gate outputs (the same fact the verifier's
+  share-local reconstruction exploits).  A single forward sweep over
+  the gate list therefore collapses all ADD/SUB/MUL_CONST/CONST chains
+  into sparse affine forms over the base columns
+  ``[1 | x_0..x_{k-1} | w_1..w_M]`` — the compile-time analogue of
+  constant folding plus linear-combination fusion.
+* Only the MUL gates survive as runtime ops.  They are scheduled into
+  *levels* by multiplicative depth (level 0 reads inputs only; every
+  Figure 7 circuit is single-level), and each level's left/right input
+  forms run as one :class:`SparseAffineMap` apply — a column gather
+  plus at most one broadcast row add when every form is a
+  unit-coefficient wire plus a constant (the ``x`` / ``x - 1`` shape
+  of every Figure 7 mul input: no modular multiply at all), and one
+  fused gather / lazy-scale / segment-sum kernel with a single
+  Barrett reduction in general.  The level's outputs are one plane
+  Hadamard product, scattered back into the base matrix.
+* The assertion wires evaluate as one more :class:`SparseAffineMap`
+  apply; per-row validity is a single limb comparison.
+
+The result, a :class:`BatchTrace`, holds exactly what the SNIP needs —
+the ``(B, M)`` left/right mul-input matrices and mul outputs as
+:class:`~repro.field.batch.BatchVector` planes plus per-row validity —
+so the batched prover's f/g rows assemble by plane copy with no
+per-gate (or per-element) Python-int crossing.  Both backends are
+bit-exact against the scalar oracle, which
+``tests/circuit/test_compiled_equivalence.py`` asserts row for row.
+
+Plans are cached per ``(circuit identity, modulus)`` in a
+:class:`~weakref.WeakKeyDictionary`, so the compile cost is paid once
+per AFE instance (whose ``valid_circuit()`` is itself memoized), not
+once per batch — and dropping the circuit drops its plans.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+from weakref import WeakKeyDictionary
+
+from repro.circuit.circuit import Circuit, CircuitError, Op
+from repro.field.batch import (
+    BatchVector,
+    concat_columns,
+    sparse_affine_columns,
+)
+from repro.field.prime_field import PrimeField
+
+__all__ = [
+    "BatchTrace",
+    "CompiledCircuit",
+    "SparseAffineMap",
+    "compile_circuit",
+]
+
+
+class SparseAffineMap:
+    """``n_out`` sparse affine forms over base columns, in CSR layout.
+
+    Form ``j`` is ``sum_i coeffs[i] * base[:, srcs[i]]`` over
+    ``i in offsets[j]:offsets[j+1]``; constants ride as terms on the
+    all-ones column 0.  :meth:`apply` picks the cheapest plane
+    schedule the forms allow:
+
+    * every form is at most one unit-coefficient variable term plus a
+      constant (the *affine-gather* shape: ``x`` and ``x - 1`` mul
+      inputs of one-hot and bit-check circuits — every Figure 7
+      left/right map) — one column gather plus at most one broadcast
+      row add, no modular multiply at all;
+    * a mix (assertion maps: thousands of single-wire bit asserts next
+      to a handful of wide one-hot sums) — the gather-shaped rows go
+      through the gather path, only the general rows pay arithmetic,
+      and the two column sets scatter into one output;
+    * general — one fused
+      :func:`~repro.field.batch.sparse_affine_columns` call: gather,
+      lazy small-coefficient scale, CSR segment sum, and a single
+      Barrett reduction on the narrow output.
+    """
+
+    __slots__ = (
+        "n_out",
+        "offsets",
+        "srcs",
+        "coeffs",
+        "_gather_srcs",
+        "_gather_consts",
+        "_mixed",
+    )
+
+    def __init__(
+        self, exprs: "Sequence[dict[int, int]]", modulus: int
+    ) -> None:
+        offsets = [0]
+        srcs: list[int] = []
+        coeffs: list[int] = []
+        for expr in exprs:
+            if expr:
+                for src, coeff in sorted(expr.items()):
+                    srcs.append(src)
+                    coeffs.append(coeff)
+            else:
+                # An explicit zero term: keeps every CSR segment
+                # non-empty (reduceat semantics) and gathers column 0.
+                srcs.append(0)
+                coeffs.append(0)
+            offsets.append(len(srcs))
+        self.n_out = len(offsets) - 1
+        self.offsets = offsets
+        self.srcs = srcs
+        self.coeffs = coeffs
+        rows = [self._cheap_row(expr, modulus) for expr in exprs]
+        self._gather_srcs = self._gather_consts = self._mixed = None
+        if self.n_out and all(
+            row is not None and row[0] == "g" for row in rows
+        ):
+            self._gather_srcs = [row[1] for row in rows]
+            consts = [row[2] for row in rows]
+            self._gather_consts = consts if any(consts) else None
+        elif any(row is not None for row in rows):
+            gather_pos = [
+                j for j, row in enumerate(rows) if row and row[0] == "g"
+            ]
+            diff_pos = [
+                j for j, row in enumerate(rows) if row and row[0] == "d"
+            ]
+            general_pos = [j for j, row in enumerate(rows) if row is None]
+            gconsts = [rows[j][2] for j in gather_pos]
+            dconsts = [rows[j][3] for j in diff_pos]
+            self._mixed = (
+                (
+                    gather_pos,
+                    [rows[j][1] for j in gather_pos],
+                    gconsts if any(gconsts) else None,
+                ),
+                (
+                    diff_pos,
+                    [rows[j][1] for j in diff_pos],
+                    [rows[j][2] for j in diff_pos],
+                    dconsts if any(dconsts) else None,
+                ),
+                general_pos,
+                SparseAffineMap([exprs[j] for j in general_pos], modulus)
+                if general_pos
+                else None,
+            )
+
+    @staticmethod
+    def _cheap_row(expr, modulus):
+        """Classify a form as gather or difference, else None.
+
+        ``("g", src, const)`` — one unit-coefficient term plus a
+        constant; ``("d", plus, minus, const)`` — a unit term minus a
+        unit term plus a constant (the ``w - b`` shape of bit
+        assertions).  A form with no variable term still gathers —
+        column 0 is the all-ones plane, so a pure constant ``c`` is
+        column 0 plus the row constant ``c - 1`` (the zero form
+        gathers 1 and adds -1).
+        """
+        const = 0
+        plus = None
+        minus = None
+        for s, c in expr.items():
+            if s == 0:
+                const = c
+            elif c == 1 and plus is None:
+                plus = s
+            elif c == modulus - 1 and minus is None:
+                minus = s
+            else:
+                return None
+        if minus is None:
+            if plus is None:
+                return "g", 0, (const - 1) % modulus
+            return "g", plus, const
+        if plus is None:
+            # const - b: column 0 gathers 1, fold the -1 into const.
+            plus, const = 0, (const - 1) % modulus
+        return "d", plus, minus, const
+
+    def apply(self, base: BatchVector) -> BatchVector:
+        """Evaluate every form over a ``(B, n_base)`` batch: ``(B, n_out)``."""
+        if self.n_out == 0:
+            return BatchVector.zeros(
+                base.field, (base.shape[0], 0), base.force_pure
+            )
+        if self._gather_srcs is not None:
+            out = base.take_columns(self._gather_srcs)
+            if self._gather_consts is not None:
+                out = out.add_row(self._gather_consts)
+            return out
+        if self._mixed is not None:
+            gathers, diffs, general_pos, sub = self._mixed
+            out = BatchVector.zeros(
+                base.field, (base.shape[0], self.n_out), base.force_pure
+            )
+            gather_pos, gsrcs, gconsts = gathers
+            if gather_pos:
+                gathered = base.take_columns(gsrcs)
+                if gconsts is not None:
+                    gathered = gathered.add_row(gconsts)
+                out.set_columns(gather_pos, gathered)
+            diff_pos, dplus, dminus, dconsts = diffs
+            if diff_pos:
+                delta = base.take_columns(dplus) - base.take_columns(
+                    dminus
+                )
+                if dconsts is not None:
+                    delta = delta.add_row(dconsts)
+                out.set_columns(diff_pos, delta)
+            if sub is not None:
+                out.set_columns(general_pos, sub.apply(base))
+            return out
+        return sparse_affine_columns(
+            base, self.srcs, self.coeffs, self.offsets
+        )
+
+
+class _MulLevel:
+    """One multiplicative level: which mul gates fire, and their inputs."""
+
+    __slots__ = ("positions", "left", "right")
+
+    def __init__(
+        self,
+        positions: list[int],
+        left: SparseAffineMap,
+        right: SparseAffineMap,
+    ) -> None:
+        self.positions = positions  # 0-based mul indices t, topo order
+        self.left = left
+        self.right = right
+
+
+class BatchTrace:
+    """A whole batch's worth of :class:`EvaluationTrace`, plane-resident.
+
+    ``mul_inputs_left`` / ``mul_inputs_right`` / ``mul_outputs`` are
+    ``(B, M)`` batches (column ``t`` is mul gate ``t``'s wire value per
+    submission) and ``assertion_values`` is ``(B, A)`` — exactly the
+    scalar trace fields, transposed into planes.  ``valid`` is the
+    per-row Valid verdict.
+    """
+
+    __slots__ = (
+        "mul_inputs_left",
+        "mul_inputs_right",
+        "mul_outputs",
+        "assertion_values",
+        "valid",
+    )
+
+    def __init__(
+        self,
+        mul_inputs_left: BatchVector,
+        mul_inputs_right: BatchVector,
+        mul_outputs: BatchVector,
+        assertion_values: BatchVector,
+        valid: list[bool],
+    ) -> None:
+        self.mul_inputs_left = mul_inputs_left
+        self.mul_inputs_right = mul_inputs_right
+        self.mul_outputs = mul_outputs
+        self.assertion_values = assertion_values
+        self.valid = valid
+
+    def __len__(self) -> int:
+        return len(self.valid)
+
+    @property
+    def all_valid(self) -> bool:
+        return all(self.valid)
+
+    def first_invalid(self) -> int | None:
+        """Index of the first invalid row, or None if the batch is valid."""
+        for i, ok in enumerate(self.valid):
+            if not ok:
+                return i
+        return None
+
+
+class CompiledCircuit:
+    """A circuit's batched evaluation plan; build via :func:`compile_circuit`.
+
+    Base-column layout (shared by every sparse form):
+    ``[0] = 1``, ``[1..k] = inputs``, ``[k+1..k+M] = mul outputs`` in
+    topological order.
+    """
+
+    def __init__(self, field: PrimeField, circuit: Circuit) -> None:
+        self.field = field
+        self.circuit = circuit
+        self.n_inputs = circuit.n_inputs
+        self.n_mul_gates = circuit.n_mul_gates
+        (
+            self.left_exprs,
+            self.right_exprs,
+            self.assertion_exprs,
+        ) = _sparse_affine_sweep(field, circuit)
+        self.levels = _schedule_levels(
+            self.n_inputs, self.left_exprs, self.right_exprs, field.modulus
+        )
+        self.assert_map = SparseAffineMap(
+            self.assertion_exprs, field.modulus
+        )
+        #: True when every mul reads inputs only (all Figure 7 circuits):
+        #: the level's gathered inputs *are* the (B, M) matrices.
+        self._flat = len(self.levels) <= 1
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledCircuit({self.circuit.name!r}, "
+            f"muls={self.n_mul_gates}, levels={len(self.levels)}, "
+            f"assertions={len(self.assertion_exprs)})"
+        )
+
+    # ------------------------------------------------------------------
+
+    def evaluate_batch(
+        self,
+        inputs: "BatchVector | Sequence[Sequence[int]]",
+        force_pure: bool | None = None,
+    ) -> BatchTrace:
+        """Trace ``B`` input rows in a handful of plane ops.
+
+        ``inputs`` is a ``(B, k)`` :class:`BatchVector` (its backend
+        wins) or ``B`` int rows.  Row ``i`` of the result is
+        bit-identical to ``circuit.evaluate(field, inputs[i])`` — the
+        scalar interpreter is exactly this plan at batch size one.
+        """
+        field = self.field
+        k = self.n_inputs
+        M = self.n_mul_gates
+        if isinstance(inputs, BatchVector):
+            if len(inputs.shape) != 2 or inputs.shape[1] != k:
+                raise CircuitError(
+                    f"{self.circuit.name} expects (B, {k}) inputs, got "
+                    f"{inputs.shape}"
+                )
+            B = inputs.shape[0]
+            force_pure = inputs.force_pure
+            input_part: "BatchVector | list[list[int]]" = inputs
+        else:
+            rows = [list(x) for x in inputs]
+            for x in rows:
+                if len(x) != k:
+                    raise CircuitError(
+                        f"{self.circuit.name} expects {k} inputs, "
+                        f"got {len(x)}"
+                    )
+            B = len(rows)
+            input_part = rows
+        if B == 0:
+            empty = BatchVector.zeros(field, (0, M), force_pure)
+            return BatchTrace(
+                empty, empty, empty,
+                BatchVector.zeros(
+                    field, (0, len(self.assertion_exprs)), force_pure
+                ),
+                [],
+            )
+        base = concat_columns(
+            field,
+            [
+                [[1]] * B,
+                input_part,
+                BatchVector.zeros(field, (B, M), force_pure),
+            ],
+            force_pure,
+        )
+        left_all = right_all = out_all = None
+        if not self._flat and M:
+            left_all = BatchVector.zeros(field, (B, M), base.force_pure)
+            right_all = BatchVector.zeros(field, (B, M), base.force_pure)
+            out_all = BatchVector.zeros(field, (B, M), base.force_pure)
+        for level in self.levels:
+            left = level.left.apply(base)
+            right = level.right.apply(base)
+            outs = left * right
+            base.set_columns(
+                [1 + k + t for t in level.positions], outs
+            )
+            if self._flat:
+                left_all, right_all, out_all = left, right, outs
+            else:
+                left_all.set_columns(level.positions, left)
+                right_all.set_columns(level.positions, right)
+                out_all.set_columns(level.positions, outs)
+        if M == 0:
+            left_all = right_all = out_all = BatchVector.zeros(
+                field, (B, 0), base.force_pure
+            )
+        assertions = self.assert_map.apply(base)
+        return BatchTrace(
+            mul_inputs_left=left_all,
+            mul_inputs_right=right_all,
+            mul_outputs=out_all,
+            assertion_values=assertions,
+            valid=assertions.rows_zero(),
+        )
+
+
+# ----------------------------------------------------------------------
+# Compilation: forward sparse-affine sweep + level scheduling
+# ----------------------------------------------------------------------
+
+
+def _sparse_affine_sweep(field: PrimeField, circuit: Circuit):
+    """Collapse every affine region into sparse forms over the base.
+
+    One forward pass; each wire's form is a dict ``{base_col: coeff}``
+    with all coefficients canonical mod p.  Use counts let the sweep
+    *steal* a wire's dict on its last use instead of copying, so the
+    builder's long ``acc = add(acc, term)`` chains (wire sums, linear
+    combinations) compile in O(total terms), not O(chain length^2).
+    """
+    p = field.modulus
+    gates = circuit.gates
+    k = circuit.n_inputs
+    use = [0] * len(gates)
+    for gate in gates:
+        if gate.op in (Op.ADD, Op.SUB, Op.MUL):
+            use[gate.left] += 1
+            use[gate.right] += 1
+        elif gate.op is Op.MUL_CONST:
+            use[gate.left] += 1
+    for wire in circuit.assertions:
+        use[wire] += 1
+    exprs: list[dict[int, int] | None] = [None] * len(gates)
+
+    def take(wire: int) -> dict[int, int]:
+        # Consume one use; return an owned dict (stolen on last use).
+        use[wire] -= 1
+        expr = exprs[wire]
+        if use[wire] <= 0:
+            exprs[wire] = None
+            return expr if expr is not None else {}
+        return dict(expr)
+
+    def merge(acc: dict[int, int], other: dict[int, int], sign: int):
+        for src, coeff in other.items():
+            v = (acc.get(src, 0) + sign * coeff) % p
+            if v:
+                acc[src] = v
+            else:
+                acc.pop(src, None)
+        return acc
+
+    left_exprs: list[dict[int, int]] = []
+    right_exprs: list[dict[int, int]] = []
+    for i, gate in enumerate(gates):
+        if gate.op is Op.INPUT:
+            exprs[i] = {1 + gate.payload: 1}
+        elif gate.op is Op.CONST:
+            c = gate.payload % p
+            exprs[i] = {0: c} if c else {}
+        elif gate.op is Op.ADD:
+            acc = take(gate.left)
+            exprs[i] = merge(acc, take(gate.right), 1)
+        elif gate.op is Op.SUB:
+            acc = take(gate.left)
+            exprs[i] = merge(acc, take(gate.right), -1)
+        elif gate.op is Op.MUL_CONST:
+            c = gate.payload % p
+            expr = take(gate.left)
+            if c == 0:
+                exprs[i] = {}
+            elif c == 1:
+                exprs[i] = expr
+            else:
+                exprs[i] = {
+                    src: coeff * c % p for src, coeff in expr.items()
+                }
+        else:  # MUL: becomes a base column; inputs recorded as forms
+            t = len(left_exprs)
+            left_exprs.append(take(gate.left))
+            right_exprs.append(take(gate.right))
+            exprs[i] = {1 + k + t: 1}
+    assertion_exprs = [take(wire) for wire in circuit.assertions]
+    return left_exprs, right_exprs, assertion_exprs
+
+
+def _schedule_levels(
+    k: int,
+    left_exprs: "Sequence[dict[int, int]]",
+    right_exprs: "Sequence[dict[int, int]]",
+    modulus: int,
+) -> list[_MulLevel]:
+    """Group mul gates by multiplicative depth, topo order within."""
+    M = len(left_exprs)
+    if M == 0:
+        return []
+    depth = [0] * M
+
+    def expr_depth(expr: dict[int, int]) -> int:
+        d = 0
+        for src in expr:
+            if src > k:
+                d = max(d, depth[src - k - 1] + 1)
+        return d
+
+    n_levels = 1
+    for t in range(M):
+        depth[t] = max(expr_depth(left_exprs[t]), expr_depth(right_exprs[t]))
+        n_levels = max(n_levels, depth[t] + 1)
+    levels = []
+    for d in range(n_levels):
+        positions = [t for t in range(M) if depth[t] == d]
+        levels.append(
+            _MulLevel(
+                positions,
+                SparseAffineMap(
+                    [left_exprs[t] for t in positions], modulus
+                ),
+                SparseAffineMap(
+                    [right_exprs[t] for t in positions], modulus
+                ),
+            )
+        )
+    return levels
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+
+_PLAN_CACHE: "WeakKeyDictionary[Circuit, dict[int, CompiledCircuit]]" = (
+    WeakKeyDictionary()
+)
+
+
+def compile_circuit(field: PrimeField, circuit: Circuit) -> CompiledCircuit:
+    """The circuit's plan for this field, compiled at most once.
+
+    Keyed by circuit *identity* (not structure) plus modulus: AFE
+    instances memoize their ``valid_circuit()``, so every batch of a
+    deployment's lifetime hits the same plan, and garbage-collecting
+    the circuit releases it.
+    """
+    per_field = _PLAN_CACHE.get(circuit)
+    if per_field is None:
+        per_field = _PLAN_CACHE.setdefault(circuit, {})
+    plan = per_field.get(field.modulus)
+    if plan is None:
+        plan = per_field[field.modulus] = CompiledCircuit(field, circuit)
+    return plan

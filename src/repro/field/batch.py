@@ -414,6 +414,61 @@ def _np_scale(ctx, c: int, a):
     return _np_mul(ctx, a, c_planes)
 
 
+def _small_row_split(ctx, values):
+    """Split a scalar row into single-limb ``(pos, neg)`` int64 arrays.
+
+    Succeeds when every canonical entry ``c`` satisfies ``c < base`` or
+    ``p - c < base`` (coefficients like ``±1`` and ``±2^i`` — all of
+    the compiled Valid-circuit coefficient rows), so that
+    ``x*c = x*pos - x*neg`` with both products single-limb-by-plane
+    (lazy entries < 2^48, no limb convolution).  Returns None when any
+    entry is full-width.
+    """
+    p = ctx.modulus
+    base = 1 << LIMB_BITS
+    pos = [0] * len(values)
+    neg = [0] * len(values)
+    for i, v in enumerate(values):
+        v %= p
+        if v < base:
+            pos[i] = v
+        elif p - v < base:
+            neg[i] = p - v
+        else:
+            return None
+    return (
+        _np.array(pos, dtype=_np.int64),
+        _np.array(neg, dtype=_np.int64),
+    )
+
+
+def _np_mul_small_row(ctx, planes, values):
+    """Broadcast-multiply canonical planes by a row of *small* scalars.
+
+    The :func:`_small_row_split` products fold through one carry and
+    one Barrett pass via ``x*pos + (p << 24) - x*neg`` — the pad is 0
+    mod p and exceeds any ``x*neg``, so the total stays nonnegative
+    (the carry loop's arithmetic shifts absorb transiently negative
+    limbs, exactly as in ``_np_sub``).  Returns None when any entry is
+    full-width or the padded total would leave Barrett's ``base^(2L)``
+    domain; callers then take the convolution path.
+    """
+    pad = ctx.modulus << LIMB_BITS
+    width = -((2 * pad).bit_length() // -LIMB_BITS)
+    if width > 2 * ctx.n_limbs:
+        return None
+    split = _small_row_split(ctx, values)
+    if split is None:
+        return None
+    pos, neg = split
+    lazy = _np.zeros((width,) + planes.shape[1:], dtype=_np.int64)
+    lazy[: ctx.n_limbs] = planes * pos - planes * neg
+    lazy += _np.array(_int_limbs(pad, width), dtype=_np.int64).reshape(
+        (width,) + (1,) * (planes.ndim - 1)
+    )
+    return _barrett(ctx, _carry(lazy, width))
+
+
 def _np_sum_axis(ctx, planes, axis: int):
     """Sum canonical planes along an element axis, reduced mod p."""
     n_terms = planes.shape[axis]
@@ -696,6 +751,73 @@ class BatchVector:
             self.field, shape, [list(self._data[i]) for i in indices], False
         )
 
+    def take_columns(self, indices: Sequence[int]) -> "BatchVector":
+        """A new batch holding the selected columns (in the given order).
+
+        The column-axis dual of :meth:`take_rows`; repeats are allowed.
+        This is the compiled-circuit plan's gather primitive: every
+        single-term affine form (a mul gate reading an input wire
+        directly, the common case in the Figure 7 circuits) evaluates
+        as one column gather over the batch's base matrix.
+        """
+        if len(self.shape) != 2:
+            raise FieldError("take_columns needs a 2-D batch")
+        indices = list(indices)
+        shape = (self.shape[0], len(indices))
+        if self._numpy:
+            return BatchVector(
+                self.field, shape, self._data[:, :, indices], True
+            )
+        return BatchVector(
+            self.field, shape,
+            [[row[j] for j in indices] for row in self._data], False,
+        )
+
+    def set_columns(
+        self, indices: Sequence[int], values: "BatchVector"
+    ) -> None:
+        """Overwrite the selected columns of a 2-D batch in place.
+
+        ``values`` must be a 2-D batch on the same backend with one
+        column per index — how the compiled plan scatters each level's
+        mul-gate outputs back into the base matrix for later levels to
+        read.
+        """
+        if len(self.shape) != 2:
+            raise FieldError("set_columns needs a 2-D batch")
+        if not isinstance(values, BatchVector):
+            raise FieldError("expected a BatchVector operand")
+        if values.field.modulus != self.field.modulus:
+            raise FieldError("field mismatch")
+        if values._numpy != self._numpy:
+            raise FieldError("backend mismatch between operands")
+        indices = list(indices)
+        if values.shape != (self.shape[0], len(indices)):
+            raise FieldError("set_columns value shape mismatch")
+        if self._numpy:
+            self._data[:, :, indices] = values._data
+        else:
+            for row, vrow in zip(self._data, values._data):
+                for j, v in zip(indices, vrow):
+                    row[j] = v
+
+    def rows_zero(self) -> "list[bool]":
+        """Per-row all-zero test of a 2-D batch.
+
+        Row ``i`` is True iff every element in it is zero — the batched
+        validity verdict over a batch of assertion-wire values, computed
+        as one limb comparison without decoding (canonical
+        representatives make zero the unique all-limbs-zero encoding).
+        A zero-width batch is vacuously all-valid.
+        """
+        if len(self.shape) != 2:
+            raise FieldError("rows_zero needs a 2-D batch")
+        if self.shape[1] == 0:
+            return [True] * self.shape[0]
+        if self._numpy:
+            return (~(self._data != 0).any(axis=(0, 2))).tolist()
+        return [all(v == 0 for v in row) for row in self._data]
+
     def slice_columns(self, width: int) -> "BatchVector":
         """The first ``width`` columns (the Aggregate step's truncation)."""
         if width > self.shape[-1]:
@@ -817,7 +939,11 @@ class BatchVector:
         The batched prover's twist step (odd-point evaluation of h
         without a double-size NTT) multiplies every coefficient row by
         one shared power vector — a broadcast plane multiply, no
-        per-row Python loop.
+        per-row Python loop.  Rows whose entries are all small (or
+        negated-small) mod p — every compiled Valid-circuit coefficient
+        row — skip the limb convolution entirely
+        (:func:`_np_mul_small_row`); full-width rows like the NTT twist
+        powers take the general path.
         """
         if len(self.shape) != 2:
             raise FieldError("mul_row needs a 2-D batch")
@@ -826,6 +952,9 @@ class BatchVector:
             raise FieldError("row width mismatch in mul_row")
         if self._numpy:
             ctx = _ctx(self.field)
+            fast = _np_mul_small_row(ctx, self._data, values)
+            if fast is not None:
+                return self._like(fast)
             row_planes = _encode_checked(ctx, values).reshape(
                 ctx.n_limbs, 1, self.shape[1]
             )
@@ -834,6 +963,34 @@ class BatchVector:
         return self._like(
             [
                 [f.mul(x, v) for x, v in zip(row, values)]
+                for row in self._data
+            ]
+        )
+
+    def add_row(self, values: Sequence[int]) -> "BatchVector":
+        """Add the same length-n vector to every row.
+
+        The compiled plans' affine-gather schedules finish with this —
+        the ubiquitous ``x - 1`` mul input of one-hot and bit-check
+        circuits is a column gather plus one broadcast row add: a lazy
+        limb add, one carry, one conditional subtraction; no Barrett,
+        no convolution.
+        """
+        if len(self.shape) != 2:
+            raise FieldError("add_row needs a 2-D batch")
+        values = list(values)
+        if len(values) != self.shape[1]:
+            raise FieldError("row width mismatch in add_row")
+        if self._numpy:
+            ctx = _ctx(self.field)
+            row_planes = _encode_checked(ctx, values).reshape(
+                ctx.n_limbs, 1, self.shape[1]
+            )
+            return self._like(_np_add(ctx, self._data, row_planes))
+        f = self.field
+        return self._like(
+            [
+                [f.add(x, v) for x, v in zip(row, values)]
                 for row in self._data
             ]
         )
@@ -1379,6 +1536,182 @@ def concat_columns(
             for i, row in enumerate(part):
                 rows_out[i].extend(v % p for v in row)
     return BatchVector(field, (n_rows, total), rows_out, False)
+
+
+def stack_rows(parts: "Sequence[BatchVector]") -> BatchVector:
+    """Stack 2-D batches on top of each other along the row axis.
+
+    The row-axis dual of :func:`concat_columns` for plane parts: all
+    parts must share width and backend, and their limb planes are
+    copied directly (never decoded).  The batched prover stacks the
+    assembled f-rows on top of the g-rows this way to ride one
+    ``(2B, N)`` NTT pair.
+    """
+    parts = list(parts)
+    if not parts:
+        raise FieldError("stack_rows needs at least one part")
+    width = None
+    is_numpy = parts[0]._numpy
+    for part in parts:
+        if not isinstance(part, BatchVector) or len(part.shape) != 2:
+            raise FieldError("stack_rows needs 2-D BatchVector parts")
+        if width is None:
+            width = part.shape[1]
+        elif part.shape[1] != width:
+            raise FieldError(
+                f"width mismatch in stack_rows: {part.shape[1]} vs {width}"
+            )
+        if part._numpy != is_numpy:
+            raise FieldError("backend mismatch between stack_rows parts")
+    n_rows = sum(part.shape[0] for part in parts)
+    if is_numpy:
+        data = _np.concatenate([part._data for part in parts], axis=1)
+        return BatchVector(parts[0].field, (n_rows, width), data, True)
+    rows = [list(row) for part in parts for row in part._data]
+    return BatchVector(parts[0].field, (n_rows, width), rows, False)
+
+
+def segment_sum_columns(
+    batch: BatchVector, offsets: Sequence[int]
+) -> BatchVector:
+    """Field-sum contiguous column segments: ``(B, nnz) -> (B, n_out)``.
+
+    Output column ``j`` is the sum of input columns
+    ``offsets[j]:offsets[j+1]`` mod p; ``offsets`` is a CSR-style
+    monotone index list with a final sentinel equal to the input width,
+    and every segment must be non-empty (``np.add.reduceat`` would
+    silently misbehave on empty segments, so they are rejected — the
+    compiled-circuit plan pads empty affine forms with an explicit zero
+    term instead).  On numpy this is one ``reduceat`` per limb plane
+    with lazy accumulation; segments longer than the lazy-sum safety
+    limit (never reached by real circuits) fall back to per-segment
+    chunked sums.
+    """
+    if len(batch.shape) != 2:
+        raise FieldError("segment_sum_columns needs a 2-D batch")
+    offsets = list(offsets)
+    if len(offsets) < 1 or offsets[0] != 0 or offsets[-1] != batch.shape[1]:
+        raise FieldError("segment offsets must span the batch width")
+    n_out = len(offsets) - 1
+    lengths = [offsets[i + 1] - offsets[i] for i in range(n_out)]
+    if any(length <= 0 for length in lengths):
+        raise FieldError("segment_sum_columns segments must be non-empty")
+    shape = (batch.shape[0], n_out)
+    if batch._numpy:
+        ctx = _ctx(batch.field)
+        # Lazy per-limb sums of S canonical values stay exact while
+        # S * 2^24 < 2^63 (int64 lanes) and S * p < base^(2L)
+        # (Barrett's domain); max_dot_terms is a stricter bound than
+        # either, so reuse it as the guard.
+        limit = min(ctx.max_dot_terms, 1 << (63 - LIMB_BITS))
+        if max(lengths) <= limit:
+            lazy = _np.add.reduceat(batch._data, offsets[:-1], axis=2)
+            data = _barrett(ctx, _carry(lazy, 2 * ctx.n_limbs))
+        else:
+            cols = [
+                _np_sum_axis(
+                    ctx, batch._data[:, :, offsets[i]:offsets[i + 1]], axis=2
+                )
+                for i in range(n_out)
+            ]
+            data = _np.stack(cols, axis=2)
+        return BatchVector(batch.field, shape, data, True)
+    p = batch.field.modulus
+    rows = [
+        [
+            sum(row[offsets[i]:offsets[i + 1]]) % p
+            for i in range(n_out)
+        ]
+        for row in batch._data
+    ]
+    return BatchVector(batch.field, shape, rows, False)
+
+
+def sparse_affine_columns(
+    base: BatchVector,
+    srcs: Sequence[int],
+    coeffs: Sequence[int],
+    offsets: Sequence[int],
+) -> BatchVector:
+    """Fused sparse-affine apply: ``out[:, j] = sum_i c_i * base[:, s_i]``.
+
+    The compiled plans' general schedule — gather the ``srcs`` columns
+    of a ``(B, n_base)`` batch, scale by the coefficient row, field-sum
+    each CSR segment ``offsets[j]:offsets[j+1]`` — as one kernel with a
+    single modular reduction.  When every coefficient is small or
+    negated-small mod p (every real Valid circuit: ``±1``/``±2^i``
+    rows) and segments fit the int64 lazy headroom, the nnz-wide
+    intermediate never sees a carry: two broadcast multiplies on the
+    gathered planes, one ``reduceat`` per limb, then one Barrett pass
+    on the narrow ``(B, n_out)`` result — per-segment ``S_j * (p<<24)``
+    pads keep the signed lazy totals nonnegative exactly as in
+    :func:`_np_mul_small_row`.  Full-width coefficients or oversized
+    segments fall back to the exact gather / ``mul_row`` /
+    :func:`segment_sum_columns` pipeline.
+    """
+    if len(base.shape) != 2:
+        raise FieldError("sparse_affine_columns needs a 2-D batch")
+    srcs = list(srcs)
+    coeffs = list(coeffs)
+    offsets = list(offsets)
+    if len(srcs) != len(coeffs):
+        raise FieldError("srcs/coeffs length mismatch")
+    if len(offsets) < 1 or offsets[0] != 0 or offsets[-1] != len(srcs):
+        raise FieldError("segment offsets must span the term list")
+    n_out = len(offsets) - 1
+    lengths = [offsets[i + 1] - offsets[i] for i in range(n_out)]
+    if any(length <= 0 for length in lengths):
+        raise FieldError("sparse_affine_columns segments must be non-empty")
+    if base._numpy:
+        ctx = _ctx(base.field)
+        L = ctx.n_limbs
+        B = base.shape[0]
+        pad = ctx.modulus << LIMB_BITS
+        max_len = max(lengths) if lengths else 1
+        # Lazy headroom: S products of magnitude < 2^48 plus the pad
+        # limbs must stay inside int64 lanes, and the padded segment
+        # total 2 * S * (p << 24) inside Barrett's base^(2L) domain.
+        width = -((2 * max_len * pad).bit_length() // -LIMB_BITS)
+        split = (
+            _small_row_split(ctx, coeffs)
+            if max_len <= (1 << (62 - 2 * LIMB_BITS)) and width <= 2 * L
+            else None
+        )
+        if split is not None:
+            pos, neg = split
+            gathered = base._data[:, :, srcs]
+            terms = gathered * pos - gathered * neg
+            lazy = _np.add.reduceat(terms, offsets[:-1], axis=2)
+            widened = _np.zeros((width, B, n_out), dtype=_np.int64)
+            widened[:L] = lazy
+            pads = _np.array(
+                [_int_limbs(length * pad, width) for length in lengths],
+                dtype=_np.int64,
+            ).T.reshape(width, 1, n_out)
+            widened += pads
+            return BatchVector(
+                base.field,
+                (B, n_out),
+                _barrett(ctx, _carry(widened, width)),
+                True,
+            )
+        out = base.take_columns(srcs)
+        if any(c != 1 for c in coeffs):
+            out = out.mul_row(coeffs)
+        return segment_sum_columns(out, offsets)
+    p = base.field.modulus
+    rows = [
+        [
+            sum(
+                row[srcs[i]] * coeffs[i]
+                for i in range(offsets[j], offsets[j + 1])
+            )
+            % p
+            for j in range(n_out)
+        ]
+        for row in base._data
+    ]
+    return BatchVector(base.field, (base.shape[0], n_out), rows, False)
 
 
 def signed_delta_batch(

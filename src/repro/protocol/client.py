@@ -40,11 +40,14 @@ from repro.sharing.additive import (
     share_vectors_explicit_batch,
 )
 from repro.sharing.prg import new_seed, prg_share_vector
+from repro.circuit.compiled import compile_circuit
+from repro.mpc.beaver import generate_triple
 from repro.snip.batch_prover import (
-    draw_proof_randomness,
+    ProofRandomness,
     h_planes_batch,
     submission_planes,
 )
+from repro.snip.proof import SnipError
 from repro.snip.prover import build_proof
 from repro.protocol.wire import (
     ClientPacket,
@@ -147,22 +150,35 @@ class PrioClient:
         n_servers = self.n_servers
         compress = self.use_prg_compression and n_servers > 1
         n_total = self.submission_elements()
+        plan = (
+            compile_circuit(field, self.circuit)
+            if self.circuit is not None
+            else None
+        )
+        has_muls = self.circuit is not None and self.circuit.n_mul_gates > 0
         # Phase 1 — every rng draw, per submission, in scalar order:
         # encode, f(0)/g(0)/triple, submission id, share seeds/randoms.
+        # The circuit trace itself consumes no randomness, so it lifts
+        # out of this loop into one compiled-plan sweep below without
+        # perturbing the draw sequence.
         encodings: list[list[int]] = []
-        traces: list = []
         randoms: list = []
         sids: list[bytes] = []
         seed_rows: list[list[bytes]] = []
         random_rows: list[list[list[int]]] = []
         for value in values:
             encoding = self.afe.encode(value, self.rng)
-            if self.circuit is not None:
-                trace, rand = draw_proof_randomness(
-                    field, self.circuit, encoding, self.rng
+            if has_muls:
+                u0 = field.rand(self.rng)
+                v0 = field.rand(self.rng)
+                randoms.append(
+                    ProofRandomness(
+                        u0=u0, v0=v0,
+                        triple=generate_triple(field, self.rng),
+                    )
                 )
-                traces.append(trace)
-                randoms.append(rand)
+            elif self.circuit is not None:
+                randoms.append(None)
             encodings.append(encoding)
             sids.append(new_submission_id(self.rng))
             if compress:
@@ -176,11 +192,18 @@ class PrioClient:
                         for _ in range(n_servers - 1)
                     ]
                 )
-        # Phase 2 — deterministic batch work: h sweep, x || proof
-        # assembly, sharing, wire bodies; planes throughout.
+        # Phase 2 — deterministic batch work: the compiled-plan trace,
+        # h sweep, x || proof assembly, sharing, wire bodies; planes
+        # throughout.
         force = tiny_batch_force_pure(len(values) * n_total, force_pure)
-        if self.circuit is not None:
-            h = h_planes_batch(field, self.circuit, traces, randoms, force)
+        if plan is not None:
+            trace = plan.evaluate_batch(encodings, force)
+            if not trace.all_valid:
+                raise SnipError(
+                    f"input does not satisfy {self.circuit.name}; "
+                    f"refusing to prove"
+                )
+            h = h_planes_batch(field, self.circuit, trace, randoms, force)
             vectors = submission_planes(
                 field, self.circuit, encodings, randoms, h, force
             )

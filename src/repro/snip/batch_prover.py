@@ -7,7 +7,8 @@ Valid, build the randomized f/g polynomials, h = f * g) the same
 treatment.  A batch of submissions flows
 
     values ──afe.encode──► encodings (Python ints, per value)
-           ──draw_proof_randomness──► u0/v0/Beaver triple, scalar order
+           ──compiled-plan sweep──► (B, M) mul-input planes + validity
+           (u0/v0/Beaver triples drawn per value, scalar order)
            ──h_planes_batch──► one (2B, N) batch NTT pair, h as planes
            ──submission_planes──► (B, k + proof_len) x||proof matrix
            ──share_vectors_client_batch──► PRG seeds + explicit planes
@@ -38,7 +39,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.circuit.circuit import Circuit
-from repro.field.batch import BatchVector, concat_columns
+from repro.field.batch import BatchVector, concat_columns, stack_rows
 from repro.field.ntt import EvaluationDomain
 from repro.field.prime_field import PrimeField
 from repro.mpc.beaver import BeaverTriple, generate_triple
@@ -110,25 +111,54 @@ def h_planes_batch(
     is one plane Hadamard product — bit-identical to what per-proof
     :func:`repro.snip.prover.build_proof` computes, but the values
     never leave limb planes.
+
+    ``traces`` is either a list of scalar
+    :class:`~repro.circuit.circuit.EvaluationTrace` objects (one per
+    submission) or a single plane-resident
+    :class:`~repro.circuit.compiled.BatchTrace` from a compiled plan —
+    in the latter case the f/g blocks assemble by plane copy from the
+    trace's ``(B, M)`` mul-input matrices and only the per-submission
+    ``u0``/``v0`` scalars are encoded from ints.
     """
+    from repro.circuit.compiled import BatchTrace
+
     m = circuit.n_mul_gates
-    traces = list(traces)
-    B = len(traces)
     size_n, size_2n = snip_domain_sizes(m)
-    if m == 0 or B == 0:
-        return BatchVector.zeros(field, (B, size_2n), force_pure)
+    if isinstance(traces, BatchTrace):
+        B = len(traces)
+        if m == 0 or B == 0:
+            return BatchVector.zeros(field, (B, size_2n), force_pure)
+        if force_pure is None:
+            force_pure = traces.mul_inputs_left.force_pure
+        pad = BatchVector.zeros(field, (B, size_n - m - 1), force_pure)
+        f_block = concat_columns(
+            field,
+            [[[r.u0] for r in randoms], traces.mul_inputs_left, pad],
+            force_pure,
+        )
+        g_block = concat_columns(
+            field,
+            [[[r.v0] for r in randoms], traces.mul_inputs_right, pad],
+            force_pure,
+        )
+        fg = stack_rows([f_block, g_block])
+    else:
+        traces = list(traces)
+        B = len(traces)
+        if m == 0 or B == 0:
+            return BatchVector.zeros(field, (B, size_2n), force_pure)
+        pad = [0] * (size_n - m - 1)
+        rows = [
+            [r.u0] + trace.mul_inputs_left + pad
+            for r, trace in zip(randoms, traces)
+        ]
+        rows += [
+            [r.v0] + trace.mul_inputs_right + pad
+            for r, trace in zip(randoms, traces)
+        ]
+        fg = BatchVector.from_ints(field, rows, force_pure)
     domain_n = EvaluationDomain(field, size_n)
     domain_2n = EvaluationDomain(field, size_2n)
-    pad = [0] * (size_n - m - 1)
-    rows = [
-        [r.u0] + trace.mul_inputs_left + pad
-        for r, trace in zip(randoms, traces)
-    ]
-    rows += [
-        [r.v0] + trace.mul_inputs_right + pad
-        for r, trace in zip(randoms, traces)
-    ]
-    fg = BatchVector.from_ints(field, rows, force_pure)
     # The double domain's even points coincide with the small domain
     # (w_2N^2 = w_N), so h's even evaluations are free products of the
     # *input* rows: h[2i] = f_evals[i] * g_evals[i].  Only the odd

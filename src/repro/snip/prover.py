@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.circuit.circuit import Circuit
-from repro.field.batch import BatchVector, elementwise_mul_rows
+from repro.field.batch import BatchVector
 from repro.field.ntt import EvaluationDomain
 from repro.field.prime_field import PrimeField
 from repro.mpc.beaver import BeaverTriple, generate_triple, share_triple
@@ -92,53 +92,44 @@ def prove_many(
     drawn in exactly the order sequential :func:`build_proof` calls
     would draw it, so ``prove_many(field, c, xs, rng)`` produces
     bit-identical proofs to ``[build_proof(field, c, x, rng) for x in
-    xs]`` — the deterministic polynomial work (interpolate f and g,
-    evaluate on the double domain, h = f * g) is then batched across
-    all submissions via :mod:`repro.field.batch`.
+    xs]`` — even on a mid-batch invalid input, because the circuit
+    traces come from one compiled-plan sweep *before* the draw loop
+    (evaluation consumes no randomness) and the per-value validity
+    check still raises at the scalar draw point.  The deterministic
+    polynomial work (the f/g/h double-domain sweep) is batched via
+    :func:`repro.snip.batch_prover.h_planes_batch`.
     """
-    traces = []
-    randoms: list[tuple[int, int, BeaverTriple]] = []
-    for x in xs:
-        trace = circuit.evaluate(field, x)
-        if check_valid and not trace.is_valid:
+    from repro.circuit.compiled import compile_circuit
+    from repro.snip.batch_prover import ProofRandomness, h_planes_batch
+
+    xs = [list(x) for x in xs]
+    if not xs:
+        return []
+    m = circuit.n_mul_gates
+    trace = compile_circuit(field, circuit).evaluate_batch(xs, force_pure)
+    randoms: list[ProofRandomness] = []
+    for i in range(len(xs)):
+        if check_valid and not trace.valid[i]:
             raise SnipError(
                 f"input does not satisfy {circuit.name}; refusing to prove"
             )
-        traces.append(trace)
-        if circuit.n_mul_gates:
+        if m:
             u0 = field.rand(rng)
             v0 = field.rand(rng)
-            randoms.append((u0, v0, generate_triple(field, rng)))
-
-    m = circuit.n_mul_gates
+            randoms.append(
+                ProofRandomness(
+                    u0=u0, v0=v0, triple=generate_triple(field, rng)
+                )
+            )
     if m == 0:
         return [
             SnipProof(f0=0, g0=0, h_evals=[], triple=BeaverTriple(0, 0, 0))
-            for _ in traces
+            for _ in xs
         ]
-    if not traces:
-        return []
-
-    size_n, size_2n = snip_domain_sizes(m)
-    domain_n = EvaluationDomain(field, size_n)
-    domain_2n = EvaluationDomain(field, size_2n)
-    pad = [0] * (size_n - m - 1)
-    f_rows = [
-        [u0] + trace.mul_inputs_left + pad
-        for (u0, _, _), trace in zip(randoms, traces)
-    ]
-    g_rows = [
-        [v0] + trace.mul_inputs_right + pad
-        for (_, v0, _), trace in zip(randoms, traces)
-    ]
-    f_coeffs = domain_n.interpolate_batch(f_rows, force_pure)
-    g_coeffs = domain_n.interpolate_batch(g_rows, force_pure)
-    f_on_2n = domain_2n.evaluate_batch(f_coeffs, force_pure)
-    g_on_2n = domain_2n.evaluate_batch(g_coeffs, force_pure)
-    h_rows = elementwise_mul_rows(field, f_on_2n, g_on_2n, force_pure)
+    h = h_planes_batch(field, circuit, trace, randoms, force_pure)
     return [
-        SnipProof(f0=u0, g0=v0, h_evals=h, triple=triple)
-        for (u0, v0, triple), h in zip(randoms, h_rows)
+        SnipProof(f0=r.u0, g0=r.v0, h_evals=h_row, triple=r.triple)
+        for r, h_row in zip(randoms, h.to_ints())
     ]
 
 
@@ -280,8 +271,9 @@ def prove_and_share_planes(
     last-share subtraction) is batched across all submissions and
     never crosses to per-element Python ints.
     """
+    from repro.circuit.compiled import compile_circuit
     from repro.snip.batch_prover import (
-        draw_proof_randomness,
+        ProofRandomness,
         h_planes_batch,
         submission_planes,
     )
@@ -296,23 +288,36 @@ def prove_and_share_planes(
         ]
     m = circuit.n_mul_gates
     _, size_2n = snip_domain_sizes(m)
-    traces = []
-    randoms = []
+    # One compiled-plan sweep traces the whole batch; it consumes no
+    # randomness, so hoisting it out of the draw loop leaves the rng
+    # sequence — including the failure point of a mid-batch invalid
+    # input — exactly scalar.
+    trace = compile_circuit(field, circuit).evaluate_batch(xs, force_pure)
+    randoms: list[ProofRandomness | None] = []
     random_rows: list[list[list[int]]] = []
-    for x in xs:
+    for i, x in enumerate(xs):
         x_rand = [
             field.rand_vector(len(x), rng) for _ in range(n_servers - 1)
         ]
-        trace, rand = draw_proof_randomness(
-            field, circuit, x, rng, check_valid
-        )
+        if check_valid and not trace.valid[i]:
+            raise SnipError(
+                f"input does not satisfy {circuit.name}; refusing to prove"
+            )
+        if m:
+            u0 = field.rand(rng)
+            v0 = field.rand(rng)
+            randoms.append(
+                ProofRandomness(
+                    u0=u0, v0=v0, triple=generate_triple(field, rng)
+                )
+            )
+        else:
+            randoms.append(None)
         share_rand = _draw_proof_share_randoms(field, size_2n, n_servers, rng)
-        traces.append(trace)
-        randoms.append(rand)
         random_rows.append(
             [x_rand[j] + share_rand[j] for j in range(n_servers - 1)]
         )
-    h = h_planes_batch(field, circuit, traces, randoms, force_pure)
+    h = h_planes_batch(field, circuit, trace, randoms, force_pure)
     full = submission_planes(field, circuit, xs, randoms, h, force_pure)
     return share_vectors_explicit_batch(
         field, full, n_servers, random_rows=random_rows,

@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.circuit.circuit import Circuit, Op
+from repro.circuit.circuit import Circuit
 from repro.field.batch import (
     BatchVector,
     PreparedWeights,
@@ -438,52 +438,28 @@ class _BatchFunctionals:
         return self._prepared
 
 
-def _wire_functional(
-    field: PrimeField,
-    circuit: Circuit,
-    selectors: Sequence[tuple[int, int]],
-) -> tuple[list[int], list[int], int]:
-    """Collapse ``sum coeff_w * wire_w`` to weights on inputs/mul outputs.
-
-    One reverse topological sweep (cost O(gates)) pushes each wire's
-    coefficient back through the affine gates; MUL gates stop the
-    recursion because their outputs are supplied externally (read out
-    of h's point-value form).  Returns ``(u_x, u_mul, const)`` with
-    ``sum_w coeff_w * wire_w = u_x . x + u_mul . mul_outputs + const``.
-    """
-    p = field.modulus
-    adjoint = [0] * len(circuit.gates)
-    for wire, coeff in selectors:
-        adjoint[wire] = (adjoint[wire] + coeff) % p
-    u_x = [0] * circuit.n_inputs
-    u_mul = [0] * circuit.n_mul_gates
-    const = 0
-    mul_index = {gate: t for t, gate in enumerate(circuit.mul_gates)}
-    for i in range(len(circuit.gates) - 1, -1, -1):
-        a = adjoint[i]
-        if a == 0:
-            continue
-        gate = circuit.gates[i]
-        if gate.op is Op.INPUT:
-            u_x[gate.payload] = (u_x[gate.payload] + a) % p
-        elif gate.op is Op.CONST:
-            const = (const + gate.payload * a) % p
-        elif gate.op is Op.ADD:
-            adjoint[gate.left] = (adjoint[gate.left] + a) % p
-            adjoint[gate.right] = (adjoint[gate.right] + a) % p
-        elif gate.op is Op.SUB:
-            adjoint[gate.left] = (adjoint[gate.left] + a) % p
-            adjoint[gate.right] = (adjoint[gate.right] - a) % p
-        elif gate.op is Op.MUL_CONST:
-            adjoint[gate.left] = (adjoint[gate.left] + gate.payload * a) % p
-        else:  # MUL: output share supplied externally — stop here
-            u_mul[mul_index[i]] = a
-    return u_x, u_mul, const
-
-
 def _build_batch_functionals(ctx: VerificationContext) -> _BatchFunctionals:
+    """Assemble the context's functionals from the compiled plan.
+
+    The plan (:func:`repro.circuit.compiled.compile_circuit`, cached by
+    circuit identity) already holds every mul gate's left/right input
+    wire and every assertion wire as a *sparse affine form* over
+    ``[1 | inputs | mul outputs]`` — the one topological sweep is paid
+    once per circuit, not once per verification context.  Building a
+    context's functionals is then pure accumulation: scatter each
+    form's terms into z positions (input ``i`` at ``i``; mul output
+    ``t`` at ``h_pos + 2(t+1)``, its slot in h's point-value form; the
+    ones column into the leader-only constant), weighted by the
+    context's Lagrange weights / assertion challenge.  By linearity
+    this is term-for-term the same sum the previous per-context
+    backward adjoint sweep computed, and bit-identical (all arithmetic
+    is mod-p on canonical coefficients).
+    """
+    from repro.circuit.compiled import compile_circuit
+
     field = ctx.field
     circuit = ctx.circuit
+    plan = compile_circuit(field, circuit)
     p = field.modulus
     k = circuit.n_inputs
     m = ctx.n_mul_gates
@@ -491,21 +467,32 @@ def _build_batch_functionals(ctx: VerificationContext) -> _BatchFunctionals:
     # z layout: [x_0..x_{k-1} | f0 | g0 | h_0..h_{2N-1} | a | b | c]
     f0_pos, g0_pos, h_pos = k, k + 1, k + 2
 
-    def assemble(u_x, u_mul, extra=()):
-        u = [0] * z_len
-        u[:k] = u_x
-        for t, coeff in enumerate(u_mul):
-            # mul gate t (0-based) has its output at h_evals[2*(t+1)]
-            u[h_pos + 2 * (t + 1)] = coeff
-        for pos, coeff in extra:
-            u[pos] = (u[pos] + coeff) % p
-        return u
+    def accumulate(u, exprs, weights):
+        # u += sum_j weights[j] * exprs[j], scattered into z layout;
+        # returns the accumulated ones-column (leader constant) part.
+        const = 0
+        for expr, weight in zip(exprs, weights):
+            for src, coeff in expr.items():
+                v = coeff * weight
+                if src == 0:
+                    const += v
+                elif src <= k:
+                    u[src - 1] += v
+                else:
+                    # mul gate t (0-based) has its output at
+                    # h_evals[2*(t+1)]
+                    u[h_pos + 2 * (src - k)] += v
+        return const
 
-    assert_sel = list(
-        zip(circuit.assertions, ctx.challenge.assertion_coefficients)
+    def reduced(u):
+        return [v % p for v in u]
+
+    u_assert = [0] * z_len
+    c_assert = accumulate(
+        u_assert, plan.assertion_exprs, ctx.challenge.assertion_coefficients
     )
-    a_x, a_mul, c_assert = _wire_functional(field, circuit, assert_sel)
-    u_assert = assemble(a_x, a_mul)
+    u_assert = reduced(u_assert)
+    c_assert %= p
 
     if m == 0:
         return _BatchFunctionals(
@@ -515,19 +502,13 @@ def _build_batch_functionals(ctx: VerificationContext) -> _BatchFunctionals:
 
     r = ctx.challenge.r
     w_n, w_2n = ctx.weights_n, ctx.weights_2n
-    gates = circuit.gates
-    f_sel = [
-        (gates[gate].left, w_n[1 + t])
-        for t, gate in enumerate(circuit.mul_gates)
-    ]
-    g_sel = [
-        (gates[gate].right, w_n[1 + t])
-        for t, gate in enumerate(circuit.mul_gates)
-    ]
-    f_x, f_mul, c_f = _wire_functional(field, circuit, f_sel)
-    g_x, g_mul, c_g = _wire_functional(field, circuit, g_sel)
-    u_f = assemble(f_x, f_mul, extra=[(f0_pos, w_n[0])])
-    u_g = assemble(g_x, g_mul, extra=[(g0_pos, w_n[0])])
+    u_f = [0] * z_len
+    c_f = accumulate(u_f, plan.left_exprs, w_n[1:1 + m]) % p
+    u_f[f0_pos] = w_n[0]
+    u_f = reduced(u_f)
+    u_g = [0] * z_len
+    c_g = accumulate(u_g, plan.right_exprs, w_n[1:1 + m]) % p
+    u_g[g0_pos] = w_n[0]
     u_rg = [v * r % p for v in u_g]
     u_rh = [0] * z_len
     for j, w in enumerate(w_2n):

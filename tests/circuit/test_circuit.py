@@ -102,6 +102,57 @@ def test_wire_sum_empty_is_zero_const():
     assert not circuit.check(FIELD_TINY, [5])
 
 
+def test_linear_combination_drops_zero_coefficients():
+    # Gate-count pin for the builder's affine folds: zero-coefficient
+    # terms vanish, unit coefficients reuse the wire, constants fold,
+    # so the sparse row [0, 1, 0, 5, 0] over five wires costs exactly
+    # one MUL_CONST and one ADD.
+    b = CircuitBuilder(FIELD87)
+    ws = b.inputs(5)
+    before = len(b._gates)
+    out = b.linear_combination([0, 1, 0, 5, 0], ws)
+    assert len(b._gates) - before == 2  # MUL_CONST(5, w3), ADD
+    b.assert_zero(out)
+    circuit = b.build()
+    assert circuit.n_mul_gates == 0
+    # value check: w1 + 5*w3
+    assert circuit.check(FIELD87, [9, 10, 9, FIELD87.modulus - 2, 9])
+    assert not circuit.check(FIELD87, [9, 10, 9, 1, 9])
+
+
+def test_linear_combination_all_zero_is_single_constant():
+    b = CircuitBuilder(FIELD87)
+    ws = b.inputs(3)
+    before = len(b._gates)
+    out = b.linear_combination([0, 0, FIELD87.modulus], ws)
+    assert len(b._gates) - before == 1  # just CONST(0)
+    assert b._gates[out].op is Op.CONST and b._gates[out].payload == 0
+
+
+def test_linear_combination_unit_coefficient_reuses_wire():
+    b = CircuitBuilder(FIELD87)
+    x = b.input()
+    assert b.linear_combination([1], [x]) == x
+    assert b.mul_const(1, x) == x
+    zero = b.mul_const(0, x)
+    assert b._gates[zero].op is Op.CONST and b._gates[zero].payload == 0
+
+
+def test_wire_sum_folds_constant_wires():
+    b = CircuitBuilder(FIELD87)
+    x, y = b.inputs(2)
+    c3, c4 = b.constant(3), b.constant(4)
+    before = len(b._gates)
+    out = b.wire_sum([x, c3, y, c4])
+    # ADD(x, y), CONST(7), ADD(acc, 7) — constants merge into one gate
+    assert len(b._gates) - before == 3
+    b.assert_zero(out)
+    circuit = b.build()
+    p = FIELD87.modulus
+    assert circuit.check(FIELD87, [p - 5, p - 2])
+    assert not circuit.check(FIELD87, [1, 1])
+
+
 # ----------------------------------------------------------------------
 # Structural validation
 # ----------------------------------------------------------------------
