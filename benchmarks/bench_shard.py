@@ -1,0 +1,301 @@
+"""Sharded per-server workers: verify throughput vs shard count.
+
+Not a paper figure — this tracks PR 8's horizontal scale-out work: the
+``executor="process:K"`` sharded fan-out
+(:class:`~repro.protocol.fanout.ShardedFanout`) against the PR-4
+one-process-per-server baseline it extends.  Every variant runs the
+identical staged pipeline and plane-resident verification core on the
+same prepared stream (F87, the Figure 4/5 one-bit vector-sum
+workload); the only variable is how many sharded workers each logical
+server's submissions partition across:
+
+``K=1``
+    The PR-4 baseline: one worker process per server (3 processes
+    total) — parallelism is capped at the server count.
+
+``K=2`` / ``K=4``
+    Submissions partition by submission id (:func:`shard_of`) across K
+    worker processes per server (6 / 12 processes total); each shard
+    verifies its slice independently and the driver merges the round
+    planes back into global survivor order.
+
+Decisions, aggregates, and statistics are asserted bit-identical
+against the unsharded inline reference at every K (with corrupted rows
+hidden mid-stream — the offender must reject alone on whichever shard
+it lands).  Emits ``benchmarks/results/shard.json`` plus a
+``BENCH_shard.json`` record at the repo root.
+
+Gates (pytest):
+
+* decisions/aggregates/stats identical across all K (every host);
+* on a numpy host with >= 8 CPUs, K=4 >= 1.5x verify throughput over
+  K=1 (the acceptance gate; K=4 runs 12 worker processes against
+  K=1's 3, so it needs real cores to show — on smaller hosts the
+  record documents the measurement without enforcing the ratio).
+
+Runs under pytest *and* as a plain script —
+``python benchmarks/bench_shard.py [--smoke]`` — which is what the CI
+bench-shard-smoke job executes on both backends.
+"""
+
+import json
+import os
+import pathlib
+import random
+import sys
+import time
+from dataclasses import replace
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from common import FULL, emit_table, fmt_rate, fmt_seconds
+
+from bench_pipeline import (
+    N_SERVERS,
+    _fresh_servers,
+    _reset_servers,
+    _workload,
+)
+from repro.field import backend_name
+from repro.protocol import ShardedFanout, run_pipelined
+from repro.protocol.fanout import resolve_fanout
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+K_SWEEP = (1, 2, 4)
+#: the acceptance gate compares this shard count against K=1
+GATE_K = 4
+GATE_SPEEDUP = 1.5
+#: K=4 runs 4 * N_SERVERS worker processes; below this many cores the
+#: K=1 baseline's N_SERVERS workers already saturate the host and the
+#: ratio measures oversubscription, not sharding
+GATE_MIN_CPUS = 8
+
+
+def _reset_shards(fanout):
+    """Clear shard-side decision state so a timed round can replay the
+    same stream (plain backends have no shard state — no-op)."""
+    if isinstance(fanout, ShardedFanout):
+        for shard_row in fanout.shards:
+            for shard in shard_row:
+                shard.reset_run_deltas()
+                shard._replay.clear()
+
+
+def _run(servers, fanout, submissions, batch):
+    _reset_servers(servers)
+    _reset_shards(fanout)
+    decisions, stats = run_pipelined(
+        servers, submissions, batch_size=batch, executor=fanout
+    )
+    return decisions, stats
+
+
+def _outcome_key(servers, decisions):
+    shares = [server.publish() for server in servers]
+    aggregate = servers[0].field.vec_sum(shares)
+    return (
+        tuple(decisions),
+        tuple(aggregate),
+        tuple(
+            (s.n_accepted, s.n_rejected, s.n_replayed) for s in servers
+        ),
+    )
+
+
+def _interleaved_best(fns, rounds):
+    """Best-of wall times, measured round-robin (see bench_fanout)."""
+    best = [float("inf")] * len(fns)
+    for _ in range(rounds):
+        for i, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(smoke=False):
+    length = 128 if smoke else (256 if not FULL else 512)
+    batch = 32 if smoke else 64
+    n_batches = 2 if smoke else 3
+    repeat = 2 if smoke else 3
+    rng = random.Random(1508)
+    cpu_count = os.cpu_count() or 1
+    record = {
+        "field": "F87",
+        "afe": f"vector-sum-{length}x1bit",
+        "n_servers": N_SERVERS,
+        "backend": backend_name(),
+        "cpu_count": cpu_count,
+        "smoke": smoke,
+        "full_scale": FULL,
+        "k_sweep": list(K_SWEEP),
+        "points": [],
+    }
+    rows = []
+
+    afe, _ctx, submissions, _n = _workload(length, batch * n_batches, rng)
+    # Two corrupted rows hidden mid-stream: offender isolation must
+    # survive whichever shard they land on.
+    corrupt = (3, batch + 5)
+    for index in corrupt:
+        packet = submissions[index].packets[1]
+        body = bytearray(packet.body)
+        body[0] ^= 0xFF
+        submissions[index].packets[1] = replace(packet, body=bytes(body))
+    servers = _fresh_servers(afe)
+
+    # Build every fan-out up front (pool startup is reported, not
+    # timed): K=1 is the PR-4 plain one-process-per-server backend.
+    fanouts = {}
+    record["pool_startup_s"] = {}
+    try:
+        for k in K_SWEEP:
+            spec = "process" if k == 1 else f"process:{k}"
+            start = time.perf_counter()
+            fanouts[k], _ = resolve_fanout(servers, spec, batch)
+            record["pool_startup_s"][str(k)] = time.perf_counter() - start
+
+        # Correctness first: the shard count must be unobservable.
+        # Unsharded inline reference, then every K against it.
+        decisions, _ = _run(servers, "inline", submissions, batch)
+        assert sum(decisions) == len(submissions) - len(corrupt)
+        assert all(decisions[i] is False for i in corrupt)
+        reference = _outcome_key(servers, decisions)
+        for k in K_SWEEP:
+            decisions, _ = _run(servers, fanouts[k], submissions, batch)
+            key = _outcome_key(servers, decisions)
+            assert key == reference, f"K={k} diverges from unsharded"
+        record["decisions_identical"] = True
+
+        times = _interleaved_best(
+            [
+                (lambda k=k: _run(servers, fanouts[k], submissions, batch))
+                for k in K_SWEEP
+            ],
+            rounds=repeat,
+        )
+        k1_s = times[0]
+        for k, wall_s in zip(K_SWEEP, times):
+            point = {
+                "n_shards": k,
+                "n_workers": k * N_SERVERS,
+                "wall_s": wall_s,
+                "subs_per_s": len(submissions) / wall_s,
+                "speedup_vs_k1": k1_s / wall_s,
+            }
+            record["points"].append(point)
+            rows.append([
+                k,
+                k * N_SERVERS,
+                fmt_seconds(wall_s),
+                fmt_rate(point["subs_per_s"]),
+                f"{point['speedup_vs_k1']:.2f}x",
+            ])
+    finally:
+        for fanout in fanouts.values():
+            fanout.close()
+
+    # The acceptance gate is scoped to hosts where K=4's 12 workers
+    # have cores to run on; elsewhere the record documents the
+    # measurement and the CI job on the multi-core runner enforces it.
+    gate_applies = (
+        record["backend"] == "numpy" and cpu_count >= GATE_MIN_CPUS
+    )
+    gate_point = next(
+        (p for p in record["points"] if p["n_shards"] == GATE_K), None
+    )
+    record["gate"] = {
+        "required_speedup_k4_vs_k1": GATE_SPEEDUP,
+        "applies": gate_applies,
+        "passed": (
+            bool(gate_point and gate_point["speedup_vs_k1"] >= GATE_SPEEDUP)
+            if gate_applies else None
+        ),
+    }
+    if not gate_applies:
+        record["gate"]["note"] = (
+            f"gate needs the numpy backend and >= {GATE_MIN_CPUS} cpus "
+            f"(K={GATE_K} runs {GATE_K * N_SERVERS} worker processes); "
+            f"this host has {cpu_count} cpu(s), backend "
+            f"{record['backend']} — bit-identity is still enforced"
+        )
+
+    notes = [
+        "K = sharded workers per logical server (process inner backend);"
+        " K=1 is the PR-4 one-process-per-server baseline",
+        f"host: {cpu_count} cpu(s) — the >={GATE_SPEEDUP}x K={GATE_K} gate"
+        f" applies on numpy hosts with >= {GATE_MIN_CPUS} cpus only",
+        "pool startup (workers + state push), excluded from timing: "
+        + ", ".join(
+            f"K={k}: {fmt_seconds(record['pool_startup_s'][str(k)])}"
+            for k in K_SWEEP
+        ),
+        "decisions, aggregates, and stats asserted bit-identical to the"
+        " unsharded inline reference at every K (corrupted rows reject"
+        " alone on whichever shard they land)",
+    ]
+    emit_table(
+        "shard",
+        f"Sharded per-server workers (F87, L = {length} one-bit "
+        f"integers, {N_SERVERS} servers, batch {batch}, backend: "
+        f"{record['backend']}, {cpu_count} cpus)",
+        ["K", "workers", "wall", "subs/s", "vs K=1"],
+        rows,
+        notes=notes,
+    )
+    (REPO_ROOT / "BENCH_shard.json").write_text(json.dumps(record, indent=2))
+    return record
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def shard_data():
+        return run_benchmark()
+
+    def test_outcomes_identical_across_shard_counts(shard_data):
+        assert shard_data["decisions_identical"]
+
+    def test_k4_beats_k1_on_multicore(shard_data):
+        """The acceptance gate: >= 1.5x verify throughput at K=4 vs
+        K=1 on a numpy host with enough cores for 12 workers."""
+        if shard_data["backend"] != "numpy":
+            pytest.skip("gate defined on the numpy backend")
+        if shard_data["cpu_count"] < GATE_MIN_CPUS:
+            pytest.skip(
+                f"gate defined for >= {GATE_MIN_CPUS}-cpu hosts "
+                f"(K={GATE_K} needs {GATE_K * N_SERVERS} cores' worth "
+                "of workers)"
+            )
+        point = next(
+            p for p in shard_data["points"] if p["n_shards"] == GATE_K
+        )
+        assert point["speedup_vs_k1"] >= GATE_SPEEDUP
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    result = run_benchmark(smoke=smoke)
+    for point in result["points"]:
+        print(
+            f"K={point['n_shards']}: {point['n_workers']:2d} workers  "
+            f"{point['wall_s'] * 1e3:8.1f}ms  "
+            f"{point['subs_per_s']:8.1f} subs/s  "
+            f"{point['speedup_vs_k1']:.2f}x vs K=1"
+        )
+    gate = result["gate"]
+    print(
+        f"gate: applies={gate['applies']} passed={gate['passed']} "
+        f"backend={result['backend']} cpus={result['cpu_count']} "
+        f"-> BENCH_shard.json"
+    )

@@ -15,7 +15,16 @@ from repro.protocol.fanout import (
     LocalFanout,
     ProcessFanout,
     ServerFanout,
+    ShardedFanout,
     resolve_fanout,
+    shard_of,
+)
+from repro.protocol.replay import (
+    InMemoryReplayCache,
+    ReplayCache,
+    ReplayCacheError,
+    TieredReplayCache,
+    resolve_replay_cache,
 )
 from repro.protocol.pipeline import (
     AsyncPrioPipeline,
@@ -61,7 +70,14 @@ __all__ = [
     "LocalFanout",
     "ProcessFanout",
     "ServerFanout",
+    "ShardedFanout",
     "resolve_fanout",
+    "shard_of",
+    "InMemoryReplayCache",
+    "ReplayCache",
+    "ReplayCacheError",
+    "TieredReplayCache",
+    "resolve_replay_cache",
     "ClientRegistry",
     "GatedDeployment",
     "GatedServer",

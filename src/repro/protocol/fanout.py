@@ -66,9 +66,13 @@ import asyncio
 import os
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 
+from repro.field.batch import concat_vectors
 from repro.protocol.server import PendingSubmission, PrioServer
+from repro.snip.verifier import Round1Batch, Round2Batch
 
-#: executor knob values accepted everywhere the pipeline is exposed
+#: executor knob values accepted everywhere the pipeline is exposed;
+#: any kind also accepts a ``":K"`` suffix (e.g. ``"process:4"``) to
+#: shard each logical server across K workers of that kind
 EXECUTOR_KINDS = ("inline", "thread", "process", "auto")
 
 #: ``executor="auto"`` picks the process backend only at or above this
@@ -420,6 +424,10 @@ _WORKER_OPS: "_ServerOps | None" = None
 
 def _worker_install(server: PrioServer) -> None:
     global _WORKER_OPS
+    # Mark the replay cache: the run-end snapshot then ships only the
+    # ids added during this run, not the full (possibly multi-million
+    # id) history the server arrived with.
+    server.begin_run()
     _WORKER_OPS = _ServerOps(server)
 
 
@@ -529,6 +537,427 @@ class ProcessFanout(ServerFanout):
 
 
 # ----------------------------------------------------------------------
+# Sharded fan-out: K workers per logical server
+# ----------------------------------------------------------------------
+
+
+def shard_of(sid: bytes, n_shards: int) -> int:
+    """Stable shard assignment for a submission id.
+
+    The low 8 id bytes (little-endian) mod K — identical at every
+    server (all servers see the same submission ids), so a submission's
+    shares land on the *same shard index* everywhere and the SNIP
+    rounds run shard-local with no cross-shard coordination.
+    """
+    return int.from_bytes(sid[:8], "little") % n_shards
+
+
+#: wire-frame offsets of the submission id (mirrors
+#: ``repro.protocol.wire``: magic(2) | version(1) | kind(1) | id(16))
+_WIRE_SID_START, _WIRE_SID_END = 4, 20
+
+
+class _ShardPlan:
+    """Driver-side bookkeeping for one batch across one server's shards."""
+
+    __slots__ = ("positions", "ok", "shard_order", "ranks", "n_survivors")
+
+    def __init__(self, positions: "list[list[int]]") -> None:
+        #: per shard: global payload positions routed there (ascending)
+        self.positions = positions
+        #: global positions this server received successfully
+        self.ok: "set[int]" = set()
+        #: shards holding >= 1 survivor, in ascending shard order
+        self.shard_order: "list[int]" = []
+        #: per entry of ``shard_order``: the global survivor ranks of
+        #: that shard's survivors, in shard-local (ascending) order
+        self.ranks: "list[list[int]]" = []
+        self.n_survivors = 0
+
+
+class ShardedFanout(ServerFanout):
+    """K sharded workers per logical server, behind the one-op seam.
+
+    Submissions partition by submission id (:func:`shard_of`); each
+    shard is a full :class:`PrioServer` (:meth:`PrioServer.make_shard`)
+    owning its slice of the id space — replay cache, epoch counters,
+    plane accumulator — and runs the ordinary :class:`_ServerOps` over
+    its sub-batch on an inner backend (``inline``/``thread``/
+    ``process``) resolved over the ``S x K`` flat shard-server list.
+    Because the partition is identical across servers, shard ``k`` at
+    every server holds the same submissions and the SNIP rounds run
+    shard-local; the driver merges each shard's ``(B_k,)`` round planes
+    into the global survivor order (one plane concat + gather), so the
+    pipeline, the transport, and ``decide_batch`` are unchanged.
+
+    Replay protection is exact: a given id always routes to the same
+    shard, so shard-local caches (pending sets included) see every copy.
+    Sealed payloads hide the id inside the box, so encrypted batches
+    all route to shard 0 — sharding currently buys nothing there
+    (documented limitation; an envelope header is the fix).
+
+    ``begin_run``/``end_run`` bracket a run: shards sync their epoch
+    clock from the logical server and mark their replay caches, run,
+    then fold their *delta* state (plane add, counter sums, replay-id
+    union) back into the logical server via
+    :meth:`PrioServer.fold_shard_state` — so ``publish()``, statistics,
+    and cross-run replay protection keep working unchanged.
+    """
+
+    def __init__(
+        self,
+        servers: "list[PrioServer]",
+        n_shards: int,
+        executor=None,
+        batch_size: int = 1,
+    ) -> None:
+        if n_shards < 1:
+            raise FanoutError("n_shards must be >= 1")
+        self.servers = servers
+        self.n_shards = n_shards
+        #: per logical server: its K shard servers (driver-side objects;
+        #: persistent across runs — they hold the shard replay slices)
+        self.shards: "list[list[PrioServer]]" = []
+        flat: "list[PrioServer]" = []
+        for server in servers:
+            shard_row = [server.make_shard() for _ in range(n_shards)]
+            # One-time partition of pre-existing replay ids, so replays
+            # of submissions seen before this fan-out existed are still
+            # caught at the shard that now owns their slice.
+            for sid in server._seen_ids:
+                shard_row[shard_of(sid, n_shards)]._replay.add(sid)
+            self.shards.append(shard_row)
+            flat.extend(shard_row)
+        self.inner, self._own_inner = resolve_fanout(
+            flat, executor, batch_size
+        )
+        self.kind = f"sharded({self.inner.kind}x{n_shards})"
+        #: per logical server: batch_id -> plan / group_id -> plan
+        self._plans: "list[dict[int, _ShardPlan]]" = [{} for _ in servers]
+        self._gplans: "list[dict[int, _ShardPlan]]" = [{} for _ in servers]
+        self._run_open = False
+        try:
+            self.begin_run()
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def degraded(self) -> bool:
+        return getattr(self.inner, "degraded", False)
+
+    # -- run lifecycle --------------------------------------------------
+
+    def begin_run(self) -> None:
+        for server, shard_row in zip(self.servers, self.shards):
+            for shard in shard_row:
+                server.sync_shard_epoch(shard)
+                shard.begin_run()
+        self.inner.begin_run()
+        self._run_open = True
+
+    def end_run(self) -> None:
+        # Pull worker-side state into the driver-side shard objects
+        # first (process inner; no-op for inline/thread).
+        self.inner.end_run()
+        if not self._run_open:
+            # Idempotence guard: a second fold would double-add the
+            # shard accumulators into the logical servers.
+            return
+        self._run_open = False
+        for server, shard_row in zip(self.servers, self.shards):
+            for shard in shard_row:
+                server.fold_shard_state(shard.snapshot_state())
+                shard.reset_run_deltas()
+
+    def close(self) -> None:
+        if self._own_inner:
+            self.inner.close()
+        for shard_row in self.shards:
+            for shard in shard_row:
+                shard._replay.close()
+
+    # -- the op seam ----------------------------------------------------
+
+    def call(self, s: int, op: str, *args):
+        calls, merge = self._plan(s, op, args)
+        futures = [
+            self.inner.call(s * self.n_shards + k, op, *shard_args)
+            for k, shard_args in calls
+        ]
+        return asyncio.ensure_future(self._finish(futures, merge))
+
+    async def _finish(self, futures, merge):
+        try:
+            results = await asyncio.gather(*futures, return_exceptions=True)
+        except asyncio.CancelledError:
+            for future in futures:
+                future.add_done_callback(_consume_exception)
+            raise
+        for result in results:
+            if isinstance(result, BaseException):
+                return_exceptions_error = result
+                break
+        else:
+            return merge(list(results))
+        raise return_exceptions_error
+
+    def call_sync(self, s: int, op: str, *args):
+        calls, merge = self._plan(s, op, args)
+        results = [
+            self.inner.call_sync(s * self.n_shards + k, op, *shard_args)
+            for k, shard_args in calls
+        ]
+        return merge(results)
+
+    def _plan(self, s: int, op: str, args):
+        """Partition one logical-server op into per-shard calls.
+
+        Returns ``(calls, merge)``: ``calls`` is ``[(shard_index,
+        shard_args), ...]`` and ``merge`` combines the per-shard
+        results (in ``calls`` order) into the logical result.  Planning
+        and merging are pure driver-side bookkeeping; every shard call
+        is dispatched before any result is awaited.
+        """
+        planner = getattr(self, "_plan_" + op, None)
+        if planner is None:
+            raise FanoutError(f"op not supported by the sharded fan-out: {op}")
+        return planner(s, *args)
+
+    # -- pipeline ops ---------------------------------------------------
+
+    def _route_positions(self, sids) -> "list[list[int]]":
+        positions: "list[list[int]]" = [[] for _ in range(self.n_shards)]
+        for pos, sid in enumerate(sids):
+            positions[shard_of(sid, self.n_shards)].append(pos)
+        return positions
+
+    def _receive_plan(self, s, batch_id, payloads, positions, extra):
+        plan = _ShardPlan(positions)
+        self._plans[s][batch_id] = plan
+        calls = [
+            (k, (batch_id, [payloads[p] for p in pos]) + extra)
+            for k, pos in enumerate(positions)
+            if pos
+        ]
+
+        def merge(results):
+            out = [None] * len(payloads)
+            for (k, _), shard_out in zip(calls, results):
+                for p, verdict in zip(positions[k], shard_out):
+                    out[p] = verdict
+            plan.ok = {p for p, v in enumerate(out) if v is None}
+            return out
+
+        return calls, merge
+
+    def _plan_receive(self, s, batch_id, payloads, encrypt):
+        if encrypt:
+            # Sealed blobs hide the submission id; only shard 0 can
+            # open them.  Correct, but unsharded in practice.
+            positions = [list(range(len(payloads)))]
+            positions += [[] for _ in range(self.n_shards - 1)]
+        else:
+            positions = self._route_positions(
+                [packet.submission_id for packet in payloads]
+            )
+        return self._receive_plan(
+            s, batch_id, payloads, positions, (encrypt,)
+        )
+
+    def _plan_receive_wire(self, s, batch_id, payloads):
+        # Raw frames: the id sits at a fixed header offset.  Too-short
+        # frames route to shard 0, whose receive rejects them with the
+        # same WireError the unsharded path raises.
+        positions = self._route_positions(
+            [bytes(data[_WIRE_SID_START:_WIRE_SID_END]) for data in payloads]
+        )
+        return self._receive_plan(s, batch_id, payloads, positions, ())
+
+    def _plan_ingest(self, s, batch_id, keep):
+        plan = self._plans[s][batch_id]
+        keep_set = set(keep)
+        calls = []
+        survivor_positions: "list[list[int]]" = []
+        plan.shard_order = []
+        for k, pos in enumerate(plan.positions):
+            if not pos:
+                continue
+            local_keep = [
+                i for i, g in enumerate(pos)
+                if g in keep_set and g in plan.ok
+            ]
+            calls.append((k, (batch_id, local_keep)))
+            if local_keep:
+                plan.shard_order.append(k)
+                survivor_positions.append([pos[i] for i in local_keep])
+        # Global survivor order is ascending stream position — exactly
+        # what the unsharded server produces.  Store each shard's
+        # survivor *ranks* in that order for the round merge/split.
+        flat = [g for group in survivor_positions for g in group]
+        order = sorted(range(len(flat)), key=flat.__getitem__)
+        rank_of = [0] * len(flat)
+        for rank, i in enumerate(order):
+            rank_of[i] = rank
+        plan.ranks = []
+        offset = 0
+        for group in survivor_positions:
+            plan.ranks.append(rank_of[offset:offset + len(group)])
+            offset += len(group)
+        plan.n_survivors = len(flat)
+        if not plan.shard_order:
+            # No survivors anywhere: every shard's ingest settles its
+            # sub-batch (the unsharded op deletes the batch likewise).
+            del self._plans[s][batch_id]
+        return calls, lambda results: None
+
+    def _merge_round(self, s, plan, parts, build):
+        server = self.servers[s]
+        force = server.force_pure_backend
+        inv = [0] * plan.n_survivors
+        for i, rank in enumerate(
+            r for ranks in plan.ranks for r in ranks
+        ):
+            inv[rank] = i
+        first = concat_vectors(
+            server.field, [p[0] for p in parts], force
+        ).take_elements(inv)
+        second = concat_vectors(
+            server.field, [p[1] for p in parts], force
+        ).take_elements(inv)
+        return build(first, second)
+
+    def _plan_round1(self, s, batch_id):
+        plan = self._plans[s][batch_id]
+        calls = [(k, (batch_id,)) for k in plan.shard_order]
+
+        def merge(results):
+            return self._merge_round(
+                s, plan,
+                [(batch.d, batch.e) for batch in results],
+                lambda d, e: Round1Batch(d=d, e=e),
+            )
+
+        return calls, merge
+
+    def _split_round1(self, round1_batches, indices):
+        return [
+            Round1Batch(
+                d=batch.d.take_elements(indices),
+                e=batch.e.take_elements(indices),
+            )
+            for batch in round1_batches
+        ]
+
+    def _plan_round2(self, s, batch_id, round1_batches):
+        plan = self._plans[s][batch_id]
+        calls = [
+            (k, (batch_id, self._split_round1(round1_batches, indices)))
+            for k, indices in zip(plan.shard_order, plan.ranks)
+        ]
+
+        def merge(results):
+            return self._merge_round(
+                s, plan,
+                [(batch.sigma, batch.assertion) for batch in results],
+                lambda sg, an: Round2Batch(sigma=sg, assertion=an),
+            )
+
+        return calls, merge
+
+    def _plan_accumulate(self, s, batch_id, decisions):
+        plan = self._plans[s][batch_id]
+        calls = [
+            (k, (batch_id, [decisions[r] for r in indices]))
+            for k, indices in zip(plan.shard_order, plan.ranks)
+        ]
+
+        def merge(results):
+            self._plans[s].pop(batch_id, None)
+            return None
+
+        return calls, merge
+
+    def _settle_plan(self, s, op, batch_id):
+        # Cleanup sweeps go to every shard: the per-shard op tolerates
+        # unknown batch ids, and a partially-dispatched batch may be
+        # open at any subset of them.
+        self._plans[s].pop(batch_id, None)
+        calls = [(k, (batch_id,)) for k in range(self.n_shards)]
+        return calls, lambda results: None
+
+    def _plan_reject_all(self, s, batch_id):
+        return self._settle_plan(s, "reject_all", batch_id)
+
+    def _plan_abandon_all(self, s, batch_id):
+        return self._settle_plan(s, "abandon_all", batch_id)
+
+    def _plan_abandon_open(self, s):
+        self._plans[s].clear()
+        self._gplans[s].clear()
+        calls = [(k, ()) for k in range(self.n_shards)]
+        return calls, lambda results: None
+
+    # -- cluster (group) ops -------------------------------------------
+
+    def _plan_receive_one(self, s, packet):
+        k = shard_of(packet.submission_id, self.n_shards)
+        return [(k, (packet,))], lambda results: results[0]
+
+    def _plan_begin_group(self, s, gid, sids):
+        sids = list(sids)
+        positions = self._route_positions(sids)
+        plan = _ShardPlan(positions)
+        plan.n_survivors = len(sids)
+        calls = []
+        for k, pos in enumerate(positions):
+            if not pos:
+                continue
+            plan.shard_order.append(k)
+            plan.ranks.append(pos)     # caller order == global rank
+            calls.append((k, (gid, [sids[i] for i in pos])))
+        self._gplans[s][gid] = plan
+
+        def merge(results):
+            return self._merge_round(
+                s, plan,
+                [(batch.d, batch.e) for batch in results],
+                lambda d, e: Round1Batch(d=d, e=e),
+            )
+
+        return calls, merge
+
+    def _plan_finish_group(self, s, gid, round1_batches):
+        plan = self._gplans[s][gid]
+        calls = [
+            (k, (gid, self._split_round1(round1_batches, indices)))
+            for k, indices in zip(plan.shard_order, plan.ranks)
+        ]
+
+        def merge(results):
+            return self._merge_round(
+                s, plan,
+                [(batch.sigma, batch.assertion) for batch in results],
+                lambda sg, an: Round2Batch(sigma=sg, assertion=an),
+            )
+
+        return calls, merge
+
+    def _plan_settle_group(self, s, gid, decisions):
+        plan = self._gplans[s][gid]
+        calls = [
+            (k, (gid, [decisions[r] for r in indices]))
+            for k, indices in zip(plan.shard_order, plan.ranks)
+        ]
+
+        def merge(results):
+            self._gplans[s].pop(gid, None)
+            return None
+
+        return calls, merge
+
+
+# ----------------------------------------------------------------------
 # Selection
 # ----------------------------------------------------------------------
 
@@ -537,15 +966,19 @@ def resolve_fanout(
     servers: "list[PrioServer]",
     executor=None,
     batch_size: int = 1,
+    n_shards: int = 1,
 ) -> "tuple[ServerFanout, bool]":
     """Resolve the ``executor`` knob to a backend instance.
 
     Accepts ``None`` (the PR-3 default: threads, or inline on a
-    single-CPU host), one of :data:`EXECUTOR_KINDS`, a ready
-    :class:`ServerFanout` (reused verbatim — the caller owns it), or a
-    plain ``concurrent.futures`` executor (wrapped, caller-owned).
-    Returns ``(fanout, owned)``; the pipeline closes only backends it
-    owns.
+    single-CPU host), one of :data:`EXECUTOR_KINDS` — optionally with a
+    ``":K"`` shard-count suffix (``"process:4"`` = four sharded workers
+    of that kind per logical server) — a ready :class:`ServerFanout`
+    (reused verbatim — the caller owns it), or a plain
+    ``concurrent.futures`` executor (wrapped, caller-owned).  Returns
+    ``(fanout, owned)``; the pipeline closes only backends it owns.
+    ``n_shards > 1`` wraps the resolved kind in a
+    :class:`ShardedFanout` the same way the suffix does.
 
     ``"process"`` falls back to the thread backend automatically when
     worker processes cannot be created (restricted sandboxes, missing
@@ -554,6 +987,31 @@ def resolve_fanout(
     :data:`AUTO_PROCESS_MIN_BATCH` — below that, per-op
     process-crossing overhead outweighs what the GIL was costing.
     """
+    if isinstance(executor, str) and ":" in executor:
+        kind, _, count = executor.partition(":")
+        try:
+            suffix_shards = int(count)
+        except ValueError:
+            raise FanoutError(
+                f"bad shard count in executor spec: {executor!r}"
+            ) from None
+        if n_shards != 1 and n_shards != suffix_shards:
+            raise FanoutError(
+                f"executor spec {executor!r} conflicts with "
+                f"n_shards={n_shards}"
+            )
+        executor, n_shards = kind, suffix_shards
+    if n_shards != 1:
+        if n_shards < 1:
+            raise FanoutError("n_shards must be >= 1")
+        if isinstance(executor, ServerFanout):
+            raise FanoutError(
+                "cannot shard a ready ServerFanout instance; pass an "
+                'executor kind (e.g. "process:4") instead'
+            )
+        return ShardedFanout(
+            servers, n_shards, executor, batch_size
+        ), True
     if isinstance(executor, ServerFanout):
         return executor, False
     if executor is None:

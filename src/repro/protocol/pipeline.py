@@ -123,6 +123,7 @@ class AsyncPrioPipeline:
         queue_depth: int = 2,
         executor: "str | ServerFanout | ThreadPoolExecutor | None" = None,
         encrypt: bool = False,
+        n_shards: int = 1,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -133,6 +134,9 @@ class AsyncPrioPipeline:
         self.queue_depth = queue_depth
         self.executor = executor
         self.encrypt = encrypt
+        #: shard each logical server across this many workers of the
+        #: selected executor kind (equivalent to a ``"kind:K"`` spec)
+        self.n_shards = n_shards
         self.stats = PipelineStats()
         #: True while the verify stage is mid-batch (stage-overlap probe)
         self._verifying = False
@@ -191,7 +195,7 @@ class AsyncPrioPipeline:
         self._next_batch_id = 0
         results: "list[bool]" = [False] * len(submissions)
         fanout, owned = resolve_fanout(
-            self.servers, self.executor, self.batch_size
+            self.servers, self.executor, self.batch_size, self.n_shards
         )
         self.stats.executor = fanout.kind
         synced = True
@@ -456,13 +460,15 @@ def run_pipelined(
     queue_depth: int = 2,
     encrypt: bool = False,
     executor: "str | ServerFanout | ThreadPoolExecutor | None" = None,
+    n_shards: int = 1,
 ) -> tuple[list[bool], PipelineStats]:
     """One-call pipeline run over prepared submissions.
 
     Returns ``(decisions, stats)`` with one decision per submission in
     stream order — the async counterpart of calling
     ``deliver_batch`` chunk by chunk.  ``executor`` selects the
-    per-server backend (see :class:`AsyncPrioPipeline`).
+    per-server backend and ``n_shards`` the per-server worker shard
+    count (see :class:`AsyncPrioPipeline`).
     """
     pipeline = AsyncPrioPipeline(
         servers,
@@ -470,6 +476,7 @@ def run_pipelined(
         queue_depth=queue_depth,
         executor=executor,
         encrypt=encrypt,
+        n_shards=n_shards,
     )
     decisions = pipeline.run(submissions)
     return decisions, pipeline.stats

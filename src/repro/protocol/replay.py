@@ -1,0 +1,390 @@
+"""Pluggable replay-id caches for the Prio servers.
+
+The paper notes Prio packets "can be replay-protected at the servers";
+until this module that protection was a single in-memory Python
+``set`` per server — perfectly adequate for tests, hopeless for the
+succinct-sketches regime of tens of millions of users, where the seen
+set alone would cost multiple GB of pointer-heavy Python objects and
+would be re-pickled whole on every process-fan-out state merge.
+
+:class:`ReplayCache` is the seam :class:`~repro.protocol.server
+.PrioServer` now speaks.  Two implementations ship:
+
+:class:`InMemoryReplayCache`
+    A thin wrapper over the original ``set`` — the test/reference
+    implementation, byte-for-byte the old behavior.
+
+:class:`TieredReplayCache`
+    A bounded hot L1 (insertion-ordered dict of the most recently
+    added ids) over a SQLite-backed L2 on disk.  When L1 overflows,
+    the oldest ids spill to L2 in one batched write; membership checks
+    hit L1 first and fall through to an indexed L2 lookup.  Sized for
+    tens of millions of ids: L1 costs Python-set rates (~100 B/id all
+    in) only for the configured hot window, L2 costs SQLite b-tree
+    rates (~32 B/id on disk) for everything else, and nothing is ever
+    lost — eviction moves ids between tiers, never drops them.
+
+Both implementations share the **incremental snapshot** protocol the
+fan-out backends rely on: :meth:`ReplayCache.mark` starts a run,
+:meth:`ReplayCache.delta` returns exactly the ids added since the
+mark, and :meth:`ReplayCache.update` merges a delta in.  A long-lived
+sharded deployment therefore ships per-run deltas across process
+boundaries, not the full multi-million-id history (the PR-4 snapshot
+path re-pickled the entire seen set on every run-end merge).
+
+Caches pickle for the process fan-out: the in-memory cache pickles its
+set; the tiered cache pickles its L1 and the L2 *path* — the worker
+process reopens the same database file, so L2 contents never cross the
+boundary at all.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+import threading
+
+__all__ = [
+    "InMemoryReplayCache",
+    "ReplayCache",
+    "ReplayCacheError",
+    "TieredReplayCache",
+    "resolve_replay_cache",
+]
+
+
+class ReplayCacheError(ValueError):
+    """Raised for an unknown replay-cache selection."""
+
+
+class ReplayCache:
+    """The replay-protection contract a Prio server drives.
+
+    Semantically a grow-only set of submission ids (``bytes``) with a
+    run-delta protocol on top.  Implementations must be picklable (the
+    process fan-out ships servers — and therefore their caches — into
+    worker processes) and safe to call from executor threads (the
+    thread fan-out runs server ops on a pool).
+    """
+
+    # -- membership -----------------------------------------------------
+
+    def __contains__(self, sid: bytes) -> bool:
+        raise NotImplementedError
+
+    def add(self, sid: bytes) -> None:
+        raise NotImplementedError
+
+    def update(self, sids) -> None:
+        for sid in sids:
+            self.add(sid)
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __iter__(self):
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    # -- run deltas (the incremental-snapshot seam) ---------------------
+
+    def mark(self) -> None:
+        """Begin a run: subsequent :meth:`delta` calls report only ids
+        added after this point.  Re-marking resets the window."""
+        raise NotImplementedError
+
+    def delta(self) -> "set[bytes]":
+        """Ids added since the last :meth:`mark` (all ids if never
+        marked) — the only replay state a run-end merge must ship."""
+        raise NotImplementedError
+
+    # -- lifecycle ------------------------------------------------------
+
+    def spawn(self) -> "ReplayCache":
+        """A fresh, empty cache of the same configuration (per-shard
+        caches are spawned from the logical server's)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        return None
+
+
+class InMemoryReplayCache(ReplayCache):
+    """The original per-server ``set``, behind the pluggable seam."""
+
+    def __init__(self, ids=()) -> None:
+        self._ids: set[bytes] = set(ids)
+        self._delta: "set[bytes] | None" = None
+
+    def __contains__(self, sid: bytes) -> bool:
+        return sid in self._ids
+
+    def add(self, sid: bytes) -> None:
+        self._ids.add(sid)
+        if self._delta is not None:
+            self._delta.add(sid)
+
+    def update(self, sids) -> None:
+        sids = set(sids)
+        self._ids |= sids
+        if self._delta is not None:
+            self._delta |= sids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self):
+        return iter(self._ids)
+
+    def clear(self) -> None:
+        self._ids.clear()
+        if self._delta is not None:
+            self._delta = set()
+
+    def mark(self) -> None:
+        self._delta = set()
+
+    def delta(self) -> "set[bytes]":
+        if self._delta is None:
+            return set(self._ids)
+        return set(self._delta)
+
+    def spawn(self) -> "InMemoryReplayCache":
+        return InMemoryReplayCache()
+
+
+class TieredReplayCache(ReplayCache):
+    """Bounded hot L1 over a SQLite L2 — replay protection at scale.
+
+    ``l1_capacity`` bounds the in-process id set; beyond it, the
+    oldest quarter of L1 spills to the ``path`` database in a single
+    batched transaction (insertion order approximates recency for a
+    replay cache: honest replays cluster near their original
+    submission, so the hot window catches the common case without
+    touching disk).  ``path=None`` creates a private temp file removed
+    by :meth:`close`.
+
+    Memory math (the sizing note in ``benchmarks/README.md``): a
+    Python ``set`` of 16-byte ids costs ~100 B/id (bytes object +
+    hash-table slot), so 10^7 ids ≈ 1 GB resident; L2 stores the same
+    ids as a SQLite ``BLOB PRIMARY KEY`` b-tree at ~32 B/id on disk,
+    so the same 10^7 ids ≈ 320 MB of disk and a handful of MB of page
+    cache.  With the default 10^6-id L1 a server absorbs tens of
+    millions of users in bounded memory.
+    """
+
+    def __init__(
+        self,
+        l1_capacity: int = 1_000_000,
+        path: "str | None" = None,
+    ) -> None:
+        if l1_capacity < 1:
+            raise ReplayCacheError("l1_capacity must be >= 1")
+        self.l1_capacity = l1_capacity
+        if path is None:
+            fd, path = tempfile.mkstemp(
+                prefix="prio-replay-", suffix=".sqlite"
+            )
+            os.close(fd)
+            self._owns_path = True
+        else:
+            self._owns_path = False
+        self.path = path
+        #: insertion-ordered hot tier (dict keys preserve order)
+        self._l1: "dict[bytes, None]" = {}
+        self._delta: "set[bytes] | None" = None
+        self._lock = threading.Lock()
+        self._conn: "sqlite3.Connection | None" = None
+        #: observability counters (the contract tests pin eviction
+        #: behavior through these)
+        self.n_evicted = 0
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.misses = 0
+        self._init_db()
+
+    # -- L2 plumbing ----------------------------------------------------
+
+    def _init_db(self) -> None:
+        conn = sqlite3.connect(self.path, check_same_thread=False)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=OFF")
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS seen_ids (id BLOB PRIMARY KEY)"
+            " WITHOUT ROWID"
+        )
+        conn.commit()
+        self._conn = conn
+
+    def _db(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self._init_db()
+        return self._conn
+
+    def _spill(self) -> None:
+        """Move the oldest quarter of L1 into L2 (one transaction)."""
+        n_evict = max(1, self.l1_capacity // 4)
+        victims = []
+        for sid in self._l1:
+            victims.append(sid)
+            if len(victims) >= n_evict:
+                break
+        conn = self._db()
+        conn.executemany(
+            "INSERT OR IGNORE INTO seen_ids (id) VALUES (?)",
+            [(sid,) for sid in victims],
+        )
+        conn.commit()
+        for sid in victims:
+            del self._l1[sid]
+        self.n_evicted += len(victims)
+
+    def _l2_contains(self, sid: bytes) -> bool:
+        row = self._db().execute(
+            "SELECT 1 FROM seen_ids WHERE id = ? LIMIT 1", (sid,)
+        ).fetchone()
+        return row is not None
+
+    # -- ReplayCache ----------------------------------------------------
+
+    def __contains__(self, sid: bytes) -> bool:
+        with self._lock:
+            if sid in self._l1:
+                self.l1_hits += 1
+                return True
+            if self._l2_contains(sid):
+                self.l2_hits += 1
+                return True
+            self.misses += 1
+            return False
+
+    def add(self, sid: bytes) -> None:
+        with self._lock:
+            self._add_locked(sid)
+
+    def _add_locked(self, sid: bytes) -> None:
+        if sid not in self._l1:
+            self._l1[sid] = None
+            if len(self._l1) > self.l1_capacity:
+                self._spill()
+        if self._delta is not None:
+            self._delta.add(sid)
+
+    def update(self, sids) -> None:
+        with self._lock:
+            for sid in sids:
+                self._add_locked(sid)
+
+    def __len__(self) -> int:
+        with self._lock:
+            (n_l2,) = self._db().execute(
+                "SELECT COUNT(*) FROM seen_ids"
+            ).fetchone()
+            # Ids can live in both tiers (update() of a spilled id);
+            # count the overlap in bounded-parameter chunks.
+            n_both = 0
+            l1_ids = list(self._l1)
+            for start in range(0, len(l1_ids), 500):
+                chunk = l1_ids[start:start + 500]
+                marks = ",".join("?" for _ in chunk)
+                (n,) = self._db().execute(
+                    f"SELECT COUNT(*) FROM seen_ids WHERE id IN ({marks})",
+                    chunk,
+                ).fetchone()
+                n_both += n
+            return len(self._l1) + n_l2 - n_both
+
+    def __iter__(self):
+        with self._lock:
+            ids = dict(self._l1)
+            for (sid,) in self._db().execute("SELECT id FROM seen_ids"):
+                ids[bytes(sid)] = None
+        return iter(list(ids))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._l1.clear()
+            self._db().execute("DELETE FROM seen_ids")
+            self._db().commit()
+            if self._delta is not None:
+                self._delta = set()
+
+    def mark(self) -> None:
+        with self._lock:
+            self._delta = set()
+
+    def delta(self) -> "set[bytes]":
+        with self._lock:
+            if self._delta is not None:
+                return set(self._delta)
+        return set(self)
+
+    def spawn(self) -> "TieredReplayCache":
+        return TieredReplayCache(l1_capacity=self.l1_capacity)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+            if self._owns_path and os.path.exists(self.path):
+                try:
+                    os.unlink(self.path)
+                    for suffix in ("-wal", "-shm"):
+                        side = self.path + suffix
+                        if os.path.exists(side):
+                            os.unlink(side)
+                except OSError:
+                    pass
+
+    # -- pickling (the process-fan-out crossing) ------------------------
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            # Make sure the worker-side reopen sees every spilled id:
+            # WAL content is shared through the file system, but an
+            # un-committed transaction would not be.  (All writes
+            # commit eagerly, so this is belt and braces.)
+            if self._conn is not None:
+                self._conn.commit()
+            return {
+                "l1_capacity": self.l1_capacity,
+                "path": self.path,
+                "l1": list(self._l1),
+                "delta": None if self._delta is None else set(self._delta),
+                "n_evicted": self.n_evicted,
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.l1_capacity = state["l1_capacity"]
+        self.path = state["path"]
+        #: an unpickled copy never owns the backing file — the
+        #: driver-side original does; a worker must not unlink it
+        self._owns_path = False
+        self._l1 = dict.fromkeys(state["l1"])
+        self._delta = state["delta"]
+        self._lock = threading.Lock()
+        self._conn = None
+        self.n_evicted = state["n_evicted"]
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.misses = 0
+
+
+def resolve_replay_cache(spec) -> ReplayCache:
+    """Resolve the server's ``replay_cache`` knob.
+
+    ``None`` or ``"memory"`` give the in-memory reference cache;
+    ``"tiered"`` a default-sized :class:`TieredReplayCache`; a ready
+    :class:`ReplayCache` instance passes through.
+    """
+    if spec is None or spec == "memory":
+        return InMemoryReplayCache()
+    if spec == "tiered":
+        return TieredReplayCache()
+    if isinstance(spec, ReplayCache):
+        return spec
+    raise ReplayCacheError(f"unknown replay cache selection: {spec!r}")

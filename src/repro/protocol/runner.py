@@ -84,17 +84,28 @@ class PrioDeployment:
         force_pure_backend: bool | None = None,
         rng=None,
         executor=None,
+        replay_cache=None,
     ) -> "PrioDeployment":
         """``batch_size`` makes servers accumulate and verify submissions
         in batches of that size (``submit_many`` chunks accordingly);
         decisions and statistics remain per submission.  ``executor``
         selects the pipelined paths' per-server execution backend
-        (``"thread"``/``"process"``/``"inline"``/``"auto"``; see
-        :mod:`repro.protocol.fanout`)."""
+        (``"thread"``/``"process"``/``"inline"``/``"auto"``, optionally
+        with a ``":K"`` shard suffix; see :mod:`repro.protocol.fanout`).
+        ``replay_cache`` selects each server's replay store
+        (``"memory"``/``"tiered"``; see :mod:`repro.protocol.replay`) —
+        only a string spec is accepted here because every server needs
+        its own independent cache."""
         if n_servers < 2:
             raise ProtocolError("Prio needs at least two servers")
         if batch_size < 1:
             raise ProtocolError("batch_size must be >= 1")
+        if replay_cache is not None and not isinstance(replay_cache, str):
+            raise ProtocolError(
+                "replay_cache must be a string spec here (each server "
+                "needs its own cache instance); pass instances to "
+                "PrioServer directly"
+            )
         if rng is None:
             rng = _random.Random(os.urandom(16))
         randomness = ServerRandomness(seed or rng.randbytes(16))
@@ -108,6 +119,7 @@ class PrioDeployment:
                 afe, i, n_servers, randomness,
                 epoch_size=epoch_size, box_keypair=box_keypairs[i],
                 force_pure_backend=force_pure_backend,
+                replay_cache=replay_cache,
             )
             for i in range(n_servers)
         ]
@@ -141,10 +153,14 @@ class PrioDeployment:
         return self.executor
 
     def close(self) -> None:
-        """Release any worker pools the deployment created (idempotent)."""
+        """Release any worker pools the deployment created, plus each
+        server's replay cache (tiered caches own on-disk databases);
+        idempotent."""
         if self._fanout is not None:
             self._fanout.close()
             self._fanout = None
+        for server in self.servers:
+            server._replay.close()
 
     def __enter__(self) -> "PrioDeployment":
         return self

@@ -28,6 +28,7 @@ from repro.field.batch import (
     tiny_batch_force_pure,
 )
 from repro.field.prime_field import FieldError
+from repro.protocol.replay import ReplayCache, resolve_replay_cache
 from repro.protocol.wire import ClientPacket, PacketKind, WireError
 from repro.sharing.prg import SEED_SIZE, expand_seed, expand_seed_batch
 from repro.snip.proof import SnipProofShare, proof_num_elements
@@ -129,6 +130,7 @@ class PrioServer:
         epoch_size: int = 1024,
         box_keypair: BoxKeyPair | None = None,
         force_pure_backend: bool | None = None,
+        replay_cache: "ReplayCache | str | None" = None,
     ) -> None:
         self.afe = afe
         self.field = afe.field
@@ -152,16 +154,25 @@ class PrioServer:
         self.n_accepted = 0
         self.n_rejected = 0
         self.n_replayed = 0
-        self._seen_ids: set[bytes] = set()
+        #: replay protection behind the pluggable cache seam
+        #: (:mod:`repro.protocol.replay`): the in-memory reference
+        #: implementation by default, a tiered L1/L2 cache at scale
+        self._replay: ReplayCache = resolve_replay_cache(replay_cache)
         #: ids received but not yet accumulated/rejected — closes the
         #: replay window *inside* a verification batch, where the first
-        #: copy has not reached ``_seen_ids`` yet
+        #: copy has not reached the replay cache yet
         self._pending_ids: set[bytes] = set()
         self._submissions_this_epoch = 0
         self._epoch = 0
         self._ctx: VerificationContext | None = None
         #: server-to-server field elements broadcast (Figure 6 metric)
         self.elements_broadcast = 0
+
+    @property
+    def _seen_ids(self) -> ReplayCache:
+        """Compatibility view of the replay cache (``in``, ``len``,
+        iteration, ``clear`` — everything the old ``set`` offered)."""
+        return self._replay
 
     @property
     def accumulator(self) -> list[int]:
@@ -576,19 +587,19 @@ class PrioServer:
     def _note_accepted(self, pending: PendingSubmission) -> None:
         """Post-accumulation bookkeeping (shared by both Aggregate paths).
 
-        Order matters: the id enters ``_seen_ids`` *before* leaving
+        Order matters: the id enters the replay cache *before* leaving
         ``_pending_ids``, so a concurrent replay check (the async
         pipeline receives batch ``N+1`` on executor threads while batch
         ``N`` accumulates) always sees it in at least one set.
         """
-        self._seen_ids.add(pending.submission_id)
+        self._replay.add(pending.submission_id)
         self._pending_ids.discard(pending.submission_id)
         self._submissions_this_epoch += 1
         self.n_accepted += 1
         pending.release()
 
     def reject(self, pending: PendingSubmission) -> None:
-        self._seen_ids.add(pending.submission_id)
+        self._replay.add(pending.submission_id)
         self._pending_ids.discard(pending.submission_id)
         self._submissions_this_epoch += 1
         self.n_rejected += 1
@@ -637,6 +648,17 @@ class PrioServer:
     # State residency (the multi-process fan-out seam)
     # ------------------------------------------------------------------
 
+    def begin_run(self) -> None:
+        """Mark the start of a fan-out run.
+
+        Snapshots taken after this point ship only the replay-cache
+        *delta* — the ids added during the run — instead of the full
+        multi-million-id history.  The process fan-out calls this when
+        it installs a server in a worker; callers that never call it
+        get full snapshots (the safe fallback).
+        """
+        self._replay.mark()
+
     def snapshot_state(self) -> dict:
         """Everything a run mutates, in one picklable snapshot.
 
@@ -646,14 +668,16 @@ class PrioServer:
         snapshot back into the driver-side object afterward — the
         accumulator crosses as its limb plane
         (:class:`~repro.field.batch.BatchVector` pickles the int64
-        plane buffer; no per-element Python-int round trip).
+        plane buffer; no per-element Python-int round trip).  Replay
+        state crosses as the delta since :meth:`begin_run`, never the
+        whole seen set.
         """
         return {
             "accumulator_plane": self._accumulator,
             "n_accepted": self.n_accepted,
             "n_rejected": self.n_rejected,
             "n_replayed": self.n_replayed,
-            "seen_ids": set(self._seen_ids),
+            "seen_delta": self._replay.delta(),
             "pending_ids": set(self._pending_ids),
             "submissions_this_epoch": self._submissions_this_epoch,
             "epoch": self._epoch,
@@ -663,6 +687,12 @@ class PrioServer:
     def restore_state(self, state: dict) -> None:
         """Adopt a :meth:`snapshot_state` snapshot (inverse operation).
 
+        Counters and planes are absolute (the snapshotting side held
+        the full state); replay ids merge as a delta — the driver-side
+        cache already holds everything from before the run.  A legacy
+        ``seen_ids`` snapshot (full set) replaces the cache contents
+        instead.
+
         Drops the cached verification context: the epoch may have
         advanced elsewhere, and contexts re-derive deterministically
         from the shared randomness.
@@ -671,12 +701,92 @@ class PrioServer:
         self.n_accepted = state["n_accepted"]
         self.n_rejected = state["n_rejected"]
         self.n_replayed = state["n_replayed"]
-        self._seen_ids = set(state["seen_ids"])
+        if "seen_delta" in state:
+            self._replay.update(state["seen_delta"])
+        else:
+            self._replay.clear()
+            self._replay.update(state["seen_ids"])
         self._pending_ids = set(state["pending_ids"])
         self._submissions_this_epoch = state["submissions_this_epoch"]
         self._epoch = state["epoch"]
         self.elements_broadcast = state["elements_broadcast"]
         self._ctx = None
+
+    # ------------------------------------------------------------------
+    # Sharding (the per-server worker fan-out seam)
+    # ------------------------------------------------------------------
+
+    def make_shard(self) -> "PrioServer":
+        """A fresh server of identical configuration and empty state.
+
+        :class:`~repro.protocol.fanout.ShardedFanout` gives each
+        logical server K of these; every shard owns its slice of the
+        submission-id space (stable hash partition), so shard-local
+        replay caches — spawned from this server's, hence the same
+        tier configuration — give complete replay protection.
+        """
+        return PrioServer(
+            self.afe,
+            self.server_index,
+            self.n_servers,
+            self.randomness,
+            epoch_size=self.epoch_size,
+            box_keypair=self.box_keypair,
+            force_pure_backend=self.force_pure_backend,
+            replay_cache=self._replay.spawn(),
+        )
+
+    def sync_shard_epoch(self, shard: "PrioServer") -> None:
+        """Align a shard's epoch clock with this logical server's."""
+        shard._epoch = self._epoch
+        shard._submissions_this_epoch = self._submissions_this_epoch
+        shard._ctx = None
+
+    def fold_shard_state(self, state: dict) -> None:
+        """Merge one shard's *delta* snapshot into this logical server.
+
+        Unlike :meth:`restore_state` (absolute counters from a worker
+        that held the full state), a shard starts each run zeroed, so
+        its counters, accumulator plane, and broadcast tally are pure
+        deltas and *add*; replay ids union in; epoch position advances
+        by the shard's submission count (all shards share the logical
+        server's epoch schedule, synced at run start).
+        """
+        plane = state["accumulator_plane"]
+        if plane.backend != self._accumulator.backend:
+            plane = BatchVector.from_ints(
+                self.field, plane.to_ints(), self._accumulator.force_pure
+            )
+        self._accumulator = self._accumulator + plane
+        self.n_accepted += state["n_accepted"]
+        self.n_rejected += state["n_rejected"]
+        self.n_replayed += state["n_replayed"]
+        self._replay.update(state["seen_delta"])
+        self._pending_ids |= state["pending_ids"]
+        # Advance the epoch position by the shard's settled count;
+        # rotation itself stays lazy in ``_context()`` (which resets
+        # the counter to zero on overshoot), exactly as unsharded.
+        self._submissions_this_epoch += state["n_accepted"] + state["n_rejected"]
+        self.elements_broadcast += state["elements_broadcast"]
+        self._ctx = None
+
+    def reset_run_deltas(self) -> None:
+        """Zero the fold-as-delta state after a shard fold.
+
+        Shard servers call this after each :meth:`fold_shard_state`
+        so their next snapshot is again a pure per-run delta.  The
+        replay cache is deliberately untouched — it stays the
+        authoritative record of this shard's id slice across runs.
+        """
+        self._accumulator = BatchVector.zeros(
+            self.field, (self.afe.k_prime,),
+            tiny_batch_force_pure(self.afe.k_prime, self.force_pure_backend),
+        )
+        self.n_accepted = 0
+        self.n_rejected = 0
+        self.n_replayed = 0
+        self.elements_broadcast = 0
+        self._pending_ids = set()
 
     def publish(self) -> list[int]:
         """Release the accumulator (step 4); safe by construction.

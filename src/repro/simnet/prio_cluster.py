@@ -36,6 +36,7 @@ long until a submission is fully verified across five regions?).
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass, field as dc_field
 
 from repro.afe.base import Afe
@@ -108,19 +109,19 @@ class _ServerNode:
         self.decisions: dict[bytes, bool] = {}
         self.decision_times: list[float] = []
 
-    def handle(self, net: SimNetwork, src: int, message: tuple) -> None:
+    async def handle(self, net: SimNetwork, src: int, message: tuple) -> None:
         kind = message[0]
         if kind == "upload":
-            self._on_upload(net, message[1])
+            await self._on_upload(net, message[1])
         elif kind == "r1":
-            self._on_round1(net, *message[1:])
+            await self._on_round1(net, *message[1:])
         elif kind == "r2":
-            self._on_round2(net, *message[1:])
+            await self._on_round2(net, *message[1:])
 
     # ------------------------------------------------------------------
 
-    def _on_upload(self, net: SimNetwork, packet) -> None:
-        sid = self.fanout.call_sync(self.index, "receive_one", packet)
+    async def _on_upload(self, net: SimNetwork, packet) -> None:
+        sid = await self.fanout.call(self.index, "receive_one", packet)
         self.uploads_received += 1
         self._buffer.append(sid)
         # Close the group when full — or when no further uploads can
@@ -129,9 +130,9 @@ class _ServerNode:
             len(self._buffer) >= self.batch_size
             or self.uploads_received == self.expected_uploads
         ):
-            self._form_group(net)
+            await self._form_group(net)
 
-    def _form_group(self, net: SimNetwork) -> None:
+    async def _form_group(self, net: SimNetwork) -> None:
         sids = tuple(self._buffer)
         self._buffer.clear()
         gid = self._next_group
@@ -146,7 +147,7 @@ class _ServerNode:
                 raise SimError(f"group {gid} membership disagreement")
             state.sids = sids
         state.formed = True
-        round1 = self.fanout.call_sync(self.index, "begin_group", gid, sids)
+        round1 = await self.fanout.call(self.index, "begin_group", gid, sids)
         state.round1[self.index] = round1
         # The broadcast carries the plane-form batch; the byte cost on
         # the simulated wire is unchanged (two elements per submission).
@@ -155,7 +156,7 @@ class _ServerNode:
             ("r1", gid, sids, self.index, round1),
             2 * self.element_bytes * len(sids),
         )
-        self._maybe_round2(net, gid, state)
+        await self._maybe_round2(net, gid, state)
 
     def _require_group(
         self, gid: int, sids: tuple[bytes, ...]
@@ -169,14 +170,14 @@ class _ServerNode:
             raise SimError(f"group {gid} membership disagreement")
         return state
 
-    def _on_round1(
+    async def _on_round1(
         self, net: SimNetwork, gid: int, sids, src_index: int, msgs
     ) -> None:
         state = self._require_group(gid, sids)
         state.round1[src_index] = msgs
-        self._maybe_round2(net, gid, state)
+        await self._maybe_round2(net, gid, state)
 
-    def _maybe_round2(
+    async def _maybe_round2(
         self, net: SimNetwork, gid: int, state: _GroupState
     ) -> None:
         if (
@@ -188,7 +189,7 @@ class _ServerNode:
         round1_batches = [
             state.round1[s] for s in range(self.n_servers)
         ]
-        round2 = self.fanout.call_sync(
+        round2 = await self.fanout.call(
             self.index, "finish_group", gid, round1_batches
         )
         state.round2_sent = True
@@ -198,16 +199,16 @@ class _ServerNode:
             ("r2", gid, state.sids, self.index, round2),
             2 * self.element_bytes * len(state.sids),
         )
-        self._maybe_decide(net, gid, state)
+        await self._maybe_decide(net, gid, state)
 
-    def _on_round2(
+    async def _on_round2(
         self, net: SimNetwork, gid: int, sids, src_index: int, msgs
     ) -> None:
         state = self._require_group(gid, sids)
         state.round2[src_index] = msgs
-        self._maybe_decide(net, gid, state)
+        await self._maybe_decide(net, gid, state)
 
-    def _maybe_decide(
+    async def _maybe_decide(
         self, net: SimNetwork, gid: int, state: _GroupState
     ) -> None:
         if (
@@ -220,7 +221,7 @@ class _ServerNode:
             state.round2[s] for s in range(self.n_servers)
         ]
         decisions = self.server.decide_batch(round2_batches)
-        self.fanout.call_sync(self.index, "settle_group", gid, decisions)
+        await self.fanout.call(self.index, "settle_group", gid, decisions)
         for sid, accepted in zip(state.sids, decisions):
             self.decisions[sid] = accepted
             self.decision_times.append(net.clock)
@@ -245,7 +246,12 @@ def run_cluster(
     ``batch_size=1`` (asserted by the integration tests), only the
     message schedule changes.  ``executor`` selects where each server's
     CPU work runs (``"inline"`` default; ``"process"`` = one worker
-    process per server); outcomes are backend-independent.
+    process per server; a ``":K"`` suffix such as ``"process:4"``
+    shards every server across K workers of that kind); outcomes are
+    backend-independent.  Server handlers execute through the network's
+    latency-window concurrency (:meth:`SimNetwork.run_async`), so with
+    a thread/process/sharded backend distinct servers' CPU work
+    genuinely overlaps instead of serializing through ``call_sync``.
     ``client_batch_size > 1`` prepares uploads through the batched
     plane-resident client prover in chunks of that size — end-to-end
     cluster runs are then batched on *both* halves of the protocol;
@@ -308,7 +314,12 @@ def run_cluster(
                         ("upload", packet),
                         packet.encoded_size(),
                     )
-        wall = net.run()
+        # Latency-window concurrency: handlers at distinct servers run
+        # through asyncio.gather, so per-server worker pools (thread,
+        # process, sharded) genuinely overlap — the event schedule and
+        # report are bit-identical to the serial run (asserted by the
+        # integration tests).
+        wall = asyncio.run(net.run_async())
     finally:
         try:
             fanout.end_run()

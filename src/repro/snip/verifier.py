@@ -178,12 +178,30 @@ class Round2Message:
     assertion: int
 
 
+def _match_backend(
+    vector: BatchVector, target: BatchVector
+) -> BatchVector:
+    """Re-encode ``vector`` onto ``target``'s backend if they differ.
+
+    Both backends are bit-exact, so this changes representation only.
+    Needed at the sharded-fan-out seams, where a merged round plane
+    (built on the logical server's backend) can meet a tiny shard's
+    party whose planes dropped to the pure backend under the
+    tiny-batch heuristic.
+    """
+    if vector.backend == target.backend:
+        return vector
+    return BatchVector.from_ints(
+        vector.field, vector.to_ints(), target.force_pure
+    )
+
+
 def _sum_across_servers(vectors: "Sequence[BatchVector]") -> BatchVector:
     """Plane-add one ``(B,)`` vector per server (the ``sum_i`` of the
     round combination and decision rules)."""
     total = vectors[0]
     for vector in vectors[1:]:
-        total = total + vector
+        total = total + _match_backend(vector, total)
     return total
 
 
@@ -734,6 +752,8 @@ class BatchedSnipVerifierParty:
                 field, (self.batch_size,), self._force_pure
             )
         else:
+            d_total = _match_backend(d_total, self._a)
+            e_total = _match_backend(e_total, self._a)
             s_inv = pow(self.n_servers % field.modulus, -1, field.modulus)
             sigma = (
                 (d_total * e_total).scale(s_inv)

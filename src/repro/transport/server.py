@@ -90,13 +90,19 @@ class TransportConfig:
     rate_limit: "float | None" = None
     #: per-connection burst allowance in frames
     rate_burst: "int | None" = None
-    #: execution backend: "inline" | "thread" | "process" | "auto",
-    #: a ready ServerFanout, or None for the host-sized default
+    #: execution backend: "inline" | "thread" | "process" | "auto"
+    #: (optionally with a ":K" shard suffix, e.g. "process:4"), a
+    #: ready ServerFanout, or None for the host-sized default
     executor: object = None
+    #: shard each logical server across this many workers of the
+    #: selected executor kind (equivalent to the ":K" suffix)
+    n_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
         if self.high_watermark is None:
             self.high_watermark = 4 * self.batch_size
         if self.low_watermark is None:
@@ -319,7 +325,8 @@ class PrioTransportServer:
         self._verify_gate = asyncio.Event()
         self._verify_gate.set()
         self._fanout, self._owned_fanout = resolve_fanout(
-            self.servers, self.config.executor, self.config.batch_size
+            self.servers, self.config.executor, self.config.batch_size,
+            self.config.n_shards,
         )
         self.stats.executor = self._fanout.kind
         if not self._owned_fanout:
