@@ -1,0 +1,108 @@
+"""Command line entry point: ``python -m repro.analysis <paths>``.
+
+Exit codes are CI-friendly:
+
+* ``0`` — scan completed, no unsuppressed findings;
+* ``1`` — at least one unsuppressed finding (or a file failed to
+  parse — a file the analyzer cannot see is not a clean file);
+* ``2`` — usage error (unknown rule, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.driver import analyze_paths
+from repro.analysis.registry import all_checkers
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repo-specific soundness lint (plane discipline, "
+        "rng draw order, lifecycle safety)",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to scan (e.g. src tests)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--rules", metavar="RULE[,RULE...]",
+        help="comma-separated subset of rules to run",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print suppressed findings in human output",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    checkers = all_checkers()
+
+    if args.list_rules:
+        width = max(len(name) for name in checkers)
+        for name, cls in checkers.items():
+            print(f"{name:<{width}}  {cls.description}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+
+    if args.rules:
+        wanted = [name.strip() for name in args.rules.split(",") if name.strip()]
+        unknown = [name for name in wanted if name not in checkers]
+        if unknown:
+            print(
+                f"error: unknown rule(s): {', '.join(unknown)} "
+                f"(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+        checkers = {name: checkers[name] for name in wanted}
+
+    result = analyze_paths(args.paths, checkers)
+
+    if args.format == "json":
+        report = json.dumps(result.to_json(), indent=2, sort_keys=True)
+    else:
+        lines = [f.render() for f in result.unsuppressed]
+        if args.show_suppressed:
+            lines.extend(f.render() for f in result.suppressed)
+        lines.extend(
+            f"{path}: error: {message}" for path, message in result.errors
+        )
+        lines.append(
+            f"{len(result.unsuppressed)} finding(s), "
+            f"{len(result.suppressed)} suppressed, "
+            f"{result.files_scanned} file(s) scanned"
+        )
+        report = "\n".join(lines)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
+
+    if result.unsuppressed or result.errors:
+        return 1
+    return 0

@@ -1,0 +1,219 @@
+"""Single-parse multi-visitor driver.
+
+Each file is read and parsed exactly once; the AST is walked exactly
+once, and every checker active for the file receives
+``visit_<NodeType>`` / ``leave_<NodeType>`` events off that one
+traversal.  The driver — not the checkers — maintains the structural
+context rules keep needing (ancestor stack, enclosing function and
+class), so adding a rule costs one visitor, not one walk.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Checker, all_checkers
+from repro.analysis.suppress import Suppressions, scan_suppressions
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def normalize_module(path: str) -> str:
+    """Repo-relative module path rules match against.
+
+    ``src/repro/field/batch.py`` and an installed
+    ``.../site-packages/repro/field/batch.py`` both normalize to
+    ``repro/field/batch.py``; anything else keeps its posix form.
+    """
+    parts = Path(path).as_posix().split("/")
+    for anchor in ("repro", "tests"):
+        if anchor in parts:
+            return "/".join(parts[parts.index(anchor):])
+    return "/".join(parts)
+
+
+@dataclass
+class FileContext:
+    """Everything checkers may ask about the file being walked."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+    findings: "list[Finding]" = field(default_factory=list)
+    #: ancestor chain of the node currently being visited (outermost
+    #: first; does not include the node itself)
+    stack: "list[ast.AST]" = field(default_factory=list)
+
+    def parent(self, depth: int = 1) -> "ast.AST | None":
+        if depth <= len(self.stack):
+            return self.stack[-depth]
+        return None
+
+    def enclosing_function(self) -> "ast.FunctionDef | ast.AsyncFunctionDef | None":
+        for node in reversed(self.stack):
+            if isinstance(node, _FUNCTION_NODES):
+                return node
+        return None
+
+    def enclosing_class(self) -> "ast.ClassDef | None":
+        for node in reversed(self.stack):
+            if isinstance(node, ast.ClassDef):
+                return node
+        return None
+
+    def in_loop(self) -> bool:
+        """Inside a ``for``/``while`` body or a comprehension (without
+        leaving the enclosing function)."""
+        for node in reversed(self.stack):
+            if isinstance(node, _FUNCTION_NODES):
+                return False
+            if isinstance(
+                node,
+                (ast.For, ast.AsyncFor, ast.While,
+                 ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                return True
+        return False
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analyzer run over a set of paths."""
+
+    findings: "list[Finding]" = field(default_factory=list)
+    files_scanned: int = 0
+    #: files that failed to parse: (path, error message)
+    errors: "list[tuple[str, str]]" = field(default_factory=list)
+
+    @property
+    def unsuppressed(self) -> "list[Finding]":
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> "list[Finding]":
+        return [f for f in self.findings if f.suppressed]
+
+    def to_json(self) -> dict:
+        return {
+            "files_scanned": self.files_scanned,
+            "n_findings": len(self.unsuppressed),
+            "n_suppressed": len(self.suppressed),
+            "errors": [
+                {"path": path, "error": message}
+                for path, message in self.errors
+            ],
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+
+class _Dispatcher:
+    """Pre-resolved visit/leave method tables for one checker instance."""
+
+    __slots__ = ("checker", "visit", "leave")
+
+    def __init__(self, checker: Checker) -> None:
+        self.checker = checker
+        self.visit: "dict[type, object]" = {}
+        self.leave: "dict[type, object]" = {}
+        for attr in dir(checker):
+            if attr.startswith("visit_"):
+                node_type = getattr(ast, attr[len("visit_"):], None)
+                if node_type is not None:
+                    self.visit[node_type] = getattr(checker, attr)
+            elif attr.startswith("leave_"):
+                node_type = getattr(ast, attr[len("leave_"):], None)
+                if node_type is not None:
+                    self.leave[node_type] = getattr(checker, attr)
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    checkers: "dict[str, type[Checker]] | None" = None,
+) -> "list[Finding]":
+    """Run every applicable rule over one file's source text."""
+    if checkers is None:
+        checkers = all_checkers()
+    suppressions = scan_suppressions(source)
+    module = suppressions.lint_as or normalize_module(path)
+    tree = ast.parse(source, filename=path)
+    active = [
+        _Dispatcher(cls())
+        for cls in checkers.values()
+        if cls.applies_to(module)
+    ]
+    if not active:
+        return []
+    ctx = FileContext(
+        path=path, module=module, source=source,
+        tree=tree, suppressions=suppressions,
+    )
+    for dispatcher in active:
+        dispatcher.checker.begin_file(ctx)
+    _walk(tree, ctx, active)
+    for dispatcher in active:
+        dispatcher.checker.end_file(ctx)
+    ctx.findings.sort(key=Finding.sort_key)
+    return ctx.findings
+
+
+def _walk(node: ast.AST, ctx: FileContext, active: "list[_Dispatcher]") -> None:
+    node_type = type(node)
+    for dispatcher in active:
+        method = dispatcher.visit.get(node_type)
+        if method is not None:
+            method(node, ctx)
+    ctx.stack.append(node)
+    for child in ast.iter_child_nodes(node):
+        _walk(child, ctx, active)
+    ctx.stack.pop()
+    for dispatcher in active:
+        method = dispatcher.leave.get(node_type)
+        if method is not None:
+            method(node, ctx)
+
+
+def iter_python_files(paths: "list[str]"):
+    """Expand files/directories into sorted ``.py`` paths."""
+    seen: "set[Path]" = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def analyze_paths(
+    paths: "list[str]",
+    checkers: "dict[str, type[Checker]] | None" = None,
+) -> AnalysisResult:
+    """Analyze every ``.py`` file under ``paths`` (files or trees)."""
+    if checkers is None:
+        checkers = all_checkers()
+    result = AnalysisResult()
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            result.errors.append((str(path), str(exc)))
+            continue
+        try:
+            result.findings.extend(
+                analyze_source(source, str(path), checkers)
+            )
+        except SyntaxError as exc:
+            result.errors.append((str(path), f"syntax error: {exc}"))
+            continue
+        result.files_scanned += 1
+    result.findings.sort(key=Finding.sort_key)
+    return result

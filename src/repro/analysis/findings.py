@@ -1,0 +1,47 @@
+"""The finding record every rule reports and every output format renders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``module`` is the normalized repo-relative module path the rule
+    matched on (which, for fixture files carrying a ``# repro:
+    lint-as(...)`` pragma, differs from ``path``); ``suppressed`` marks
+    findings silenced by a ``# repro: allow(<rule>)`` comment — they
+    are kept for reporting (``--show-suppressed``) but never fail a
+    run.
+    """
+
+    rule: str
+    path: str
+    module: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "module": self.module,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+    def render(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"[{self.rule}]{mark} {self.message}"
+        )
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)

@@ -1,0 +1,81 @@
+"""Checker registry and the base class every rule extends."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+
+#: rule name -> checker class, in registration order
+_REGISTRY: "dict[str, type[Checker]]" = {}
+
+
+def register(cls: "type[Checker]") -> "type[Checker]":
+    """Class decorator adding a rule to the registry."""
+    if not cls.name:
+        raise ValueError(f"checker {cls.__name__} has no rule name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name: {cls.name}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_checkers() -> "dict[str, type[Checker]]":
+    """The registered rules (importing :mod:`repro.analysis.rules`
+    populates this)."""
+    import repro.analysis.rules  # noqa: F401 - registration side effect
+
+    return dict(_REGISTRY)
+
+
+class Checker:
+    """One rule.  Subclasses are instantiated fresh per analyzed file.
+
+    ``targets`` scopes the rule: a tuple of module-path suffixes
+    (``"repro/field/batch.py"``); the rule activates only for files
+    whose normalized module path ends with one of them (``None`` =
+    every file).  Fixture files opt in with ``# repro: lint-as(...)``.
+
+    The driver parses each file once and walks the tree once; during
+    the walk it calls ``visit_<NodeType>``/``leave_<NodeType>`` on
+    every active checker.  ``ctx`` is the shared
+    :class:`~repro.analysis.driver.FileContext` — ancestor stack,
+    enclosing function/class, suppressions — maintained by the driver
+    so checkers never re-walk for structural questions.
+    """
+
+    #: rule identifier, the name used in ``# repro: allow(<name>)``
+    name = ""
+    #: one-line description for ``--list-rules`` and the docs
+    description = ""
+    #: module-path suffixes this rule applies to (None = all files)
+    targets: "tuple[str, ...] | None" = None
+
+    @classmethod
+    def applies_to(cls, module: str) -> bool:
+        if cls.targets is None:
+            return True
+        return any(module.endswith(suffix) for suffix in cls.targets)
+
+    def begin_file(self, ctx) -> None:
+        """Called once per file before the walk (whole tree available
+        as ``ctx.tree`` for rules that need a pre-pass index)."""
+
+    def end_file(self, ctx) -> None:
+        """Called once per file after the walk."""
+
+    def report(self, ctx, node: ast.AST, message: str) -> None:
+        """File a finding at ``node``, honoring suppressions."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        ctx.findings.append(
+            Finding(
+                rule=self.name,
+                path=ctx.path,
+                module=ctx.module,
+                line=line,
+                col=col,
+                message=message,
+                suppressed=ctx.suppressions.is_suppressed(self.name, line),
+            )
+        )

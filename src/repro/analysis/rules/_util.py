@@ -1,0 +1,79 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+
+
+def call_name(node: ast.Call) -> str:
+    """The called name: ``foo(...)`` -> ``foo``, ``a.b.foo(...)`` -> ``foo``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def call_root(node: ast.Call) -> str:
+    """The leftmost name of the call target (``a.b.foo()`` -> ``a``)."""
+    return expr_root(node.func)
+
+
+def expr_root(node: ast.AST) -> str:
+    """Leftmost name of an attribute/subscript/call chain, or ``""``."""
+    while True:
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            return node.id
+        else:
+            return ""
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` as a string (empty for anything non-dotted)."""
+    parts: "list[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def name_tokens(node: ast.AST) -> "set[str]":
+    """Every plain identifier mentioned anywhere inside ``node``."""
+    return {
+        child.id for child in ast.walk(node) if isinstance(child, ast.Name)
+    } | {
+        child.attr for child in ast.walk(node)
+        if isinstance(child, ast.Attribute)
+    }
+
+
+def keyword_value(node: ast.Call, name: str) -> "ast.AST | None":
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def is_constant_false(node: "ast.AST | None") -> bool:
+    return isinstance(node, ast.Constant) and node.value is False
+
+
+def assign_targets(node: ast.AST) -> "list[ast.AST]":
+    """Targets of Assign/AnnAssign/AugAssign/NamedExpr (walrus)."""
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        return [node.target]
+    if isinstance(node, ast.NamedExpr):
+        return [node.target]
+    return []

@@ -1,0 +1,119 @@
+"""canonical-crossing: lazily-reduced limbs must not escape public APIs.
+
+``repro.field.batch`` deliberately lets limb planes go non-canonical
+between operations (``_conv``/``_carry`` products, ``canonical=False``
+fast paths) and re-normalizes with ``_barrett`` before anything leaves
+the module.  A public function returning a still-tainted plane hands
+callers values that compare unequal to their canonical forms — the
+exact bug class the PR 7 fast paths flirted with.
+
+The rule runs a statement-ordered taint pass per function: assignments
+from ``_conv``/``_carry`` or from calls passing ``canonical=False``
+taint the target; assignment from ``_barrett`` (or any name in the
+cleansing set) clears it; returning a tainted name — or a raw
+``_conv``/``_carry`` result — from a public function is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.registry import Checker, register
+from repro.analysis.rules._util import (
+    assign_targets,
+    call_name,
+    is_constant_false,
+    keyword_value,
+)
+
+_TAINT_SOURCES = frozenset({"_conv", "_carry"})
+
+
+@register
+class CanonicalCrossing(Checker):
+    name = "canonical-crossing"
+    description = (
+        "non-canonical limb plane (from _conv/_carry or canonical=False) "
+        "returned from a public function without a _barrett reduction"
+    )
+    targets = (
+        "repro/field/batch.py",
+        "repro/field/ntt.py",
+    )
+
+    def __init__(self) -> None:
+        #: one taint frame per enclosing function: name -> source label
+        self._frames: "list[dict[str, str]]" = []
+
+    # -- frame management -------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx) -> None:
+        self._frames.append({})
+
+    def leave_FunctionDef(self, node: ast.FunctionDef, ctx) -> None:
+        self._frames.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef, ctx) -> None:
+        self._frames.append({})
+
+    def leave_AsyncFunctionDef(self, node: ast.AsyncFunctionDef, ctx) -> None:
+        self._frames.pop()
+
+    # -- taint propagation ------------------------------------------------
+    def _value_taint(self, value: ast.AST) -> "str | None":
+        """Source label if ``value`` produces non-canonical limbs."""
+        if isinstance(value, ast.Call):
+            name = call_name(value)
+            if name in _TAINT_SOURCES:
+                return f"{name}(...)"
+            # an explicit lazy request taints even a cleanser call
+            if is_constant_false(keyword_value(value, "canonical")):
+                return f"{name}(canonical=False)"
+            # any other call (_barrett above all) yields canonical planes
+            return None
+        if isinstance(value, ast.Name) and self._frames:
+            return self._frames[-1].get(value.id)
+        return None
+
+    def visit_Assign(self, node: ast.Assign, ctx) -> None:
+        self._track(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign, ctx) -> None:
+        self._track(node)
+
+    def _track(self, node: ast.AST) -> None:
+        if not self._frames:
+            return
+        frame = self._frames[-1]
+        value = getattr(node, "value", None)
+        if value is None:
+            return
+        taint = self._value_taint(value)
+        for target in assign_targets(node):
+            names = (
+                [target] if isinstance(target, ast.Name)
+                else [e for e in getattr(target, "elts", [])
+                      if isinstance(e, ast.Name)]
+            )
+            for name_node in names:
+                if taint is not None:
+                    frame[name_node.id] = taint
+                else:
+                    frame.pop(name_node.id, None)
+
+    # -- the actual check -------------------------------------------------
+    def visit_Return(self, node: ast.Return, ctx) -> None:
+        if node.value is None or not self._frames:
+            return
+        fn = ctx.enclosing_function()
+        if fn is None or fn.name.startswith("_"):
+            return  # private helpers may trade in raw limbs
+        taint = self._value_taint(node.value)
+        if taint is None and isinstance(node.value, ast.Name):
+            taint = self._frames[-1].get(node.value.id)
+        if taint is not None:
+            self.report(
+                ctx, node,
+                f"public function '{fn.name}' returns non-canonical limbs "
+                f"(tainted by {taint}); reduce with _barrett before "
+                "crossing the module boundary",
+            )

@@ -1,0 +1,162 @@
+"""executor-lifecycle: pools, tasks, and queues must have owners.
+
+Three sub-checks, all rooted in bug classes this repo has already
+shipped fixes for (PR 4's leaked ProcessPoolExecutor, PR 6's
+fire-and-forget reader task, PR 8's worker teardown):
+
+* a ``ThreadPoolExecutor``/``ProcessPoolExecutor`` constructed outside
+  a ``with`` block must either transfer ownership (returned, passed as
+  an argument) or be assigned somewhere whose enclosing scope shows
+  teardown evidence (``shutdown``/``close``/``terminate`` called, or
+  the name returned);
+* an ``asyncio.create_task``/``ensure_future`` whose result is
+  discarded is fire-and-forget — exceptions vanish and shutdown can't
+  await it; an assigned task needs ``cancel`` evidence in scope;
+* an ``asyncio.Queue()``/``queue.Queue()`` with no maxsize is an
+  unbounded buffer — every queue in the pipeline is bounded so
+  backpressure propagates instead of memory growing.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.registry import Checker, register
+from repro.analysis.rules._util import call_name, dotted_name, name_tokens
+
+_POOLS = frozenset({"ThreadPoolExecutor", "ProcessPoolExecutor"})
+_TASK_SPAWNS = frozenset({"create_task", "ensure_future"})
+_POOL_EVIDENCE = frozenset({"shutdown", "close", "terminate", "aclose"})
+_TASK_EVIDENCE = frozenset({"cancel", "gather", "wait", "wait_for"})
+
+#: parents that already transfer or scope ownership of the new object
+_OWNERSHIP_PARENTS = (ast.withitem, ast.Return, ast.Call, ast.Yield)
+
+
+@register
+class ExecutorLifecycle(Checker):
+    name = "executor-lifecycle"
+    description = (
+        "executor without teardown, fire-and-forget task, or unbounded "
+        "queue"
+    )
+    targets = None  # lifecycle discipline is repo-wide
+
+    def __init__(self) -> None:
+        #: (node, message, scope node, evidence names, target tokens)
+        self._pending: "list[tuple[ast.AST, str, ast.AST, frozenset, set]]" = []
+        self._evidence_cache: "dict[int, set[str]]" = {}
+
+    # -- classification ---------------------------------------------------
+    def _scope(self, ctx, target_is_self: bool) -> ast.AST:
+        if target_is_self:
+            cls = ctx.enclosing_class()
+            if cls is not None:
+                return cls
+        return ctx.enclosing_function() or ctx.tree
+
+    def _defer(self, ctx, node, what: str, evidence: frozenset) -> None:
+        """Queue an assigned pool/task for the end-of-file evidence check."""
+        parent = ctx.parent(1)
+        targets = []
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                list(parent.targets) if isinstance(parent, ast.Assign)
+                else [parent.target]
+            )
+        target_is_self = any(
+            isinstance(t, ast.Attribute)
+            and isinstance(t.value, ast.Name) and t.value.id == "self"
+            for t in targets
+        )
+        tokens: "set[str]" = set()
+        for t in targets:
+            tokens |= name_tokens(t)
+        tokens.discard("self")
+        self._pending.append(
+            (node, what, self._scope(ctx, target_is_self), evidence, tokens)
+        )
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        name = call_name(node)
+        parent = ctx.parent(1)
+        if name in _POOLS:
+            if isinstance(parent, _OWNERSHIP_PARENTS):
+                return
+            if isinstance(parent, ast.Expr):
+                self.report(
+                    ctx, node,
+                    f"{name} constructed and immediately dropped; use a "
+                    "with block or keep a handle to shut it down",
+                )
+                return
+            self._defer(
+                ctx, node,
+                f"{name} assigned without teardown evidence "
+                "(no shutdown/close/terminate call in scope)",
+                _POOL_EVIDENCE,
+            )
+        elif name in _TASK_SPAWNS:
+            root = dotted_name(node.func).split(".")[0]
+            if root not in {"asyncio", name, "loop", "self"}:
+                return
+            if isinstance(parent, ast.Expr):
+                self.report(
+                    ctx, node,
+                    f"fire-and-forget {name}: result discarded, so "
+                    "exceptions vanish and shutdown cannot await or "
+                    "cancel it",
+                )
+                return
+            if isinstance(parent, _OWNERSHIP_PARENTS) or isinstance(
+                parent, ast.Await
+            ):
+                return
+            self._defer(
+                ctx, node,
+                f"task from {name} assigned without cancel/await "
+                "evidence in scope",
+                _TASK_EVIDENCE,
+            )
+        elif name == "Queue":
+            dotted = dotted_name(node.func)
+            if dotted not in {"Queue", "asyncio.Queue", "queue.Queue"}:
+                return
+            has_bound = bool(node.args) or any(
+                kw.arg == "maxsize" for kw in node.keywords
+            )
+            if not has_bound:
+                self.report(
+                    ctx, node,
+                    "unbounded Queue(); every pipeline queue is bounded "
+                    "so backpressure propagates instead of memory "
+                    "growing without limit",
+                )
+
+    # -- end-of-file evidence pass ----------------------------------------
+    def _scope_evidence(self, scope: ast.AST) -> "tuple[set[str], set[str]]":
+        """(called names, tokens flowing out via return/await) in scope."""
+        key = id(scope)
+        cached = self._evidence_cache.get(key)
+        if cached is None:
+            calls: "set[str]" = set()
+            flow: "set[str]" = set()
+            for sub in ast.walk(scope):
+                if isinstance(sub, ast.Call):
+                    calls.add(call_name(sub))
+                elif isinstance(sub, ast.Return) and sub.value is not None:
+                    flow |= name_tokens(sub.value)
+                elif isinstance(sub, ast.Await):
+                    flow |= name_tokens(sub.value)
+            cached = (calls, flow)
+            self._evidence_cache[key] = cached
+        return cached
+
+    def end_file(self, ctx) -> None:
+        for node, message, scope, evidence, tokens in self._pending:
+            calls, flow = self._scope_evidence(scope)
+            if evidence & calls:
+                continue
+            if tokens & flow:  # returned or awaited by name
+                continue
+            self.report(ctx, node, message)

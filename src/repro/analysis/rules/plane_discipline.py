@@ -1,0 +1,87 @@
+"""plane-discipline: no scalar materialization inside hot-path loops.
+
+The batched pipeline keeps shares resident as 24-bit limb planes
+(``BatchVector``); the whole point of PR 3/7 was that per-submission
+Python-int round trips (``to_ints``/``from_ints``/scalar
+``expand_seed``) never appear on the hot path.  A scalar call *inside a
+loop* in one of the hot-path modules silently reintroduces the
+O(batch x length) interpreter cost the planes exist to avoid.  Fallback
+paths that genuinely need scalar materialization annotate the why with
+``# repro: allow(plane-discipline)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.registry import Checker, register
+from repro.analysis.rules._util import call_name
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+#: calls that materialize per-submission Python ints / scalar rows
+_SCALAR_CALLS = frozenset({
+    "to_ints",
+    "row_ints",
+    "to_int_rows",
+    "from_ints",
+    "set_row_ints",
+    "expand_seed",
+    "decode_vector",
+    "encode_vector",
+    "share_vector",
+})
+
+
+@register
+class PlaneDiscipline(Checker):
+    name = "plane-discipline"
+    description = (
+        "scalar materialization (to_ints/from_ints/scalar expand_seed/...) "
+        "inside a loop on a limb-plane hot path"
+    )
+    targets = (
+        "repro/field/batch.py",
+        "repro/circuit/compiled.py",
+        "repro/snip/batch_prover.py",
+        "repro/snip/verifier.py",
+        "repro/protocol/server.py",
+        "repro/protocol/fanout.py",
+        "repro/sharing/prg.py",
+    )
+
+    def _repeats(self, node: ast.Call, ctx) -> bool:
+        """True when ``node`` executes once per loop iteration.
+
+        Sharper than ``ctx.in_loop()``: the *iterator source* of a
+        ``for`` statement or of a comprehension's first generator runs
+        exactly once, so ``[f(x) for x in batch.to_ints()]`` is one
+        materialization, not B of them.
+        """
+        for ancestor in reversed(ctx.stack):
+            if isinstance(ancestor, _FUNCTION_NODES):
+                return False
+            once = None
+            if isinstance(ancestor, (ast.For, ast.AsyncFor)):
+                once = ancestor.iter
+            elif isinstance(ancestor, _COMPREHENSIONS):
+                once = ancestor.generators[0].iter
+            elif not isinstance(ancestor, ast.While):
+                continue
+            if once is not None and any(
+                sub is node for sub in ast.walk(once)
+            ):
+                continue  # evaluated once here; keep scanning outward
+            return True
+        return False
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        name = call_name(node)
+        if name in _SCALAR_CALLS and self._repeats(node, ctx):
+            self.report(
+                ctx, node,
+                f"scalar materialization '{name}' inside a loop on a "
+                "limb-plane hot path; hoist to one batched call, or "
+                "annotate the fallback with its rationale",
+            )

@@ -1,0 +1,94 @@
+"""wire-bounds: every fixed-width encode is preceded by a bound check.
+
+``int.to_bytes(width, ...)`` raises a bare ``OverflowError`` when the
+value does not fit — which, on the wire path, surfaces to a peer as a
+connection reset with no protocol error (PR 6's bug class in
+``encode_upload``).  The rule requires every ``<expr>.to_bytes(...)``
+or ``struct.pack(...)`` of a non-constant subject to sit after an
+``if`` in the same function that mentions the subject and raises one of
+the protocol error types (``WireError``/``FrameError``/``ValueError``).
+ALL_CAPS module constants are exempt — their range is fixed at import
+time.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.registry import Checker, register
+from repro.analysis.rules._util import dotted_name, name_tokens
+
+_PROTOCOL_ERRORS = frozenset({"WireError", "FrameError", "ValueError"})
+#: names that appear inside subjects but carry no range information
+_NOISE_TOKENS = frozenset({"len", "self", "int", "struct", "pack"})
+
+
+def _is_constantish(node: ast.AST) -> bool:
+    """Literals and ALL_CAPS constants need no runtime bound check."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id.isupper()
+    if isinstance(node, ast.Attribute):
+        return node.attr.isupper()
+    return False
+
+
+@register
+class WireBounds(Checker):
+    name = "wire-bounds"
+    description = (
+        "fixed-width encode (to_bytes/struct.pack) of an unchecked value; "
+        "a bare OverflowError here surfaces to the peer as a reset"
+    )
+    targets = (
+        "repro/protocol/wire.py",
+        "repro/transport/framing.py",
+    )
+
+    def _guarded(self, ctx, node: ast.Call, tokens: "set[str]") -> bool:
+        fn = ctx.enclosing_function()
+        if fn is None:
+            return False
+        for sub in ast.walk(fn):
+            if not isinstance(sub, ast.If) or sub.lineno >= node.lineno:
+                continue
+            if not (name_tokens(sub.test) & tokens):
+                continue
+            for inner in ast.walk(sub):
+                if isinstance(inner, ast.Raise) and inner.exc is not None:
+                    raised = name_tokens(inner.exc)
+                    if raised & _PROTOCOL_ERRORS:
+                        return True
+        return False
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        func = node.func
+        subjects: "list[ast.AST]" = []
+        what = ""
+        if isinstance(func, ast.Attribute) and func.attr == "to_bytes":
+            if _is_constantish(func.value):
+                return
+            subjects = [func.value]
+            what = "to_bytes"
+        elif dotted_name(func) == "struct.pack":
+            subjects = [a for a in node.args[1:] if not _is_constantish(a)]
+            if not subjects:
+                return
+            what = "struct.pack"
+        else:
+            return
+        tokens: "set[str]" = set()
+        for subject in subjects:
+            tokens |= name_tokens(subject)
+        tokens -= _NOISE_TOKENS
+        if not tokens:
+            return
+        if not self._guarded(ctx, node, tokens):
+            source = ", ".join(sorted(tokens))
+            self.report(
+                ctx, node,
+                f"fixed-width {what} of '{source}' without a preceding "
+                "bound check raising WireError/FrameError; out-of-range "
+                "values surface as a bare OverflowError mid-write",
+            )

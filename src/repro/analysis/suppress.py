@@ -1,0 +1,87 @@
+"""Suppression comments and file pragmas.
+
+Two comment forms drive the analyzer, both parsed with :mod:`tokenize`
+so string literals that merely *contain* the text cannot trigger them:
+
+``# repro: allow(rule-a, rule-b)``
+    Silences findings of the named rules (or every rule, with ``*``)
+    on the comment's own line and on the line directly below it — so
+    both trailing comments and own-line comments above the offending
+    statement work.  Suppressed findings are still collected (the JSON
+    report and ``--show-suppressed`` list them); they just never fail
+    a run.  Every suppression is an *annotated intentional exception*:
+    put the why next to the allow.
+
+``# repro: lint-as(repro/field/batch.py)``
+    Makes the file lint as if it were the named module, so rules
+    scoped to hot-path modules apply.  This is how the fixture suite
+    under ``tests/analysis/`` exercises module-scoped rules without
+    living inside ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+_LINT_AS_RE = re.compile(r"#\s*repro:\s*lint-as\(([^)]+)\)")
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression state parsed from the comments."""
+
+    #: line number -> set of rule names (or {"*"}) allowed there
+    by_line: "dict[int, set[str]]" = field(default_factory=dict)
+    #: module path override from ``lint-as``, if any
+    lint_as: "str | None" = None
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        for candidate in (line, line - 1):
+            rules = self.by_line.get(candidate)
+            if rules is not None and (rule in rules or "*" in rules):
+                return True
+        return False
+
+
+def scan_suppressions(source: str) -> Suppressions:
+    """Extract suppression comments and pragmas from ``source``.
+
+    Tokenization errors (the analyzer may be pointed at a file that
+    does not parse) degrade to "no suppressions" — the driver reports
+    the syntax error separately.
+    """
+    out = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    comment_lines = {line for line, _ in comments}
+    for line, text in comments:
+        allow = _ALLOW_RE.search(text)
+        if allow:
+            rules = {
+                name.strip() for name in allow.group(1).split(",")
+                if name.strip()
+            }
+            if rules:
+                # A multi-line rationale is encouraged, so the allow
+                # extends through the consecutive comment lines below
+                # it down to the first code line.
+                out.by_line.setdefault(line, set()).update(rules)
+                below = line + 1
+                while below in comment_lines:
+                    out.by_line.setdefault(below, set()).update(rules)
+                    below += 1
+        lint_as = _LINT_AS_RE.search(text)
+        if lint_as and out.lint_as is None:
+            out.lint_as = lint_as.group(1).strip()
+    return out

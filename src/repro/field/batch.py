@@ -1314,6 +1314,8 @@ def encode_bytes_batch(
     if len(batch.shape) != 2:
         raise FieldError("encode_bytes_batch needs a 2-D batch")
     if not batch._numpy:
+        # repro: allow(plane-discipline) - pure backend stores int rows;
+        # there is no plane blob to slice, so per-row encode is the path
         return [field.encode_vector(row) for row in batch._data]
     ctx = _ctx(field)
     size = field.encoded_size
@@ -1456,6 +1458,8 @@ def assemble_rows(
         return BatchVector(field, (B, width), out, True)
     rows = []
     for src in sources:
+        # repro: allow(plane-discipline) - pure fallback: sources mix
+        # batches and raw rows, so assembly goes through ints by design
         row = src[0].row_ints(src[1]) if isinstance(src, tuple) else list(src)
         if len(row) != width:
             raise FieldError("row width mismatch in assemble_rows")
@@ -1550,6 +1554,8 @@ def concat_columns(
     rows_out: list[list[int]] = [[] for _ in range(n_rows)]
     for part in parts:
         if isinstance(part, BatchVector):
+            # repro: allow(plane-discipline) - pure fallback: one
+            # materialization per *part*, not per submission row
             for i, row in enumerate(part.to_ints()):
                 rows_out[i].extend(row)
         else:
@@ -1596,6 +1602,8 @@ def concat_vectors(
         return BatchVector(field, (n,), out, True)
     flat: list[int] = []
     for part in parts:
+        # repro: allow(plane-discipline) - pure fallback: parts are 1-D
+        # int lists already; one materialization per part
         flat.extend(part.to_ints())
     return BatchVector(field, (n,), flat, False)
 

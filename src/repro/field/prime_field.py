@@ -18,6 +18,7 @@ FFT-friendly 87-bit field").
 from __future__ import annotations
 
 import hashlib
+import random
 from typing import Iterable, Sequence
 
 
@@ -194,16 +195,16 @@ class PrimeField:
     # Randomness
     # ------------------------------------------------------------------
 
-    def rand(self, rng) -> int:
+    def rand(self, rng: random.Random) -> int:
         """A uniform field element drawn from ``rng`` (``random.Random``)."""
         return rng.randrange(self.modulus)
 
-    def rand_nonzero(self, rng) -> int:
+    def rand_nonzero(self, rng: random.Random) -> int:
         if self.modulus == 2:
             return 1
         return rng.randrange(1, self.modulus)
 
-    def rand_vector(self, n: int, rng) -> list[int]:
+    def rand_vector(self, n: int, rng: random.Random) -> list[int]:
         randrange = rng.randrange
         p = self.modulus
         return [randrange(p) for _ in range(n)]

@@ -44,6 +44,7 @@ import os
 import sqlite3
 import tempfile
 import threading
+from typing import Iterable, Iterator
 
 __all__ = [
     "InMemoryReplayCache",
@@ -76,14 +77,14 @@ class ReplayCache:
     def add(self, sid: bytes) -> None:
         raise NotImplementedError
 
-    def update(self, sids) -> None:
+    def update(self, sids: Iterable[bytes]) -> None:
         for sid in sids:
             self.add(sid)
 
     def __len__(self) -> int:
         raise NotImplementedError
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[bytes]:
         raise NotImplementedError
 
     def clear(self) -> None:
@@ -115,7 +116,7 @@ class ReplayCache:
 class InMemoryReplayCache(ReplayCache):
     """The original per-server ``set``, behind the pluggable seam."""
 
-    def __init__(self, ids=()) -> None:
+    def __init__(self, ids: Iterable[bytes] = ()) -> None:
         self._ids: set[bytes] = set(ids)
         self._delta: "set[bytes] | None" = None
 
@@ -127,7 +128,7 @@ class InMemoryReplayCache(ReplayCache):
         if self._delta is not None:
             self._delta.add(sid)
 
-    def update(self, sids) -> None:
+    def update(self, sids: Iterable[bytes]) -> None:
         sids = set(sids)
         self._ids |= sids
         if self._delta is not None:
@@ -136,7 +137,7 @@ class InMemoryReplayCache(ReplayCache):
     def __len__(self) -> int:
         return len(self._ids)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[bytes]:
         return iter(self._ids)
 
     def clear(self) -> None:
@@ -273,7 +274,7 @@ class TieredReplayCache(ReplayCache):
         if self._delta is not None:
             self._delta.add(sid)
 
-    def update(self, sids) -> None:
+    def update(self, sids: Iterable[bytes]) -> None:
         with self._lock:
             for sid in sids:
                 self._add_locked(sid)
@@ -297,7 +298,7 @@ class TieredReplayCache(ReplayCache):
                 n_both += n
             return len(self._l1) + n_l2 - n_both
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[bytes]:
         with self._lock:
             ids = dict(self._l1)
             for (sid,) in self._db().execute("SELECT id FROM seen_ids"):
@@ -374,7 +375,7 @@ class TieredReplayCache(ReplayCache):
         self.misses = 0
 
 
-def resolve_replay_cache(spec) -> ReplayCache:
+def resolve_replay_cache(spec: "ReplayCache | str | None") -> ReplayCache:
     """Resolve the server's ``replay_cache`` knob.
 
     ``None`` or ``"memory"`` give the in-memory reference cache;

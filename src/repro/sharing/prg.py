@@ -148,6 +148,8 @@ def expand_seed_batch(
             return BatchVector.zeros(field, (0, max(0, length)), force_pure)
         return BatchVector.from_ints(
             field,
+            # repro: allow(plane-discipline) - pure-backend fallback IS
+            # the scalar path; it defines the bytes the batch must match
             [expand_seed(field, seed, length) for seed in seeds],
             force_pure,
         )
@@ -160,6 +162,8 @@ def expand_seed_batch(
     ]
     batch, short_rows = rejection_sample_batch(field, byte_rows, length)
     for row in short_rows:  # pragma: no cover - ~5-sigma-rare retry
+        # repro: allow(plane-discipline) - scalar retry only for rows
+        # whose candidate budget fell short (~5-sigma rare)
         batch.set_row_ints(row, expand_seed(field, seeds[row], length))
     return batch
 
@@ -188,6 +192,8 @@ def prg_share_vector(
     seeds = [new_seed(rng) for _ in range(n_shares - 1)]
     last = [v % p for v in xs]
     for seed in seeds:
+        # repro: allow(plane-discipline) - scalar sharing API: the loop
+        # is over servers (small constant), not over submissions
         expanded = expand_seed(field, seed, len(last))
         last = [(a - b) % p for a, b in zip(last, expanded)]
     return seeds, last
@@ -202,6 +208,8 @@ def prg_reconstruct_vector(
     total = [v % field.modulus for v in explicit_share]
     p = field.modulus
     for seed in seeds:
+        # repro: allow(plane-discipline) - scalar reconstruction API:
+        # loop is over servers (small constant), not over submissions
         expanded = expand_seed(field, seed, len(total))
         total = [(a + b) % p for a, b in zip(total, expanded)]
     return total

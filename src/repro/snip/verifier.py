@@ -693,6 +693,8 @@ class BatchedSnipVerifierParty:
                 vec = getattr(self, name)
                 setattr(
                     self, name,
+                    # repro: allow(plane-discipline) - one-time backend
+                    # demotion (force_pure), not a per-round hot path
                     BatchVector(field, vec.shape, vec.to_ints(), False),
                 )
 

@@ -49,6 +49,11 @@ __all__ = [
 
 _LEN_SIZE = 4
 
+#: largest value a u32 length prefix can carry; anything bigger must be
+#: rejected as a FrameError *before* int.to_bytes raises a bare
+#: OverflowError mid-write
+_MAX_U32 = (1 << 32) - 1
+
 #: response payload: 16-byte submission id + 1 status byte
 RESPONSE_SIZE = 17
 
@@ -77,9 +82,13 @@ def encode_upload(packet_bytes: "list[bytes]") -> bytes:
         raise FrameError("an upload frame carries 1..255 packets")
     parts = [bytes([len(packet_bytes)])]
     for data in packet_bytes:
+        if len(data) > _MAX_U32:
+            raise FrameError("packet too large for a u32 length prefix")
         parts.append(len(data).to_bytes(_LEN_SIZE, "big"))
         parts.append(data)
     payload = b"".join(parts)
+    if len(payload) > _MAX_U32:
+        raise FrameError("upload frame too large for a u32 length prefix")
     return len(payload).to_bytes(_LEN_SIZE, "big") + payload
 
 
@@ -111,7 +120,7 @@ def encode_response(submission_id: bytes, status: Status) -> bytes:
     if len(submission_id) != 16:
         raise FrameError("bad submission id size in response")
     payload = submission_id + bytes([int(status)])
-    return len(payload).to_bytes(_LEN_SIZE, "big") + payload
+    return RESPONSE_SIZE.to_bytes(_LEN_SIZE, "big") + payload
 
 
 def decode_response(payload: bytes) -> "tuple[bytes, Status]":

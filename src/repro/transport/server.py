@@ -321,7 +321,12 @@ class PrioTransportServer:
         if self._started:
             raise RuntimeError("transport server already started")
         self._loop = asyncio.get_running_loop()
-        self._batch_q = asyncio.Queue()
+        # Bounded by the shed gate's invariant: every queued batch holds
+        # at least one pending upload and _handle_upload sheds once
+        # _pending reaches shed_limit, so depth can never legitimately
+        # reach shed_limit — QueueFull here means broken accounting, not
+        # load, and beats growing without bound.
+        self._batch_q = asyncio.Queue(maxsize=self.config.shed_limit)
         self._verify_gate = asyncio.Event()
         self._verify_gate.set()
         self._fanout, self._owned_fanout = resolve_fanout(

@@ -206,3 +206,62 @@ def test_encode_boundary_values_still_pass():
     data = packet.encode()
     assert int.from_bytes(data[20:22], "big") == (1 << 16) - 1
     assert int.from_bytes(data[22:26], "big") == 1 << 22
+
+
+# ---------------------------------------------------------------------
+# encode_upload must reject oversized lengths as FrameError, not let a
+# bare OverflowError escape from int.to_bytes (soundness-lint sweep)
+# ---------------------------------------------------------------------
+
+
+class _FakeLenBytes(bytes):
+    """Bytes whose reported length exceeds a u32 (without allocating
+    4 GiB): exactly what a length-prefix writer must bound-check."""
+
+    def __len__(self):
+        return 1 << 32
+
+
+def test_encode_upload_oversized_packet_is_frame_error():
+    from repro.transport import FrameError, encode_upload
+
+    # pre-fix: len(data).to_bytes(4, "big") raised bare OverflowError
+    with pytest.raises(FrameError):
+        encode_upload([_FakeLenBytes(b"x")])
+
+
+def test_encode_upload_frame_error_is_not_overflow():
+    from repro.transport import FrameError, encode_upload
+
+    try:
+        encode_upload([_FakeLenBytes(b"x")])
+    except FrameError:
+        pass
+    except OverflowError as exc:  # pragma: no cover - pre-fix behavior
+        raise AssertionError(
+            "oversized packet escaped as bare OverflowError"
+        ) from exc
+
+
+# ---------------------------------------------------------------------
+# the transport's batch queue must be bounded (soundness-lint sweep):
+# an unbounded queue silently absorbs broken shed accounting as memory
+# growth instead of failing loudly
+# ---------------------------------------------------------------------
+
+
+def test_transport_batch_queue_is_bounded():
+    import asyncio
+
+    from repro.transport import PrioTransportServer, TransportConfig
+
+    dep = _deployment()
+    config = TransportConfig(batch_size=4, linger_s=0.001, executor="inline")
+
+    async def scenario():
+        async with PrioTransportServer(dep.servers, config) as server:
+            return server._batch_q.maxsize
+
+    maxsize = asyncio.run(scenario())
+    assert maxsize == config.shed_limit
+    assert maxsize > 0
