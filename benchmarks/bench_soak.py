@@ -15,6 +15,13 @@ built from the same shared randomness.  Decisions must match
 position-for-position (zero divergence) and the two aggregates must
 be equal.
 
+**Sealed phase.**  The same zero-divergence contract for encrypted
+uploads: submissions sealed to the servers' box keys (``envelope ||
+box`` per packet, PR-10) stream over the same socket and must decide
+exactly like the cleartext in-memory pipeline on the same stream —
+the sealed path runs the same sharded, batched machinery, just behind
+``receive_sealed_batch``.
+
 **Soak phase.**  Clients splice fresh submission ids into a pool of
 pre-framed honest uploads (proof reuse — the server-side work per
 submission is identical, the client processes stay fast enough to
@@ -54,7 +61,7 @@ from repro.field import backend_name
 from repro.field.parameters import FIELD87
 from repro.protocol.pipeline import AsyncPrioPipeline
 from repro.protocol.runner import PrioDeployment
-from repro.protocol.wire import PacketKind
+from repro.protocol.wire import PacketKind, seal_packet
 from repro.transport import (
     PrioTransportServer,
     Status,
@@ -92,6 +99,18 @@ def _corrupt(submission) -> None:
             submission.packets[i] = dataclasses.replace(packet, body=mutated)
             return
     raise AssertionError("no explicit packet to corrupt")
+
+
+def _corrupt_sealed(client, submission) -> None:
+    """Corrupt pre-seal and re-seal, so the sealed and cleartext forms
+    of the submission carry the same bad share."""
+    _corrupt(submission)
+    for i, packet in enumerate(submission.packets):
+        if packet.kind is PacketKind.EXPLICIT:
+            submission.sealed_packets[i] = seal_packet(
+                client.server_box_keys[i], packet, client.rng
+            )
+            return
 
 
 def _percentile(sorted_values, q: float) -> float:
@@ -204,6 +223,48 @@ async def _differential_phase(afe, addr, transport, n_diff, n_corrupted):
     }
 
 
+async def _sealed_phase(afe, addr, transport, dep_client, n, n_corrupted):
+    """Sealed uploads over the socket vs cleartext in memory.
+
+    ``dep_client`` is the transport deployment's own client, so the
+    boxes open under the serving servers' keys; the in-memory oracle
+    is a fresh cleartext server set sharing the same randomness seed,
+    fed the *cleartext packets of the same submissions* — sealing must
+    be outcome-invisible, so any difference is a divergence.
+    """
+    from repro.crypto import sealed_overhead
+
+    submissions = dep_client.prepare_submissions([1] * n)
+    step = max(1, n // max(1, n_corrupted))
+    for i in range(0, n, step):
+        _corrupt_sealed(dep_client, submissions[i])
+    dep_mem = PrioDeployment.create(afe, n_servers=N_SERVERS, seed=SEED)
+    mem_pipeline = AsyncPrioPipeline(
+        dep_mem.servers, batch_size=64, executor="inline"
+    )
+    mem_decisions = await mem_pipeline.run_async(submissions)
+    if transport == "unix":
+        client = await TransportClient.connect_unix(addr)
+    else:
+        client = await TransportClient.connect_tcp(*addr)
+    frames = [
+        (s.submission_id, TransportClient.frame_submission(s, sealed=True))
+        for s in submissions
+    ]
+    statuses = await client.submit_many(frames, window=64)
+    await client.close()
+    wire_decisions = [s is Status.ACCEPTED for s in statuses]
+    return {
+        "n": n,
+        "n_corrupted": sum(1 for d in mem_decisions if not d),
+        "divergence": sum(
+            1 for a, b in zip(mem_decisions, wire_decisions) if a != b
+        ),
+        "n_accepted": sum(wire_decisions),
+        "overhead_bytes_per_packet": sealed_overhead(),
+    }
+
+
 def run_benchmark(
     smoke: bool = False,
     n_submissions: "int | None" = None,
@@ -228,7 +289,12 @@ def run_benchmark(
     window = 128
 
     afe = IntegerSumAfe(FIELD87, 1)
-    dep = PrioDeployment.create(afe, n_servers=N_SERVERS, seed=SEED)
+    # encrypt=True equips the servers with box keys for the sealed
+    # phase; the cleartext soak templates are unaffected (receive_wire
+    # never touches the keys)
+    dep = PrioDeployment.create(
+        afe, n_servers=N_SERVERS, seed=SEED, encrypt=True
+    )
     templates = [
         _frame_and_offsets(s.packets)
         for s in dep.client.prepare_submissions([1] * 64)
@@ -276,6 +342,11 @@ def run_benchmark(
             afe, addr, transport, n_diff,
             n_corrupted=max(8, n_diff // 16),
         )
+        n_sealed = max(64, n_diff // 4)
+        sealed = await _sealed_phase(
+            afe, addr, transport, dep.client, n_sealed,
+            n_corrupted=max(4, n_sealed // 16),
+        )
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
         for _ in procs:
@@ -288,9 +359,9 @@ def run_benchmark(
             )
         duration = time.perf_counter() - start
         await server.stop()
-        return server, differential, results, duration
+        return server, differential, sealed, results, duration
 
-    server, differential, results, duration = asyncio.run(main())
+    server, differential, sealed, results, duration = asyncio.run(main())
     for proc in procs:
         proc.join(timeout=60)
 
@@ -326,8 +397,9 @@ def run_benchmark(
         "soak_retried": retried,
         "soak_all_accepted": accepted == n_submissions and rejected == 0,
         "aggregate_matches_accepted": aggregate
-        == accepted + differential["n_accepted"],
+        == accepted + differential["n_accepted"] + sealed["n_accepted"],
         "differential": differential,
+        "sealed": sealed,
         "server_stats": {
             "n_batches": server.stats.n_batches,
             "n_shed": server.stats.n_shed,
@@ -357,6 +429,10 @@ def run_benchmark(
             f"({differential['n_corrupted']} corrupted), "
             f"divergence {differential['divergence']}, aggregates "
             f"{'match' if differential['aggregates_match'] else 'DIVERGE'}",
+            f"sealed: {sealed['n']} uploads over the socket "
+            f"({sealed['n_corrupted']} corrupted), divergence "
+            f"{sealed['divergence']} vs cleartext in-memory "
+            f"(+{sealed['overhead_bytes_per_packet']} B/packet)",
             f"soak: {accepted}/{n_submissions} accepted, "
             f"{retried} shed-retries, {server.stats.n_pauses} watermark "
             f"pauses, max_pending {server.stats.max_pending}",
@@ -386,6 +462,12 @@ if pytest is not None:
         and the two server sets publish the same aggregate."""
         assert soak_data["differential"]["divergence"] == 0
         assert soak_data["differential"]["aggregates_match"]
+
+    def test_sealed_zero_divergence(soak_data):
+        """Sealed uploads over the socket decide exactly like the
+        cleartext in-memory pipeline on the same stream."""
+        assert soak_data["sealed"]["divergence"] == 0
+        assert soak_data["sealed"]["n_accepted"] > 0
 
     def test_soak_completes_all_accepted(soak_data):
         """Every honest soak upload is decided and accepted, and the
@@ -421,6 +503,7 @@ if __name__ == "__main__":
     ok = (
         record["differential"]["divergence"] == 0
         and record["differential"]["aggregates_match"]
+        and record["sealed"]["divergence"] == 0
         and record["soak_all_accepted"]
         and record["aggregate_matches_accepted"]
     )

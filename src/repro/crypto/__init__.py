@@ -1,6 +1,12 @@
 """Crypto substrate: stream cipher, HKDF, ECIES box, Schnorr signatures."""
 
-from repro.crypto.box import BoxKeyPair, open_box, seal, sealed_overhead
+from repro.crypto.box import (
+    BoxKeyPair,
+    box_overhead,
+    open_box,
+    seal,
+    sealed_overhead,
+)
 from repro.crypto.primitives import (
     KEY_SIZE,
     MAC_SIZE,
@@ -16,6 +22,7 @@ from repro.crypto.sign import SigningKeyPair, sign, verify, verify_or_raise
 
 __all__ = [
     "BoxKeyPair",
+    "box_overhead",
     "open_box",
     "seal",
     "sealed_overhead",

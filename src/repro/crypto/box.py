@@ -9,6 +9,12 @@ seal:   ephemeral ECDH against the recipient's public key ->
         prefixed with the ephemeral public point.
 open:   recompute the shared secret, verify, decrypt.
 
+Both operations take optional *associated data*: cleartext bytes that
+travel alongside the box (the wire envelope of
+:mod:`repro.protocol.wire`) and are covered by the MAC without being
+encrypted.  The tag binds ``len(ad) || ad || ciphertext``, so grafting
+one box onto another message's associated data fails authentication.
+
 One scalar multiplication per seal on the sender side (plus one to
 make the ephemeral key) — the "single public-key encryption" per
 client submission that Figure 7's analysis counts.
@@ -16,7 +22,7 @@ client submission that Figure 7's analysis counts.
 
 from __future__ import annotations
 
-import os
+import random as _random
 from dataclasses import dataclass
 
 from repro.crypto.primitives import (
@@ -40,15 +46,19 @@ class BoxKeyPair:
 
     @classmethod
     def generate(cls, rng=None) -> "BoxKeyPair":
+        # Secrets must come from the OS CSPRNG by default; a seeded
+        # Mersenne Twister is only acceptable when a test injects it.
         if rng is None:
-            import random as _random
-
-            rng = _random.Random(os.urandom(16))
+            rng = _random.SystemRandom()
         secret = random_scalar(rng)
         return cls(secret=secret, public=scalar_mult(secret, GENERATOR))
 
 
 _POINT_SIZE = 33
+
+#: associated data is length-prefixed (u32) into the MAC input, so the
+#: ad/ciphertext boundary is unambiguous; bound the length accordingly
+_MAX_AD = (1 << 32) - 1
 
 
 def _derive_keys(shared: Point, ephemeral_pub: Point) -> tuple[bytes, bytes]:
@@ -57,37 +67,76 @@ def _derive_keys(shared: Point, ephemeral_pub: Point) -> tuple[bytes, bytes]:
     return material[:KEY_SIZE], material[KEY_SIZE:]
 
 
-def seal(recipient_public: Point, plaintext: bytes, rng=None) -> bytes:
-    """Encrypt-and-authenticate ``plaintext`` to the recipient."""
-    if rng is None:
-        import random as _random
+def _mac_input(associated_data: bytes, ciphertext: bytes) -> bytes:
+    if len(associated_data) > _MAX_AD:
+        raise CryptoError("associated data too large to authenticate")
+    return (
+        len(associated_data).to_bytes(4, "big")
+        + associated_data
+        + ciphertext
+    )
 
-        rng = _random.Random(os.urandom(16))
+
+def seal(
+    recipient_public: Point,
+    plaintext: bytes,
+    rng=None,
+    associated_data: bytes = b"",
+) -> bytes:
+    """Encrypt-and-authenticate ``plaintext`` to the recipient.
+
+    ``associated_data`` is authenticated but not encrypted (and not
+    included in the output): the opener must present the same bytes.
+    """
+    if rng is None:
+        rng = _random.SystemRandom()
     ephemeral_secret = random_scalar(rng)
     ephemeral_pub = scalar_mult(ephemeral_secret, GENERATOR)
     shared = scalar_mult(ephemeral_secret, recipient_public)
     enc_key, mac_key = _derive_keys(shared, ephemeral_pub)
     nonce = ephemeral_pub.encode()[:16]
     ciphertext = stream_xor(enc_key, nonce, plaintext)
-    tag = mac_tag(mac_key, ciphertext)
+    tag = mac_tag(mac_key, _mac_input(associated_data, ciphertext))
     return ephemeral_pub.encode() + ciphertext + tag
 
 
-def open_box(keypair: BoxKeyPair, sealed: bytes) -> bytes:
+def open_box(
+    keypair: BoxKeyPair,
+    sealed: bytes,
+    associated_data: bytes = b"",
+) -> bytes:
     """Verify and decrypt a sealed box; raises CryptoError on tamper."""
     if len(sealed) < _POINT_SIZE + MAC_SIZE:
         raise CryptoError("sealed box too short")
-    ephemeral_pub = Point.decode(sealed[:_POINT_SIZE])
+    try:
+        ephemeral_pub = Point.decode(sealed[:_POINT_SIZE])
+    except ValueError as exc:
+        # Point.decode raises EcError (a bare ValueError); untrusted
+        # bytes must surface as a typed crypto failure so batch callers
+        # can poison only the offender.
+        raise CryptoError("malformed ephemeral point in sealed box") from exc
     ciphertext = sealed[_POINT_SIZE:-MAC_SIZE]
     tag = sealed[-MAC_SIZE:]
     shared = scalar_mult(keypair.secret, ephemeral_pub)
     enc_key, mac_key = _derive_keys(shared, ephemeral_pub)
-    if not mac_verify(mac_key, ciphertext, tag):
+    if not mac_verify(mac_key, _mac_input(associated_data, ciphertext), tag):
         raise CryptoError("box authentication failed")
     nonce = ephemeral_pub.encode()[:16]
     return stream_xor(enc_key, nonce, ciphertext)
 
 
-def sealed_overhead() -> int:
-    """Bytes added per sealed packet (for wire-format accounting)."""
+def box_overhead() -> int:
+    """Bytes the box itself adds over its plaintext (point + tag)."""
     return _POINT_SIZE + MAC_SIZE
+
+
+def sealed_overhead() -> int:
+    """Bytes added per sealed *packet* (for wire-format accounting).
+
+    A sealed packet on the wire is ``envelope || box``: the 21-byte
+    cleartext envelope (:data:`repro.protocol.wire.ENVELOPE_SIZE`)
+    plus the box's own point-and-tag overhead.
+    """
+    from repro.protocol.wire import ENVELOPE_SIZE
+
+    return box_overhead() + ENVELOPE_SIZE

@@ -27,7 +27,6 @@ import random as _random
 from dataclasses import dataclass
 
 from repro.afe.base import Afe
-from repro.crypto.box import seal
 from repro.ec.p256 import Point
 from repro.field.batch import (
     BatchVector,
@@ -56,6 +55,7 @@ from repro.protocol.wire import (
     packets_for_explicit_shares,
     packets_for_share_bodies,
     packets_for_shares,
+    seal_packet,
     total_upload_bytes,
 )
 
@@ -256,8 +256,11 @@ class PrioClient:
         if self.server_box_keys is not None:
             if len(self.server_box_keys) != self.n_servers:
                 raise ValueError("need one box key per server")
+            # envelope || box(packet, ad=envelope): the cleartext
+            # envelope lets the transport and the sharded fan-out
+            # route on the submission id without a decryption key.
             sealed = [
-                seal(key, packet.encode(), self.rng)
+                seal_packet(key, packet, self.rng)
                 for key, packet in zip(self.server_box_keys, packets)
             ]
         return ClientSubmission(

@@ -163,14 +163,22 @@ class _ServerOps:
         """
         server = self.server
         if encrypt:
-            received: list = []
-            for sealed in payloads:
-                try:
-                    received.append(server.receive_sealed(sealed))
-                except ValueError as exc:
-                    received.append(exc)
+            received = server.receive_sealed_batch(payloads)
         else:
             received = server.receive_batch(payloads)
+        state = self._batches[batch_id] = _BatchState()
+        state.received = received
+        return [r if isinstance(r, Exception) else None for r in received]
+
+    def receive_sealed(self, batch_id: int, payloads):
+        """Frame-validate sealed packets (the encrypted transport seam).
+
+        ``payloads`` holds one ``envelope || box`` sealed packet per
+        position.  Boxes open worker-side (the shard owns its server's
+        box key), plaintexts join the fused batch decode.  Same
+        cross-boundary verdict form as :meth:`receive`.
+        """
+        received = self.server.receive_sealed_batch(payloads)
         state = self._batches[batch_id] = _BatchState()
         state.received = received
         return [r if isinstance(r, Exception) else None for r in received]
@@ -556,6 +564,10 @@ def shard_of(sid: bytes, n_shards: int) -> int:
 #: ``repro.protocol.wire``: magic(2) | version(1) | kind(1) | id(16))
 _WIRE_SID_START, _WIRE_SID_END = 4, 20
 
+#: sealed-envelope offsets of the submission id (mirrors
+#: ``repro.protocol.wire``: magic(2) | version(1) | id(16) | index(2))
+_ENVELOPE_SID_START, _ENVELOPE_SID_END = 3, 19
+
 
 class _ShardPlan:
     """Driver-side bookkeeping for one batch across one server's shards."""
@@ -592,9 +604,11 @@ class ShardedFanout(ServerFanout):
 
     Replay protection is exact: a given id always routes to the same
     shard, so shard-local caches (pending sets included) see every copy.
-    Sealed payloads hide the id inside the box, so encrypted batches
-    all route to shard 0 — sharding currently buys nothing there
-    (documented limitation; an envelope header is the fix).
+    Sealed payloads carry the id in their cleartext envelope
+    (:mod:`repro.protocol.wire`), so encrypted batches partition
+    across shards exactly like raw frames; a forged envelope sid can
+    only misroute its own upload to a shard that then rejects it when
+    the authenticated inner header disagrees.
 
     ``begin_run``/``end_run`` bracket a run: shards sync their epoch
     clock from the logical server and mark their replay caches, run,
@@ -751,18 +765,34 @@ class ShardedFanout(ServerFanout):
 
         return calls, merge
 
+    def _sealed_positions(self, payloads) -> "list[list[int]]":
+        # Sealed packets carry their submission id in the cleartext
+        # envelope; route on it like raw frames.  Too-short payloads
+        # route to shard 0, whose receive rejects them with the same
+        # WireError the unsharded path raises.  (The envelope sid is
+        # only a routing hint — each shard re-validates it against the
+        # authenticated inner header after opening the box.)
+        return self._route_positions(
+            [
+                bytes(data[_ENVELOPE_SID_START:_ENVELOPE_SID_END])
+                for data in payloads
+            ]
+        )
+
     def _plan_receive(self, s, batch_id, payloads, encrypt):
         if encrypt:
-            # Sealed blobs hide the submission id; only shard 0 can
-            # open them.  Correct, but unsharded in practice.
-            positions = [list(range(len(payloads)))]
-            positions += [[] for _ in range(self.n_shards - 1)]
+            positions = self._sealed_positions(payloads)
         else:
             positions = self._route_positions(
                 [packet.submission_id for packet in payloads]
             )
         return self._receive_plan(
             s, batch_id, payloads, positions, (encrypt,)
+        )
+
+    def _plan_receive_sealed(self, s, batch_id, payloads):
+        return self._receive_plan(
+            s, batch_id, payloads, self._sealed_positions(payloads), ()
         )
 
     def _plan_receive_wire(self, s, batch_id, payloads):

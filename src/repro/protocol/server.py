@@ -20,7 +20,7 @@ whole batch of submissions, with per-submission decisions.
 from __future__ import annotations
 
 from repro.afe.base import Afe
-from repro.crypto.box import BoxKeyPair, open_box
+from repro.crypto.box import BoxKeyPair, CryptoError, open_box
 from repro.field.batch import (
     BatchVector,
     assemble_rows,
@@ -29,7 +29,13 @@ from repro.field.batch import (
 )
 from repro.field.prime_field import FieldError
 from repro.protocol.replay import ReplayCache, resolve_replay_cache
-from repro.protocol.wire import ClientPacket, PacketKind, WireError
+from repro.protocol.wire import (
+    ENVELOPE_SIZE,
+    ClientPacket,
+    PacketKind,
+    WireError,
+    parse_envelope,
+)
 from repro.sharing.prg import SEED_SIZE, expand_seed, expand_seed_batch
 from repro.snip.proof import SnipProofShare, proof_num_elements
 from repro.snip.verifier import (
@@ -222,11 +228,87 @@ class PrioServer:
         )
 
     def receive_sealed(self, sealed: bytes) -> PendingSubmission:
+        """Receive one sealed packet (a batch of one).
+
+        Same kernels, checks, and typed errors as
+        :meth:`receive_sealed_batch`; the raised exception is the
+        per-position result the batch path would have reported.
+        """
+        result = self.receive_sealed_batch([sealed])[0]
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    def receive_sealed_batch(
+        self, payloads: "list[bytes]"
+    ) -> "list[PendingSubmission | Exception]":
+        """Open a batch of sealed packets into the fused wire decode.
+
+        ``payloads`` holds one ``envelope || box`` sealed packet per
+        position (:mod:`repro.protocol.wire` envelope layout).  Per
+        position: the envelope parses (cheap slice), the wrong-server
+        and replay checks run against the *cleartext* envelope fields —
+        before paying the two scalar multiplications of
+        :func:`~repro.crypto.box.open_box` — then the box opens with
+        the envelope as associated data (so a grafted envelope fails
+        authentication), and the opened packet's inner header must
+        agree with its envelope.  Survivors join one fused
+        :meth:`receive_batch` sweep; every failure rejects its
+        position alone with the typed error object.
+        """
         if self.box_keypair is None:
             raise ProtocolError("server has no box key configured")
-        return self.receive(
-            ClientPacket.decode(open_box(self.box_keypair, sealed), self.field)
-        )
+        out: "list[PendingSubmission | Exception]" = [None] * len(payloads)
+        opened: "list[tuple[int, ClientPacket]]" = []
+        for i, data in enumerate(payloads):
+            data = bytes(data)
+            try:
+                sid, server_index, box_bytes = parse_envelope(data)
+            except WireError as exc:
+                out[i] = exc
+                continue
+            if server_index != self.server_index:
+                out[i] = ProtocolError(
+                    f"packet for server {server_index} delivered to "
+                    f"server {self.server_index}"
+                )
+                continue
+            # Replay pre-check on the envelope sid: a replayed upload
+            # must not cost the server an ECDH.  An id that passes here
+            # is re-checked (authenticated, inside receive_batch) after
+            # the box opens, so a lying envelope cannot smuggle a
+            # replay through.
+            if sid in self._seen_ids or sid in self._pending_ids:
+                self.n_replayed += 1
+                out[i] = ProtocolError("replayed submission id")
+                continue
+            envelope = data[:ENVELOPE_SIZE]
+            try:
+                plaintext = open_box(
+                    self.box_keypair, box_bytes, associated_data=envelope
+                )
+            except CryptoError as exc:
+                out[i] = exc
+                continue
+            try:
+                packet = ClientPacket.decode(plaintext, self.field)
+            except WireError as exc:
+                out[i] = exc
+                continue
+            if (
+                packet.submission_id != sid
+                or packet.server_index != server_index
+            ):
+                out[i] = ProtocolError(
+                    "sealed packet header disagrees with its envelope"
+                )
+                continue
+            opened.append((i, packet))
+        if opened:
+            results = self.receive_batch([pkt for _, pkt in opened])
+            for (i, _), result in zip(opened, results):
+                out[i] = result
+        return out
 
     def _receive_framed(self, packet: ClientPacket) -> PendingSubmission:
         """Frame-validate one packet; leaves EXPLICIT bodies undecoded.

@@ -12,9 +12,30 @@ Packet layout (big-endian):
     server_index(2) | n_elements(4) | body
 
 ``kind`` is SEED (body = 16-byte PRG seed) or EXPLICIT (body =
-``n_elements`` fixed-width field elements).  Packets may additionally
-be sealed with the recipient server's box key at the transport layer
-(:mod:`repro.crypto.box`); sealing adds a constant 49 bytes.
+``n_elements`` fixed-width field elements).
+
+Sealed packets.  Packets may additionally be sealed with the recipient
+server's box key (:mod:`repro.crypto.box`).  A sealed packet is not a
+bare box: it carries a cleartext *envelope header* so that routing
+infrastructure (the socket transport's response frames, the sharded
+fan-out's id partition) can see the submission id without holding a
+decryption key::
+
+    envelope = magic(2)="PS" | version(1) | submission_id(16) |
+               server_index(2)
+    sealed packet = envelope || box(packet_bytes, ad=envelope)
+
+The envelope is passed to the box as *associated data*, so the box MAC
+covers ``envelope || ciphertext``: an attacker cannot graft envelope A
+onto box B without failing authentication, and the server additionally
+rejects any opened packet whose inner header disagrees with its
+envelope.  The trust story is deliberately asymmetric — the cleartext
+envelope is trusted only for *routing* and the cheap replay pre-check
+(both of which the server re-validates against the authenticated inner
+header after opening); share data, packet kind, and lengths come
+exclusively from inside the box.  Sealing therefore adds a constant
+``sealed_overhead()`` = 21 (envelope) + 49 (point + tag) = 70 bytes
+per packet.
 """
 
 from __future__ import annotations
@@ -23,6 +44,7 @@ import enum
 import os
 from dataclasses import dataclass
 
+from repro.crypto.box import seal
 from repro.field.prime_field import FieldError, PrimeField
 from repro.sharing.prg import SEED_SIZE
 
@@ -30,6 +52,14 @@ MAGIC = b"PR"
 VERSION = 1
 SUBMISSION_ID_SIZE = 16
 _HEADER_SIZE = 2 + 1 + 1 + SUBMISSION_ID_SIZE + 2 + 4
+
+#: sealed-packet envelope: magic(2) | version(1) | sid(16) | index(2)
+ENVELOPE_MAGIC = b"PS"
+ENVELOPE_VERSION = 1
+ENVELOPE_SIZE = 2 + 1 + SUBMISSION_ID_SIZE + 2
+#: offsets of the submission id inside an envelope
+ENVELOPE_SID_START = 3
+ENVELOPE_SID_END = ENVELOPE_SID_START + SUBMISSION_ID_SIZE
 
 #: Upper bound on the ``n_elements`` a packet header may claim.  The
 #: header field is attacker-controlled and feeds body-size arithmetic,
@@ -134,6 +164,49 @@ class ClientPacket:
 
     def encoded_size(self) -> int:
         return _HEADER_SIZE + len(self.body)
+
+
+def encode_envelope(submission_id: bytes, server_index: int) -> bytes:
+    """The cleartext routing header prefixed to a sealed packet."""
+    if len(submission_id) != SUBMISSION_ID_SIZE:
+        raise WireError("bad submission id size")
+    if not 0 <= server_index < (1 << 16):
+        raise WireError(
+            f"server_index {server_index} does not fit the "
+            "2-byte envelope field"
+        )
+    return (
+        ENVELOPE_MAGIC
+        + bytes([ENVELOPE_VERSION])
+        + submission_id
+        + server_index.to_bytes(2, "big")
+    )
+
+
+def parse_envelope(data: bytes) -> "tuple[bytes, int, bytes]":
+    """Split a sealed packet into ``(sid, server_index, box_bytes)``.
+
+    Only the envelope is parsed — the box stays sealed.  The returned
+    fields are *routing hints* until the box is opened and the inner
+    header confirmed; see the module docstring for the trust story.
+    """
+    if len(data) < ENVELOPE_SIZE:
+        raise WireError("sealed packet too short for its envelope")
+    if data[:2] != ENVELOPE_MAGIC:
+        raise WireError("bad envelope magic")
+    if data[2] != ENVELOPE_VERSION:
+        raise WireError(f"unsupported envelope version {data[2]}")
+    submission_id = bytes(data[ENVELOPE_SID_START:ENVELOPE_SID_END])
+    server_index = int.from_bytes(data[ENVELOPE_SID_END:ENVELOPE_SIZE], "big")
+    return submission_id, server_index, bytes(data[ENVELOPE_SIZE:])
+
+
+def seal_packet(recipient_public, packet: ClientPacket, rng=None) -> bytes:
+    """Seal one packet to its server: ``envelope || box(.., ad=env)``."""
+    envelope = encode_envelope(packet.submission_id, packet.server_index)
+    return envelope + seal(
+        recipient_public, packet.encode(), rng, associated_data=envelope
+    )
 
 
 def share_vectors_batch(field: PrimeField, packets, force_pure=None):

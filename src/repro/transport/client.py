@@ -119,9 +119,19 @@ class TransportClient:
     # -- submission ------------------------------------------------------
 
     @staticmethod
-    def frame_submission(submission) -> bytes:
+    def frame_submission(submission, sealed: bool = False) -> bytes:
         """Encode a :class:`~repro.protocol.client.ClientSubmission`
-        (or any object with ``.packets``) as one upload frame."""
+        (or any object with ``.packets``) as one upload frame.
+
+        With ``sealed=True`` the frame carries the submission's
+        box-sealed packets (``envelope || box`` per server) instead of
+        the cleartext ones; the submission must have been prepared by
+        an encrypting client.
+        """
+        if sealed:
+            if submission.sealed_packets is None:
+                raise ValueError("submission carries no sealed packets")
+            return encode_upload(list(submission.sealed_packets))
         return encode_upload([p.encode() for p in submission.packets])
 
     async def send_frame(
@@ -137,10 +147,11 @@ class TransportClient:
         await self.writer.drain()
         return future
 
-    async def submit(self, submission) -> Status:
+    async def submit(self, submission, sealed: bool = False) -> Status:
         """Send one submission and await its decision."""
         future = await self.send_frame(
-            self.frame_submission(submission), submission.submission_id
+            self.frame_submission(submission, sealed=sealed),
+            submission.submission_id,
         )
         return await future
 

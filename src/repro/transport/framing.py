@@ -10,20 +10,23 @@ Upload frame (client -> server)::
     payload = u8 n_packets | n_packets x ( u32 pkt_len | pkt_bytes )
 
 Each ``pkt_bytes`` is one encoded :class:`~repro.protocol.wire
-.ClientPacket` (or a sealed packet when the deployment encrypts
-uploads) — one per logical Prio server, in server order.  The frame is
-the unit of submission: all of one client value's packets travel
-together so the front end can fan them out to every logical server as
-one batch position.
+.ClientPacket` — or, when the deployment encrypts uploads, one sealed
+packet (``envelope || box``; the envelope's ``b"PS"`` magic
+distinguishes the two, see :func:`packet_submission_id`) — one per
+logical Prio server, in server order.  The frame is the unit of
+submission: all of one client value's packets travel together so the
+front end can fan them out to every logical server as one batch
+position.
 
 Response frame (server -> client)::
 
     u32 payload_len (== 17) | submission_id(16) | status(1)
 
 ``status`` is a :class:`Status` value.  ``submission_id`` echoes the
-id parsed from the upload's first packet header, so clients can match
-responses to in-flight submissions without per-connection sequencing
-(responses may interleave across verification batches).
+id parsed from the upload's first packet — the raw header for
+cleartext packets, the cleartext envelope for sealed ones — so clients
+can match responses to in-flight submissions without per-connection
+sequencing (responses may interleave across verification batches).
 
 The parser (:class:`FrameAssembler`) is incremental and bounded: it
 accepts arbitrary chunk boundaries, yields complete payloads, and
@@ -36,6 +39,12 @@ from __future__ import annotations
 
 import enum
 
+from repro.protocol.wire import (
+    ENVELOPE_MAGIC,
+    ENVELOPE_SID_END,
+    ENVELOPE_SID_START,
+)
+
 __all__ = [
     "FrameAssembler",
     "FrameError",
@@ -44,6 +53,8 @@ __all__ = [
     "decode_response",
     "encode_response",
     "encode_upload",
+    "is_sealed_packet",
+    "packet_submission_id",
     "split_upload",
 ]
 
@@ -114,6 +125,37 @@ def split_upload(payload: bytes) -> "list[bytes]":
     if offset != len(view):
         raise FrameError("trailing bytes after last packet in upload frame")
     return packets
+
+
+#: offsets of the submission id inside a raw encoded ClientPacket
+#: (mirrors ``repro.protocol.wire``: magic(2) | version(1) | kind(1) |
+#: id(16))
+_PACKET_SID_START, _PACKET_SID_END = 4, 20
+
+
+def is_sealed_packet(pkt: bytes) -> bool:
+    """True when ``pkt`` opens with the sealed-envelope magic."""
+    return bytes(pkt[:2]) == ENVELOPE_MAGIC
+
+
+def packet_submission_id(pkt: bytes) -> bytes:
+    """Submission id of one uploaded packet, raw or sealed.
+
+    Raw packets carry the id in the :class:`~repro.protocol.wire
+    .ClientPacket` header; sealed packets carry it in their cleartext
+    envelope.  Either way it is a fixed-offset slice — the box itself
+    is never touched here.  Raises :class:`FrameError` when the bytes
+    are too short to hold the id.
+    """
+    if is_sealed_packet(pkt):
+        if len(pkt) < ENVELOPE_SID_END:
+            raise FrameError(
+                "sealed packet too short to carry a submission id"
+            )
+        return bytes(pkt[ENVELOPE_SID_START:ENVELOPE_SID_END])
+    if len(pkt) < _PACKET_SID_END:
+        raise FrameError("packet too short to carry a submission id")
+    return bytes(pkt[_PACKET_SID_START:_PACKET_SID_END])
 
 
 def encode_response(submission_id: bytes, status: Status) -> bytes:

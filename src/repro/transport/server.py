@@ -61,13 +61,12 @@ from repro.transport.framing import (
     FrameError,
     Status,
     encode_response,
+    is_sealed_packet,
+    packet_submission_id,
     split_upload,
 )
 
 __all__ = ["PrioTransportServer", "TransportConfig", "TransportStats"]
-
-#: offsets of the submission id inside an encoded ClientPacket
-_SID_START, _SID_END = 4, 20
 
 
 @dataclass
@@ -171,10 +170,13 @@ class _TokenBucket:
 class _PendingUpload:
     """One framed submission waiting for its verification batch."""
 
-    __slots__ = ("conn", "submission_id", "payloads")
+    __slots__ = ("conn", "submission_id", "payloads", "sealed")
     conn: "_UploadConnection"
     submission_id: bytes
     payloads: "list[bytes]"
+    #: packets are box-sealed (envelope-prefixed); decides which
+    #: receive op the verification batch runs
+    sealed: bool
 
 
 class _UploadConnection(asyncio.Protocol):
@@ -467,18 +469,25 @@ class PrioTransportServer:
                     f"upload carries {len(payloads)} packets for "
                     f"{len(self.servers)} servers"
                 )
-            if len(payloads[0]) < _SID_END:
-                raise FrameError("packet too short to carry a submission id")
+            # raw or sealed: the id sits at a fixed cleartext offset
+            # either way, so the response frame can echo it
+            submission_id = packet_submission_id(payloads[0])
         except FrameError:
             conn.poison()
             return False
-        submission_id = payloads[0][_SID_START:_SID_END]
+        sealed = is_sealed_packet(payloads[0])
         self.stats.n_submissions += 1
         if self._draining or self._pending >= self.config.shed_limit:
             self.stats.n_shed += 1
             conn.send_response(submission_id, Status.BUSY)
             return True
-        self._batch.append(_PendingUpload(conn, submission_id, payloads))
+        if self._batch and self._batch[0].sealed != sealed:
+            # A verification batch runs one receive op; keep batches
+            # homogeneous by flushing when sealed-ness flips.
+            self._flush_batch()
+        self._batch.append(
+            _PendingUpload(conn, submission_id, payloads, sealed)
+        )
         self._pending += 1
         if self._pending > self.stats.max_pending:
             self.stats.max_pending = self._pending
@@ -560,7 +569,8 @@ class PrioTransportServer:
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         self.stats.n_batches += 1
-        received = await fanout.sweep("receive_wire", [
+        receive_op = "receive_sealed" if batch[0].sealed else "receive_wire"
+        received = await fanout.sweep(receive_op, [
             (batch_id, self._payloads_for(s, batch))
             for s in range(n_servers)
         ])

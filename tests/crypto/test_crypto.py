@@ -8,6 +8,7 @@ from repro.crypto import (
     BoxKeyPair,
     CryptoError,
     SigningKeyPair,
+    box_overhead,
     hkdf_sha256,
     keystream,
     mac_tag,
@@ -91,7 +92,52 @@ def test_box_overhead_constant(rng):
     keypair = BoxKeyPair.generate(rng)
     for size in (0, 10, 1000):
         sealed = seal(keypair.public, b"x" * size, rng)
-        assert len(sealed) == size + sealed_overhead()
+        assert len(sealed) == size + box_overhead()
+
+
+def test_sealed_overhead_accounts_for_the_envelope():
+    # a sealed *packet* on the wire = 21-byte envelope + the box
+    from repro.protocol.wire import ENVELOPE_SIZE
+
+    assert ENVELOPE_SIZE == 21
+    assert sealed_overhead() == box_overhead() + ENVELOPE_SIZE
+
+
+def test_box_associated_data_binds(rng):
+    keypair = BoxKeyPair.generate(rng)
+    sealed = seal(keypair.public, b"payload", rng, associated_data=b"env-A")
+    assert open_box(keypair, sealed, associated_data=b"env-A") == b"payload"
+    # grafting: same box, different associated data -> MAC failure
+    with pytest.raises(CryptoError):
+        open_box(keypair, sealed, associated_data=b"env-B")
+    with pytest.raises(CryptoError):
+        open_box(keypair, sealed)
+    # and an ad-less box refuses an attacker-supplied ad
+    plain = seal(keypair.public, b"payload", rng)
+    with pytest.raises(CryptoError):
+        open_box(keypair, plain, associated_data=b"env-A")
+
+
+def test_box_ad_boundary_is_unambiguous(rng):
+    # length-prefixed MAC input: moving a byte across the ad/ciphertext
+    # boundary must not authenticate
+    keypair = BoxKeyPair.generate(rng)
+    sealed = seal(keypair.public, b"xyz", rng, associated_data=b"ab")
+    with pytest.raises(CryptoError):
+        open_box(keypair, sealed, associated_data=b"abx")
+
+
+def test_box_malformed_ephemeral_point_is_typed(rng):
+    # garbage point bytes must surface as CryptoError, not a bare
+    # EcError/ValueError that batch callers cannot classify
+    keypair = BoxKeyPair.generate(rng)
+    sealed = bytearray(seal(keypair.public, b"secret", rng))
+    sealed[0] = 0x07  # invalid compressed-point prefix
+    with pytest.raises(CryptoError, match="ephemeral point"):
+        open_box(keypair, bytes(sealed))
+    off_curve = b"\x02" + b"\xff" * 32 + bytes(sealed[33:])
+    with pytest.raises(CryptoError, match="ephemeral point"):
+        open_box(keypair, off_curve)
 
 
 def test_box_tamper_detected(rng):
@@ -127,6 +173,23 @@ def test_box_default_rng():
     keypair = BoxKeyPair.generate()
     sealed = seal(keypair.public, b"os-random path")
     assert open_box(keypair, sealed) == b"os-random path"
+
+
+def test_box_default_rng_never_uses_mersenne_twister(monkeypatch):
+    # Regression: the default rng for long-term secrets and ephemeral
+    # scalars must be the OS CSPRNG (random.SystemRandom), never a
+    # seeded random.Random.  Detonate random.Random: the default path
+    # must not touch it.
+    class _Detonator:
+        def __init__(self, *args, **kwargs):
+            raise AssertionError(
+                "default box rng constructed random.Random"
+            )
+
+    monkeypatch.setattr(random, "Random", _Detonator)
+    keypair = BoxKeyPair.generate()
+    sealed = seal(keypair.public, b"csprng only")
+    assert open_box(keypair, sealed) == b"csprng only"
 
 
 # ----------------------------------------------------------------------

@@ -6,13 +6,15 @@ packet position) is refused with a typed protocol error, every honest
 position in the same batch still verifies, and no error ever escapes
 as a bare ``OverflowError``/``IndexError``/crash.
 
-The corpus drives the two untrusted-input seams end to end:
+The corpus drives the three untrusted-input seams end to end:
 
 * :class:`~repro.transport.framing.FrameAssembler` — byte-stream
   deframing (truncation, oversized length prefixes, fragmentation);
 * :meth:`PrioServer.receive_wire_batch` — per-position packet decode
   (oversized ``n_elements``, non-canonical limb bytes, duplicated
-  submission ids).
+  submission ids);
+* :meth:`PrioServer.receive_sealed_batch` — sealed packets (malformed
+  ephemeral points, MAC tampering, grafted or lying envelopes).
 """
 
 import random
@@ -182,6 +184,191 @@ def test_truncated_packet_header_rejects_offender_only():
 
     out = dep.servers[idx].receive_wire_batch(payloads)
     _assert_offender_only(out, {0}, WireError)
+
+
+# ---------------------------------------------------------------------
+# receive_sealed_batch: sealed-packet malformations, offender-only
+# ---------------------------------------------------------------------
+
+
+def _sealed_deployment(seed=b"fuzz-sealed"):
+    return PrioDeployment.create(
+        IntegerSumAfe(FIELD87, 4), 3, seed=seed, batch_size=4,
+        rng=random.Random(11), encrypt=True,
+    )
+
+
+def _sealed_payloads_for(submissions, server_index):
+    return [list(s.sealed_packets)[server_index] for s in submissions]
+
+
+def test_sealed_malformed_ephemeral_point_rejects_offender_only():
+    from repro.crypto import CryptoError
+    from repro.protocol.wire import ENVELOPE_SIZE
+
+    dep = _sealed_deployment()
+    subs = dep.client.prepare_submissions([1, 2, 3])
+    payloads = _sealed_payloads_for(subs, 0)
+
+    # garbage point bytes behind an intact envelope: the typed
+    # CryptoError (not a bare EcError) poisons only this position
+    bad = bytearray(payloads[1])
+    bad[ENVELOPE_SIZE] = 0x07  # invalid compressed-point prefix
+    payloads[1] = bytes(bad)
+
+    out = dep.servers[0].receive_sealed_batch(payloads)
+    _assert_offender_only(out, {1}, CryptoError)
+
+
+def test_sealed_mac_tamper_rejects_offender_only():
+    from repro.crypto import CryptoError
+
+    dep = _sealed_deployment()
+    subs = dep.client.prepare_submissions([1, 2, 3])
+    payloads = _sealed_payloads_for(subs, 0)
+
+    bad = bytearray(payloads[2])
+    bad[-1] ^= 1
+    payloads[2] = bytes(bad)
+
+    out = dep.servers[0].receive_sealed_batch(payloads)
+    _assert_offender_only(out, {2}, CryptoError)
+
+
+def test_sealed_grafted_envelope_rejects_offender_only():
+    """Envelope A on box B: the box MAC covers the envelope as
+    associated data, so the graft fails authentication — the attacker
+    cannot re-route an honest box under a different cleartext id."""
+    from repro.crypto import CryptoError
+    from repro.protocol.wire import ENVELOPE_SIZE
+
+    dep = _sealed_deployment()
+    subs = dep.client.prepare_submissions([1, 2, 3])
+    payloads = _sealed_payloads_for(subs, 0)
+
+    grafted = payloads[0][:ENVELOPE_SIZE] + payloads[1][ENVELOPE_SIZE:]
+    # replace position 1 so the honest copy of envelope 0 (position 0)
+    # is still a fresh id when it arrives
+    payloads[1] = grafted
+
+    out = dep.servers[0].receive_sealed_batch(payloads)
+    _assert_offender_only(out, {1}, CryptoError)
+
+
+def test_sealed_envelope_sid_mismatch_rejects_offender_only():
+    """A lying envelope sid with a *valid* box (sealed by the client
+    itself under the forged envelope) opens fine but must be refused
+    when the authenticated inner header disagrees."""
+    from repro.protocol.wire import encode_envelope, seal_packet
+    from repro.crypto.box import seal
+
+    dep = _sealed_deployment()
+    subs = dep.client.prepare_submissions([1, 2, 3])
+    payloads = _sealed_payloads_for(subs, 0)
+
+    packet = subs[1].packets[0]
+    forged_env = encode_envelope(b"\xEE" * 16, packet.server_index)
+    payloads[1] = forged_env + seal(
+        dep.client.server_box_keys[0], packet.encode(),
+        random.Random(3), associated_data=forged_env,
+    )
+
+    out = dep.servers[0].receive_sealed_batch(payloads)
+    _assert_offender_only(out, {1}, ProtocolError)
+
+
+def test_sealed_envelope_index_mismatch_rejects_offender_only():
+    """Envelope says server 0, the sealed packet inside is addressed
+    to server 1: reject that offender alone."""
+    from repro.protocol.wire import encode_envelope
+    from repro.crypto.box import seal
+
+    dep = _sealed_deployment()
+    subs = dep.client.prepare_submissions([1, 2, 3])
+    payloads = _sealed_payloads_for(subs, 0)
+
+    wrong_packet = subs[1].packets[1]  # addressed to server 1
+    env = encode_envelope(wrong_packet.submission_id, 0)
+    payloads[1] = env + seal(
+        dep.client.server_box_keys[0], wrong_packet.encode(),
+        random.Random(4), associated_data=env,
+    )
+
+    out = dep.servers[0].receive_sealed_batch(payloads)
+    _assert_offender_only(out, {1}, ProtocolError)
+
+
+def test_sealed_truncated_envelope_rejects_offender_only():
+    from repro.protocol.wire import WireError
+
+    dep = _sealed_deployment()
+    subs = dep.client.prepare_submissions([1, 2])
+    payloads = _sealed_payloads_for(subs, 0)
+    payloads.append(payloads[0][:10])
+
+    out = dep.servers[0].receive_sealed_batch(payloads)
+    _assert_offender_only(out, {2}, WireError)
+
+
+def test_sealed_replay_precheck_never_opens_the_box(monkeypatch):
+    """A replayed envelope sid is refused before the two scalar
+    multiplications of open_box are paid."""
+    dep = _sealed_deployment()
+    subs = dep.client.prepare_submissions([1])
+    server = dep.servers[0]
+    sealed = list(subs[0].sealed_packets)[0]
+
+    first = server.receive_sealed_batch([sealed])
+    assert isinstance(first[0], PendingSubmission)
+
+    def _boom(*args, **kwargs):
+        raise AssertionError("open_box called for a replayed id")
+
+    monkeypatch.setattr("repro.protocol.server.open_box", _boom)
+    out = server.receive_sealed_batch([sealed])
+    assert isinstance(out[0], ProtocolError)
+    assert server.n_replayed == 1
+
+
+def test_sealed_survivors_of_a_poisoned_batch_still_verify():
+    """Honest sealed positions alongside rejected ones complete the
+    SNIP rounds — the sealed batch path feeds the same fused decode."""
+    from repro.crypto import CryptoError
+
+    dep = _sealed_deployment()
+    subs = dep.client.prepare_submissions([1, 2])
+
+    survivors = []
+    for s, server in enumerate(dep.servers):
+        batch = _sealed_payloads_for(subs, s)
+        if s == 0:
+            tampered = bytearray(batch[0])
+            tampered[-1] ^= 1
+            batch[0] = bytes(tampered)
+        results = server.receive_sealed_batch(batch)
+        if s == 0:
+            assert isinstance(results[0], CryptoError)
+        kept = [r for r in results if isinstance(r, PendingSubmission)]
+        aligned = [
+            r for r in kept if r.submission_id == subs[1].submission_id
+        ]
+        for stray in kept:
+            if stray not in aligned:
+                server.abandon(stray)
+        survivors.append(aligned)
+
+    parties, r1 = zip(*(
+        server.begin_verification_batch(pendings)
+        for server, pendings in zip(dep.servers, survivors)
+    ))
+    r2 = [
+        server.finish_verification_batch(party, list(r1))
+        for server, party in zip(dep.servers, parties)
+    ]
+    for server, pendings in zip(dep.servers, survivors):
+        decisions = server.decide_batch(list(r2))
+        assert decisions == [True]
+        server.accumulate_batch(pendings, decisions)
 
 
 def test_survivors_of_a_poisoned_batch_still_verify():

@@ -135,17 +135,27 @@ def test_sharded_matches_unsharded(n_shards, force_pure):
     assert all(decisions[i] is False for i in corrupt)
 
 
-def test_sharded_matches_unsharded_encrypted():
-    """Sealed payloads hide the id, so every encrypted submission
-    routes to shard 0 — sharding buys nothing, but outcomes must still
-    be identical."""
+@pytest.mark.parametrize("n_shards", [2, 4])
+def test_sharded_matches_unsharded_encrypted(n_shards):
+    """Sealed packets route by their cleartext envelope sid, so an
+    encrypted stream genuinely partitions across every shard (no
+    shard-0 fallback remains) while outcomes stay identical to the
+    unsharded deployment."""
     base = _deployment(executor="inline", encrypt=True)
-    _, submissions = _stream(base, n=12)
+    _, submissions = _stream(base, n=24)
     expected = _outcome(base, copy.deepcopy(submissions))
     base.close()
 
-    sharded = _deployment(executor="inline:2", encrypt=True)
+    sharded = _deployment(executor=f"inline:{n_shards}", encrypt=True)
     got = _outcome(sharded, submissions)
+    fanout = sharded._fanout
+    assert isinstance(fanout, ShardedFanout)
+    # genuine spread: every shard of every server opened (and replay-
+    # recorded) at least one sealed submission
+    for shard_row in fanout.shards:
+        counts = [len(shard._replay) for shard in shard_row]
+        assert all(count > 0 for count in counts), counts
+        assert sum(counts) == len(submissions)
     sharded.close()
     assert got == expected
 
